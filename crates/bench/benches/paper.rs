@@ -1,0 +1,78 @@
+//! Criterion benches over the paper's experiments: each bench measures the
+//! simulated-cycle computation end to end (compile + simulate), one group
+//! per table. The interesting output is the per-row simulated cycle counts
+//! printed by the table binaries; these benches track the harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wm_stream::{Compiler, MachineModel, OptOptions, Target};
+
+fn bench_compile(c: &mut Criterion) {
+    let src = wm_stream::workloads::livermore5().source;
+    c.bench_function("compile_livermore5_wm", |b| {
+        b.iter(|| {
+            Compiler::new()
+                .compile(std::hint::black_box(src))
+                .expect("compiles")
+        })
+    });
+    c.bench_function("compile_livermore5_scalar", |b| {
+        b.iter(|| {
+            Compiler::new()
+                .target(Target::Scalar)
+                .compile(std::hint::black_box(src))
+                .expect("compiles")
+        })
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    // a small, fixed workload so the bench finishes quickly
+    const SRC: &str = r"
+        double a[2000]; double b[2000];
+        int main() {
+            int i; double s;
+            for (i = 0; i < 2000; i++) { a[i] = 1.0; b[i] = 0.5; }
+            s = 0.0;
+            for (i = 0; i < 2000; i++) s = s + a[i] * b[i];
+            return (int) s;
+        }
+    ";
+    let streamed = Compiler::new().compile(SRC).unwrap();
+    let scalar = Compiler::new()
+        .options(OptOptions::all().without_streaming())
+        .compile(SRC)
+        .unwrap();
+    c.bench_function("simulate_dot2000_streamed", |b| {
+        b.iter(|| streamed.run_wm("main", &[]).expect("runs"))
+    });
+    c.bench_function("simulate_dot2000_scalar_wm", |b| {
+        b.iter(|| scalar.run_wm("main", &[]).expect("runs"))
+    });
+    let sun = Compiler::new().target(Target::Scalar).compile(SRC).unwrap();
+    c.bench_function("simulate_dot2000_sun3", |b| {
+        b.iter(|| {
+            sun.run_scalar("main", &[], &MachineModel::sun_3_280())
+                .expect("runs")
+        })
+    });
+    // an elementwise map on the VEU
+    const MAP: &str = r"
+        double a[2000]; double b[2000]; double c[2000];
+        int main() {
+            int i;
+            for (i = 0; i < 2000; i++) { a[i] = 1.0; b[i] = 0.5; }
+            for (i = 0; i < 2000; i++) c[i] = a[i] * b[i];
+            return (int) c[1999];
+        }
+    ";
+    let vector = Compiler::new()
+        .options(OptOptions::all().with_vectorization())
+        .compile(MAP)
+        .unwrap();
+    c.bench_function("simulate_map2000_veu", |b| {
+        b.iter(|| vector.run_wm("main", &[]).expect("runs"))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_simulate);
+criterion_main!(benches);

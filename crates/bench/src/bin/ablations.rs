@@ -1,0 +1,108 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//! hardware parameters of the simulated WM (memory ports and latency, FIFO
+//! depth, number of SCUs, stream-setup cost) and compiler phases (dual-op
+//! combining, code motion, the recurrence and streaming passes themselves).
+//!
+//! Workloads: the streaming flagship (dot-product), the recurrence kernel
+//! (Livermore 5) and a byte-stream program (dhrystone). Output is cycles;
+//! every run self-verifies.
+
+use wm_stream::{Compiler, OptOptions, WmConfig};
+
+fn run(src: &str, opts: &OptOptions, cfg: &WmConfig) -> u64 {
+    let c = Compiler::new()
+        .options(opts.clone())
+        .compile(src)
+        .expect("compiles");
+    let r = c.run_wm_config("main", &[], cfg).expect("runs");
+    r.cycles
+}
+
+fn workloads() -> Vec<(&'static str, &'static str, OptOptions)> {
+    let t2 = wm_stream::workloads::table2();
+    let dot = t2.iter().find(|w| w.name == "dot-product").unwrap().source;
+    let dhry = t2.iter().find(|w| w.name == "dhrystone").unwrap().source;
+    vec![
+        ("dot-product", dot, OptOptions::all()),
+        (
+            "livermore5",
+            wm_stream::workloads::livermore5().source,
+            OptOptions::all(),
+        ),
+        ("dhrystone", dhry, OptOptions::all().assume_noalias()),
+    ]
+}
+
+fn hardware_sweeps() {
+    println!("== hardware ablations (cycles; default row marked *) ==");
+    for (name, src, opts) in workloads() {
+        println!("\n--- {name} ---");
+        println!("memory accept ports per cycle:");
+        for ports in [1u32, 2, 4] {
+            let cfg = WmConfig::default().with_mem_ports(ports);
+            let mark = if ports == 2 { "*" } else { " " };
+            println!("  ports={ports}{mark}  {:>10}", run(src, &opts, &cfg));
+        }
+        println!("memory latency (cycles):");
+        for lat in [2u64, 6, 12, 24, 48] {
+            let cfg = WmConfig::default().with_mem_latency(lat);
+            let mark = if lat == 6 { "*" } else { " " };
+            println!("  latency={lat}{mark}  {:>10}", run(src, &opts, &cfg));
+        }
+        println!("data FIFO capacity:");
+        for cap in [2usize, 4, 8, 16, 32] {
+            let cfg = WmConfig {
+                fifo_capacity: cap,
+                ..WmConfig::default()
+            };
+            let mark = if cap == 8 { "*" } else { " " };
+            println!("  fifo={cap}{mark}  {:>10}", run(src, &opts, &cfg));
+        }
+        println!("stream setup cost (cycles):");
+        for setup in [0u64, 4, 16, 64] {
+            let cfg = WmConfig {
+                scu_setup: setup,
+                ..WmConfig::default()
+            };
+            let mark = if setup == 4 { "*" } else { " " };
+            println!("  setup={setup}{mark}  {:>10}", run(src, &opts, &cfg));
+        }
+    }
+}
+
+fn compiler_sweeps() {
+    println!("\n== compiler-phase ablations (cycles on the default WM) ==");
+    let cfg = WmConfig::default();
+    for (name, src, full) in workloads() {
+        let rows: Vec<(&str, OptOptions)> = vec![
+            ("full", full.clone()),
+            ("full + vectorize", full.clone().with_vectorization()),
+            ("no dual-op combining", {
+                let mut o = full.clone();
+                o.dual_combine = false;
+                o
+            }),
+            ("no code motion", {
+                let mut o = full.clone();
+                o.code_motion = false;
+                o
+            }),
+            ("no streaming", full.clone().without_streaming()),
+            ("no recurrence", full.clone().without_recurrence()),
+            (
+                "classical only",
+                full.clone().without_streaming().without_recurrence(),
+            ),
+            ("none", OptOptions::none()),
+        ];
+        println!("\n--- {name} ---");
+        for (label, opts) in rows {
+            println!("  {label:<22} {:>10}", run(src, &opts, &cfg));
+        }
+    }
+}
+
+fn main() {
+    hardware_sweeps();
+    compiler_sweeps();
+}

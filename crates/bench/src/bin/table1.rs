@@ -1,0 +1,11 @@
+//! Regenerate Table I: effect of recurrence optimization on execution time
+//! of the fifth Livermore loop (array size 100 000) on five machines.
+
+fn main() {
+    let rows = wm_bench::table1();
+    wm_bench::print_rows(
+        "Table I. Effect of Recurrence Optimization on Execution Time",
+        "%",
+        &rows,
+    );
+}

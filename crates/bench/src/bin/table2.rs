@@ -1,0 +1,11 @@
+//! Regenerate Table II: execution performance improvements by streaming
+//! (percent reduction in cycles executed) on the WM simulator.
+
+fn main() {
+    let rows = wm_bench::table2();
+    wm_bench::print_rows(
+        "Table II. Execution Performance Improvements by Streaming",
+        "%",
+        &rows,
+    );
+}

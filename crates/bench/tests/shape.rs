@@ -1,0 +1,184 @@
+//! Shape tests: cheap assertions that the regenerated figures and the core
+//! table relationships hold. Full tables run via the binaries; these tests
+//! use reduced problem sizes so `cargo test` stays fast.
+
+use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
+
+const KERNEL: &str = r"
+    double x[2000]; double y[2000]; double z[2000];
+    void loop5(int n) {
+        int i;
+        for (i = 2; i < n; i++)
+            x[i] = z[i] * (y[i] - x[i-1]);
+    }
+";
+
+fn wm_listing(opts: OptOptions) -> String {
+    Compiler::new()
+        .options(opts)
+        .compile(KERNEL)
+        .expect("compiles")
+        .listing("loop5")
+        .unwrap()
+}
+
+/// Count occurrences of a mnemonic in the listing.
+fn count(l: &str, needle: &str) -> usize {
+    l.matches(needle).count()
+}
+
+#[test]
+fn figure4_shape() {
+    let l = wm_listing(OptOptions::all().without_recurrence().without_streaming());
+    // four memory references: three loads, one store
+    assert_eq!(count(&l, "l64f"), 3, "{l}");
+    assert_eq!(count(&l, "s64f"), 1, "{l}");
+    assert_eq!(count(&l, "Sin"), 0);
+}
+
+#[test]
+fn figure5_shape() {
+    let l = wm_listing(OptOptions::all().without_streaming());
+    // "only three memory references in the loop instead of four" — plus the
+    // preheader's initial load of x[1]
+    assert_eq!(count(&l, "l64f"), 3, "two in-loop loads + one initial: {l}");
+    assert_eq!(count(&l, "s64f"), 1, "{l}");
+    assert!(l.contains("_x+-8"), "preheader addresses x[1]: {l}");
+}
+
+#[test]
+fn figure6_shape() {
+    let l = Compiler::new()
+        .target(Target::Scalar)
+        .compile(KERNEL)
+        .expect("compiles")
+        .listing("loop5")
+        .unwrap();
+    // auto-increment pointer walks for both loads and the store
+    assert!(count(&l, "@+") >= 3, "{l}");
+    assert_eq!(count(&l, "ld64"), 3, "{l}");
+    assert_eq!(count(&l, "st64"), 1, "{l}");
+}
+
+#[test]
+fn figure7_shape() {
+    let l = wm_listing(OptOptions::all());
+    assert_eq!(count(&l, "SinD"), 2, "y and z stream in: {l}");
+    assert_eq!(count(&l, "SoutD"), 1, "x streams out: {l}");
+    assert_eq!(count(&l, "jNIf0"), 1, "{l}");
+    // no in-loop address arithmetic: the only l64f is the preheader's x[1]
+    assert_eq!(count(&l, "l64f"), 1, "{l}");
+    assert_eq!(count(&l, "s64f"), 0, "{l}");
+}
+
+#[test]
+fn table1_direction_holds_at_reduced_size() {
+    const SRC: &str = r"
+        double x[3000]; double y[3000]; double z[3000];
+        int main() {
+            int i;
+            for (i = 0; i < 3000; i++) { x[i] = i * 0.25; y[i] = 2.0; z[i] = 0.5; }
+            for (i = 2; i < 3000; i++) x[i] = z[i] * (y[i] - x[i-1]);
+            return (int) (x[2999] * 1000.0);
+        }
+    ";
+    let with = OptOptions::all().without_streaming();
+    let without = with.clone().without_recurrence();
+    for model in [MachineModel::sun_3_280(), MachineModel::vax_8600()] {
+        let a = Compiler::new()
+            .target(Target::Scalar)
+            .options(with.clone())
+            .compile(SRC)
+            .unwrap()
+            .run_scalar("main", &[], &model)
+            .unwrap();
+        let b = Compiler::new()
+            .target(Target::Scalar)
+            .options(without.clone())
+            .compile(SRC)
+            .unwrap()
+            .run_scalar("main", &[], &model)
+            .unwrap();
+        assert_eq!(a.ret_int, b.ret_int);
+        assert!(a.cycles < b.cycles, "{}", model.name);
+    }
+}
+
+#[test]
+fn table2_extremes_hold_at_reduced_size() {
+    // dot-product gains a lot; whetstone-style register code gains little
+    const DOT: &str = r"
+        double a[3000]; double b[3000];
+        int main() {
+            int i; double s;
+            for (i = 0; i < 3000; i++) { a[i] = 2.0; b[i] = 0.5; }
+            s = 0.0;
+            for (i = 0; i < 3000; i++) s = s + a[i] * b[i];
+            return (int) s;
+        }
+    ";
+    const REGS: &str = r"
+        int main() {
+            int i; double x1; double x2;
+            x1 = 1.0; x2 = -1.0;
+            for (i = 0; i < 3000; i++) {
+                x1 = (x1 + x2) * 0.499975;
+                x2 = (x1 - x2) * 0.499975;
+            }
+            return (int) (x1 * 0.0 + 1.0);
+        }
+    ";
+    let cfg = WmConfig::default();
+    let gain = |src: &str| -> f64 {
+        let s = Compiler::new()
+            .compile(src)
+            .unwrap()
+            .run_wm_config("main", &[], &cfg)
+            .unwrap();
+        let b = Compiler::new()
+            .options(OptOptions::all().without_streaming())
+            .compile(src)
+            .unwrap()
+            .run_wm_config("main", &[], &cfg)
+            .unwrap();
+        assert_eq!(s.ret_int, b.ret_int);
+        100.0 * (b.cycles.saturating_sub(s.cycles)) as f64 / b.cycles as f64
+    };
+    let dot = gain(DOT);
+    let regs = gain(REGS);
+    assert!(dot > 20.0, "dot-product should gain a lot: {dot:.1}%");
+    assert!(regs < 5.0, "register code should gain little: {regs:.1}%");
+    assert!(dot > regs);
+}
+
+#[test]
+fn matrix_streams_with_row_and_column_strides() {
+    const SRC: &str = r"
+        double a[400]; double b[400]; double c[400];
+        int main() {
+            int i; int j; int k; int n; double sum;
+            n = 20;
+            for (i = 0; i < n * n; i++) { a[i] = 1.0; b[i] = 2.0; }
+            for (i = 0; i < n; i++)
+                for (j = 0; j < n; j++) {
+                    sum = 0.0;
+                    for (k = 0; k < n; k++)
+                        sum = sum + a[i * n + k] * b[k * n + j];
+                    c[i * n + j] = sum;
+                }
+            return (int) c[21];
+        }
+    ";
+    let c = Compiler::new().compile(SRC).unwrap();
+    let r = c.run_wm("main", &[]).unwrap();
+    assert_eq!(r.ret_int, 40, "20 × (1.0 * 2.0)");
+    let s = c.stats_for("main").unwrap();
+    assert!(
+        s.streaming.streams_in >= 2,
+        "row and column both stream: {:?}",
+        s.streaming
+    );
+    // the column stream uses the 8·n = 160-byte stride
+    let l = c.listing("main").unwrap();
+    assert!(l.contains(",160"), "column stride in listing: {l}");
+}

@@ -1,0 +1,222 @@
+//! `wmcc` — command-line driver for the WM streaming compiler.
+//!
+//! ```text
+//! wmcc prog.c                         compile for the WM, run main, print cycles
+//! wmcc prog.c --emit                  print the optimized listing instead of running
+//! wmcc prog.c --opt recurrence        optimization level: none|classical|recurrence|full
+//! wmcc prog.c --noalias               assume distinct pointer bases are disjoint
+//! wmcc prog.c --target scalar --machine vax8600
+//! wmcc prog.c --mem-latency 24 --mem-ports 1
+//! wmcc prog.c --entry kernel --args 100,7
+//! ```
+
+use std::process::ExitCode;
+
+use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
+
+struct Options {
+    file: String,
+    target: Target,
+    machine: MachineModel,
+    opts: OptOptions,
+    emit: bool,
+    entry: String,
+    args: Vec<i64>,
+    config: WmConfig,
+    stats: bool,
+    trace: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
+               [--opt none|classical|recurrence|full] [--noalias] [--vectorize] [--emit]
+               [--stats] [--trace N] [--entry NAME] [--args N,N,...]
+               [--mem-latency N] [--mem-ports N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        file: String::new(),
+        target: Target::Wm,
+        machine: MachineModel::sun_3_280(),
+        opts: OptOptions::all(),
+        emit: false,
+        entry: "main".to_string(),
+        args: Vec::new(),
+        config: WmConfig::default(),
+        stats: false,
+        trace: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--target" => {
+                o.target = match need(&mut i).as_str() {
+                    "wm" => Target::Wm,
+                    "scalar" => Target::Scalar,
+                    _ => usage(),
+                }
+            }
+            "--machine" => {
+                o.machine = match need(&mut i).as_str() {
+                    "sun3" => MachineModel::sun_3_280(),
+                    "hp345" => MachineModel::hp_9000_345(),
+                    "vax8600" => MachineModel::vax_8600(),
+                    "m88100" => MachineModel::m88100(),
+                    _ => usage(),
+                }
+            }
+            "--opt" => {
+                o.opts = match need(&mut i).as_str() {
+                    "none" => OptOptions::none(),
+                    "classical" => OptOptions::all().without_recurrence().without_streaming(),
+                    "recurrence" => OptOptions::all().without_streaming(),
+                    "full" => OptOptions::all(),
+                    _ => usage(),
+                }
+            }
+            "--noalias" => o.opts = o.opts.clone().assume_noalias(),
+            "--vectorize" => o.opts = o.opts.clone().with_vectorization(),
+            "--trace" => o.trace = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--emit" => o.emit = true,
+            "--stats" => o.stats = true,
+            "--entry" => o.entry = need(&mut i),
+            "--args" => {
+                o.args = need(&mut i)
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--mem-latency" => {
+                o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--mem-ports" => {
+                o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            f if !f.starts_with('-') && o.file.is_empty() => o.file = f.to_string(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if o.file.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let source = match std::fs::read_to_string(&o.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wmcc: cannot read {}: {e}", o.file);
+            return ExitCode::from(1);
+        }
+    };
+    let compiled = match Compiler::new()
+        .target(o.target)
+        .options(o.opts.clone())
+        .compile(&source)
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("wmcc: {}: {e}", o.file);
+            return ExitCode::from(1);
+        }
+    };
+    if o.stats {
+        for (name, s) in &compiled.stats {
+            eprintln!(
+                "{name}: recurrence loads eliminated {}, streams {} in / {} out ({} unbounded)",
+                s.recurrence.loads_eliminated,
+                s.streaming.streams_in,
+                s.streaming.streams_out,
+                s.streaming.infinite,
+            );
+        }
+    }
+    if o.emit {
+        for f in &compiled.module.functions {
+            print!("{}", f.display(Some(&compiled.module)));
+            println!();
+        }
+        return ExitCode::SUCCESS;
+    }
+    match o.target {
+        Target::Wm if o.trace > 0 => {
+            // traced run: print the first N executed instructions
+            let mut machine = match wm_stream::WmMachine::new(&compiled.module, &o.config) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("wmcc: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            machine.set_trace(true);
+            if let Err(e) = machine.start(&o.entry, &o.args) {
+                eprintln!("wmcc: {e}");
+                return ExitCode::from(1);
+            }
+            let result = machine.run_to_completion();
+            for ev in machine.trace().iter().take(o.trace) {
+                eprintln!("{:>8}  {:<3}  {}", ev.cycle, ev.unit, ev.text);
+            }
+            match result {
+                Ok(r) => {
+                    if !r.output.is_empty() {
+                        print!("{}", String::from_utf8_lossy(&r.output));
+                    }
+                    eprintln!("wmcc: {} cycles, returned {}", r.cycles, r.ret_int);
+                    ExitCode::from((r.ret_int & 0xff) as u8)
+                }
+                Err(e) => {
+                    eprintln!("wmcc: simulation failed: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        Target::Wm => match compiled.run_wm_config(&o.entry, &o.args, &o.config) {
+            Ok(r) => {
+                if !r.output.is_empty() {
+                    print!("{}", String::from_utf8_lossy(&r.output));
+                }
+                eprintln!(
+                    "wmcc: {} cycles, {} instructions, returned {}",
+                    r.cycles,
+                    r.stats.instructions(),
+                    r.ret_int
+                );
+                ExitCode::from((r.ret_int & 0xff) as u8)
+            }
+            Err(e) => {
+                eprintln!("wmcc: simulation failed: {e}");
+                ExitCode::from(1)
+            }
+        },
+        Target::Scalar => match compiled.run_scalar(&o.entry, &o.args, &o.machine) {
+            Ok(r) => {
+                if !r.output.is_empty() {
+                    print!("{}", String::from_utf8_lossy(&r.output));
+                }
+                eprintln!(
+                    "wmcc: {} cycles on {}, returned {}",
+                    r.cycles, o.machine.name, r.ret_int
+                );
+                ExitCode::from((r.ret_int & 0xff) as u8)
+            }
+            Err(e) => {
+                eprintln!("wmcc: execution failed: {e}");
+                ExitCode::from(1)
+            }
+        },
+    }
+}

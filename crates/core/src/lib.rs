@@ -1,0 +1,308 @@
+//! # wm-stream — streaming access/execute compilation and simulation
+//!
+//! A from-scratch reproduction of *Code Generation for Streaming: an
+//! Access/Execute Mechanism* (Benitez & Davidson, ASPLOS 1991): an
+//! optimizing mini-C compiler whose headline passes detect loop-carried
+//! **recurrences** and convert regular loop memory references into WM
+//! **stream instructions**, plus a cycle-level simulator of the WM
+//! decoupled access/execute architecture and timing models of the scalar
+//! machines of the paper's Table I.
+//!
+//! The sub-crates are re-exported in full ([`ir`], [`frontend`], [`opt`],
+//! [`target`], [`sim`], [`machines`], [`workloads`]); this crate adds the
+//! [`Compiler`] pipeline that strings them together.
+//!
+//! ```
+//! use wm_stream::Compiler;
+//!
+//! let compiled = Compiler::new()
+//!     .compile("int main() { return 6 * 7; }")
+//!     .expect("valid mini-C");
+//! let run = compiled.run_wm("main", &[]).expect("executes");
+//! assert_eq!(run.ret_int, 42);
+//! ```
+
+pub use wm_frontend as frontend;
+pub use wm_ir as ir;
+pub use wm_machines as machines;
+pub use wm_opt as opt;
+pub use wm_sim as sim;
+pub use wm_target as target;
+pub use wm_workloads as workloads;
+
+pub use wm_machines::{MachineModel, ScalarMachine, ScalarResult};
+pub use wm_opt::{OptOptions, OptStats};
+pub use wm_sim::{RunResult, WmConfig, WmMachine};
+pub use wm_workloads::Workload;
+
+use wm_ir::Module;
+
+/// Which machine the pipeline generates code for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Target {
+    /// The WM access/execute architecture (loads through FIFOs, streams).
+    #[default]
+    Wm,
+    /// A generic scalar load/store machine (Table I's comparison targets).
+    Scalar,
+}
+
+/// A compilation failure from any pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexical, syntactic or semantic error in the source.
+    Frontend(wm_frontend::CompileError),
+    /// Register allocation failure.
+    Alloc(wm_target::AllocError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Frontend(e) => write!(f, "{e}"),
+            Error::Alloc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frontend(e) => Some(e),
+            Error::Alloc(e) => Some(e),
+        }
+    }
+}
+
+impl From<wm_frontend::CompileError> for Error {
+    fn from(e: wm_frontend::CompileError) -> Error {
+        Error::Frontend(e)
+    }
+}
+
+impl From<wm_target::AllocError> for Error {
+    fn from(e: wm_target::AllocError) -> Error {
+        Error::Alloc(e)
+    }
+}
+
+/// The compilation pipeline: front end → optimizer → target expansion →
+/// target optimizer → register allocation.
+///
+/// Mirrors the paper's structure: "the front end generates naive but
+/// correct code for a simple abstract machine", "all optimizations are
+/// performed on object code (RTLs)", and the same optimizer retargets to
+/// the WM or to scalar machines.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    options: OptOptions,
+    target: Target,
+}
+
+impl Compiler {
+    /// A compiler for the WM with every optimization enabled.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Use the given optimizer options.
+    pub fn options(mut self, options: OptOptions) -> Compiler {
+        self.options = options;
+        self
+    }
+
+    /// Generate code for `target`.
+    pub fn target(mut self, target: Target) -> Compiler {
+        self.target = target;
+        self
+    }
+
+    /// The configured optimizer options.
+    pub fn options_ref(&self) -> &OptOptions {
+        &self.options
+    }
+
+    /// Compile mini-C `source` down to allocated machine code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for source errors or allocation failures.
+    pub fn compile(&self, source: &str) -> Result<Compiled, Error> {
+        self.compile_inner(source, true)
+    }
+
+    /// Compile, stopping *before* register allocation — useful for
+    /// inspecting optimizer output with virtual registers intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Frontend`] for source errors.
+    pub fn compile_unallocated(&self, source: &str) -> Result<Compiled, Error> {
+        self.compile_inner(source, false)
+    }
+
+    fn compile_inner(&self, source: &str, allocate: bool) -> Result<Compiled, Error> {
+        let mut module = wm_frontend::compile(source)?;
+        let mut stats = Vec::new();
+        for f in module.functions.iter_mut() {
+            let mut s = wm_opt::optimize_generic(f, &self.options);
+            match self.target {
+                Target::Wm => {
+                    wm_target::expand_wm(f);
+                    let s2 = wm_opt::optimize_wm(f, &self.options);
+                    s.streaming = s2.streaming;
+                    s.vector = s2.vector;
+                    s.iterations += s2.iterations;
+                    if allocate {
+                        wm_target::allocate_registers(f, wm_target::TargetKind::Wm)?;
+                    }
+                }
+                Target::Scalar => {
+                    if self.options.strength_reduction {
+                        wm_target::strength_reduce(f, self.options.alias);
+                        wm_target::select_auto_increment(f);
+                    }
+                    if allocate {
+                        wm_target::allocate_registers(f, wm_target::TargetKind::Scalar)?;
+                    }
+                }
+            }
+            stats.push((f.name.clone(), s));
+        }
+        Ok(Compiled {
+            module,
+            target: self.target,
+            stats,
+        })
+    }
+}
+
+/// A compiled module plus per-function optimizer reports.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The compiled module.
+    pub module: Module,
+    /// The target it was compiled for.
+    pub target: Target,
+    /// Per-function optimizer statistics `(name, stats)`.
+    pub stats: Vec<(String, OptStats)>,
+}
+
+impl Compiled {
+    /// Run on the WM cycle simulator with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults/deadlocks/timeouts.
+    pub fn run_wm(&self, entry: &str, args: &[i64]) -> Result<RunResult, wm_sim::SimError> {
+        self.run_wm_config(entry, args, &WmConfig::default())
+    }
+
+    /// Run on the WM cycle simulator with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults/deadlocks/timeouts.
+    pub fn run_wm_config(
+        &self,
+        entry: &str,
+        args: &[i64],
+        config: &WmConfig,
+    ) -> Result<RunResult, wm_sim::SimError> {
+        WmMachine::run(&self.module, entry, args, config)
+    }
+
+    /// Run on a scalar machine model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter faults.
+    pub fn run_scalar(
+        &self,
+        entry: &str,
+        args: &[i64],
+        model: &MachineModel,
+    ) -> Result<ScalarResult, wm_machines::ScalarError> {
+        ScalarMachine::run(&self.module, entry, args, model)
+    }
+
+    /// Paper-style listing of one function.
+    pub fn listing(&self, name: &str) -> Option<String> {
+        self.module
+            .function_named(name)
+            .map(|f| f.display(Some(&self.module)).to_string())
+    }
+
+    /// The optimizer report for one function.
+    pub fn stats_for(&self, name: &str) -> Option<&OptStats> {
+        self.stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wm_pipeline_end_to_end() {
+        let c = Compiler::new()
+            .compile(
+                "int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s += i; return s; }",
+            )
+            .unwrap();
+        assert_eq!(c.run_wm("main", &[]).unwrap().ret_int, 36);
+    }
+
+    #[test]
+    fn scalar_pipeline_end_to_end() {
+        let c = Compiler::new()
+            .target(Target::Scalar)
+            .compile("int main() { return 5 * 5; }")
+            .unwrap();
+        let r = c
+            .run_scalar("main", &[], &MachineModel::vax_8600())
+            .unwrap();
+        assert_eq!(r.ret_int, 25);
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        let err = Compiler::new()
+            .compile("int main() { return x; }")
+            .unwrap_err();
+        assert!(matches!(err, Error::Frontend(_)));
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn listings_are_available() {
+        let c = Compiler::new()
+            .compile("double f(double a) { return a * 2.0; }")
+            .unwrap();
+        let l = c.listing("f").unwrap();
+        assert!(l.contains("_f:"));
+        assert!(c.listing("missing").is_none());
+    }
+
+    #[test]
+    fn stats_report_streaming() {
+        let c = Compiler::new()
+            .compile(
+                r"
+                double a[100]; double b[100];
+                int main() {
+                    int i;
+                    for (i = 0; i < 100; i++) a[i] = 1.0;
+                    for (i = 0; i < 100; i++) b[i] = a[i] * 2.0;
+                    return 0;
+                }",
+            )
+            .unwrap();
+        let s = c.stats_for("main").unwrap();
+        assert!(s.streaming.streams_in >= 1);
+        assert!(s.streaming.streams_out >= 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Abstract syntax tree for mini-C.
+
+/// A mini-C type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer (stored in 4 bytes, computed in registers).
+    Int,
+    /// Unsigned byte.
+    Char,
+    /// 64-bit IEEE floating point.
+    Double,
+    /// No value (function return type only).
+    Void,
+    /// Pointer to an element type.
+    Ptr(Box<Type>),
+    /// One-dimensional array (declarations only; decays to pointer in
+    /// expressions).
+    Array(Box<Type>, usize),
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Int => 4,
+            Type::Char => 1,
+            Type::Double => 8,
+            Type::Void => 0,
+            Type::Ptr(_) => 4,
+            Type::Array(t, n) => t.size() * n,
+        }
+    }
+
+    /// The element type if this is an array or pointer.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Is this a floating-point type?
+    pub fn is_double(&self) -> bool {
+        *self == Type::Double
+    }
+
+    /// Is this an integer-class type (int, char, pointer)?
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+
+    /// The type this decays to when used as a value (arrays → pointers).
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(t, _) => Type::Ptr(t.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Binary operators (after lexing; `&&`/`||` included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// Is this a comparison producing a boolean?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    LogNot,
+    /// `~e`
+    BitNot,
+    /// `*e`
+    Deref,
+    /// `&e`
+    AddrOf,
+}
+
+/// Compound-assignment operators (`=` is `AssignOp::Eq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Eq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Node kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FltLit(f64),
+    CharLit(u8),
+    /// String literal; lowered to an anonymous global `char` array.
+    StrLit(String),
+    /// Variable reference.
+    Var(String),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `f(a, b, ...)`
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation (including `&&`/`||`, which short-circuit).
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs op= rhs`.
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Cast `(type) e`.
+    Cast(Type, Box<Expr>),
+    /// `e++` / `e--` (postfix when `post`, prefix otherwise).
+    IncDec {
+        target: Box<Expr>,
+        inc: bool,
+        post: bool,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration `ty name [= init];` or `ty name[n];`.
+    Decl {
+        ty: Type,
+        name: String,
+        init: Option<Expr>,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+    },
+    For {
+        init: Option<Expr>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+    Block(Vec<Stmt>),
+    Empty,
+}
+
+/// A global-variable initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// `= expr` (must be a constant expression).
+    Scalar(Expr),
+    /// `= { e, e, ... }` for arrays.
+    List(Vec<Expr>),
+    /// `= "..."` for char arrays.
+    Str(String),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<(Type, String)>,
+    /// Body statements (empty for a prototype).
+    pub body: Vec<Stmt>,
+    /// Declaration line.
+    pub line: u32,
+    /// Is this a body-less forward declaration (`int f(int x);`)?
+    pub is_prototype: bool,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Function definition.
+    Func(FuncDecl),
+    /// Global variable.
+    Global {
+        ty: Type,
+        name: String,
+        init: Option<Init>,
+        line: u32,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Double.size(), 8);
+        assert_eq!(Type::Ptr(Box::new(Type::Double)).size(), 4);
+        assert_eq!(Type::Array(Box::new(Type::Double), 10).size(), 80);
+    }
+
+    #[test]
+    fn decay() {
+        let arr = Type::Array(Box::new(Type::Int), 4);
+        assert_eq!(arr.decayed(), Type::Ptr(Box::new(Type::Int)));
+        assert_eq!(Type::Int.decayed(), Type::Int);
+        assert_eq!(arr.element(), Some(&Type::Int));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::Ptr(Box::new(Type::Char)).is_integral());
+        assert!(!Type::Double.is_integral());
+        assert!(Type::Double.is_double());
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,48 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling mini-C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line the error was detected on (0 if unknown).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Create an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CompileError::new(12, "unexpected token");
+        assert_eq!(e.to_string(), "line 12: unexpected token");
+        let e = CompileError::new(0, "eof");
+        assert_eq!(e.to_string(), "eof");
+    }
+}

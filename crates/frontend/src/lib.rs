@@ -1,0 +1,47 @@
+//! Mini-C front end.
+//!
+//! The paper's compiler is a full C compiler (vpcc). This crate implements
+//! the subset of C that the paper's examples and benchmark programs need —
+//! `int`/`char`/`double`, one-dimensional arrays, pointers, functions with
+//! recursion, and the full statement and expression grammar — and lowers it
+//! to the *generic RTL* form of [`wm_ir`]: "naive but correct code for a
+//! simple abstract machine", exactly the paper's first compilation strategy.
+//! All optimization is deferred to the `wm-opt` crate and all machine
+//! specifics to the `wm-target` crate.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "int add(int a, int b) { return a + b; }";
+//! let module = wm_frontend::compile(src).expect("valid mini-C");
+//! assert!(module.function_named("add").is_some());
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{
+    AssignOp, BinaryOp, Expr, ExprKind, FuncDecl, Init, Item, Program, Stmt, Type, UnaryOp,
+};
+pub use error::CompileError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse;
+
+use wm_ir::Module;
+
+/// Compile mini-C source text into a generic-RTL [`Module`].
+///
+/// This runs the lexer, parser and lowering; the result is unoptimized
+/// ("naive but correct") code ready for the optimizer.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying a line number and message for
+/// lexical, syntactic or semantic errors.
+pub fn compile(source: &str) -> Result<Module, CompileError> {
+    let program = parse(source)?;
+    lower::lower(&program)
+}

@@ -1,0 +1,1618 @@
+//! Lowering from the mini-C AST to generic RTL.
+//!
+//! This implements the paper's first strategy: "the front end generates
+//! naive but correct code for a simple abstract machine … Both of these
+//! phases are concerned only with producing semantically correct code.
+//! Efficiency is not an issue."
+//!
+//! Scalar locals live in virtual registers; local arrays live in the stack
+//! frame addressed off the stack pointer; globals are referenced
+//! symbolically. Loops are lowered into the guarded, bottom-tested form the
+//! paper's Figure 4 exhibits (a guard test before the loop and the loop
+//! condition re-tested at the bottom), which is what the loop analyses in
+//! `wm-opt` expect.
+
+use std::collections::HashMap;
+
+use wm_ir::{
+    BinOp, CmpOp, Function, InstKind, Label, MemRef, Module, Operand, RExpr, Reg, RegClass, SymId,
+    UnOp, Width,
+};
+
+use crate::ast::*;
+use crate::error::CompileError;
+
+/// Lower a parsed program to a generic-RTL module.
+pub fn lower(program: &Program) -> Result<Module, CompileError> {
+    let mut module = Module::new();
+    let mut globals: HashMap<String, (SymId, Type)> = HashMap::new();
+    let mut funcs: HashMap<String, FuncSig> = HashMap::new();
+
+    // Builtins provided by the simulators.
+    {
+        let name = "putchar";
+        let sym = module.add_builtin(name);
+        funcs.insert(
+            name.to_string(),
+            FuncSig {
+                sym,
+                ret: Type::Int,
+                params: vec![Type::Int],
+            },
+        );
+    }
+
+    // Pass 1: declare globals and function signatures.
+    for item in &program.items {
+        match item {
+            Item::Global {
+                ty,
+                name,
+                init,
+                line,
+            } => {
+                if globals.contains_key(name) {
+                    return Err(CompileError::new(*line, format!("duplicate global {name}")));
+                }
+                let bytes = init_bytes(ty, init.as_ref(), *line)?;
+                let align = base_align(ty);
+                let sym = module.add_data(name.clone(), ty.size() as u64, align, bytes);
+                globals.insert(name.clone(), (sym, ty.clone()));
+            }
+            Item::Func(f) => {
+                if let Some(existing) = funcs.get(&f.name) {
+                    // re-declaration is fine if the signature matches and at
+                    // most one of them has a body
+                    let same = existing.ret == f.ret
+                        && existing.params
+                            == f.params.iter().map(|(t, _)| t.decayed()).collect::<Vec<_>>();
+                    if !same {
+                        return Err(CompileError::new(
+                            f.line,
+                            format!("conflicting declarations of {}", f.name),
+                        ));
+                    }
+                    continue;
+                }
+                let sym = module.declare_function(&f.name);
+                funcs.insert(
+                    f.name.clone(),
+                    FuncSig {
+                        sym,
+                        ret: f.ret.clone(),
+                        params: f.params.iter().map(|(t, _)| t.decayed()).collect(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Pass 2: lower function bodies (prototypes have none).
+    let mut defined: Vec<String> = Vec::new();
+    for item in &program.items {
+        if let Item::Func(decl) = item {
+            if decl.is_prototype {
+                continue;
+            }
+            if defined.contains(&decl.name) {
+                return Err(CompileError::new(
+                    decl.line,
+                    format!("duplicate definition of {}", decl.name),
+                ));
+            }
+            defined.push(decl.name.clone());
+            let sym = funcs[&decl.name].sym;
+            let func = FnCx::lower_function(decl, &mut module, &globals, &funcs)?;
+            module.define_function(sym, func);
+        }
+    }
+    // every prototype must have found a definition
+    for item in &program.items {
+        if let Item::Func(decl) = item {
+            if decl.is_prototype && !defined.contains(&decl.name) {
+                return Err(CompileError::new(
+                    decl.line,
+                    format!("{} is declared but never defined", decl.name),
+                ));
+            }
+        }
+    }
+    Ok(module)
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    sym: SymId,
+    ret: Type,
+    params: Vec<Type>,
+}
+
+fn base_align(ty: &Type) -> u64 {
+    match ty {
+        Type::Array(el, _) => base_align(el),
+        Type::Double => 8,
+        Type::Int | Type::Ptr(_) => 4,
+        Type::Char => 1,
+        Type::Void => 1,
+    }
+}
+
+/// Serialize a global initializer into bytes.
+fn init_bytes(ty: &Type, init: Option<&Init>, line: u32) -> Result<Vec<u8>, CompileError> {
+    let Some(init) = init else {
+        return Ok(Vec::new()); // zero-initialized
+    };
+    match (ty, init) {
+        (Type::Array(el, n), Init::List(es)) => {
+            if es.len() > *n {
+                return Err(CompileError::new(line, "too many initializers"));
+            }
+            let mut out = Vec::with_capacity(el.size() * es.len());
+            for e in es {
+                let v = eval_const(e)?;
+                push_scalar(&mut out, el, v, e.line)?;
+            }
+            Ok(out)
+        }
+        (Type::Array(el, n), Init::Str(s)) => {
+            if **el != Type::Char {
+                return Err(CompileError::new(line, "string initializer on non-char array"));
+            }
+            if s.len() + 1 > *n {
+                return Err(CompileError::new(line, "string longer than array"));
+            }
+            let mut out = s.as_bytes().to_vec();
+            out.push(0);
+            Ok(out)
+        }
+        (Type::Array(..), Init::Scalar(_)) => {
+            Err(CompileError::new(line, "scalar initializer on array"))
+        }
+        (_, Init::Scalar(e)) => {
+            let v = eval_const(e)?;
+            let mut out = Vec::new();
+            push_scalar(&mut out, ty, v, e.line)?;
+            Ok(out)
+        }
+        (_, _) => Err(CompileError::new(line, "aggregate initializer on scalar")),
+    }
+}
+
+fn push_scalar(out: &mut Vec<u8>, ty: &Type, v: ConstVal, line: u32) -> Result<(), CompileError> {
+    match ty {
+        Type::Int | Type::Ptr(_) => {
+            let x = v.as_int();
+            out.extend_from_slice(&(x as i32).to_le_bytes());
+        }
+        Type::Char => out.push(v.as_int() as u8),
+        Type::Double => out.extend_from_slice(&v.as_flt().to_le_bytes()),
+        _ => return Err(CompileError::new(line, "cannot initialize this type")),
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ConstVal {
+    Int(i64),
+    Flt(f64),
+}
+
+impl ConstVal {
+    fn as_int(self) -> i64 {
+        match self {
+            ConstVal::Int(v) => v,
+            ConstVal::Flt(v) => v as i64,
+        }
+    }
+    fn as_flt(self) -> f64 {
+        match self {
+            ConstVal::Int(v) => v as f64,
+            ConstVal::Flt(v) => v,
+        }
+    }
+}
+
+/// Evaluate a constant expression (for global initializers).
+fn eval_const(e: &Expr) -> Result<ConstVal, CompileError> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok(ConstVal::Int(*v)),
+        ExprKind::FltLit(v) => Ok(ConstVal::Flt(*v)),
+        ExprKind::CharLit(v) => Ok(ConstVal::Int(*v as i64)),
+        ExprKind::Unary(UnaryOp::Neg, a) => match eval_const(a)? {
+            ConstVal::Int(v) => Ok(ConstVal::Int(-v)),
+            ConstVal::Flt(v) => Ok(ConstVal::Flt(-v)),
+        },
+        ExprKind::Cast(Type::Int, a) => Ok(ConstVal::Int(eval_const(a)?.as_int())),
+        ExprKind::Cast(Type::Double, a) => Ok(ConstVal::Flt(eval_const(a)?.as_flt())),
+        ExprKind::Binary(op, a, b) => {
+            let a = eval_const(a)?;
+            let b = eval_const(b)?;
+            let float = matches!(a, ConstVal::Flt(_)) || matches!(b, ConstVal::Flt(_));
+            if float {
+                let (x, y) = (a.as_flt(), b.as_flt());
+                let r = match op {
+                    BinaryOp::Add => x + y,
+                    BinaryOp::Sub => x - y,
+                    BinaryOp::Mul => x * y,
+                    BinaryOp::Div => x / y,
+                    _ => return Err(CompileError::new(e.line, "not a constant expression")),
+                };
+                Ok(ConstVal::Flt(r))
+            } else {
+                let (x, y) = (a.as_int(), b.as_int());
+                let r = match op {
+                    BinaryOp::Add => x.wrapping_add(y),
+                    BinaryOp::Sub => x.wrapping_sub(y),
+                    BinaryOp::Mul => x.wrapping_mul(y),
+                    BinaryOp::Div if y != 0 => x / y,
+                    BinaryOp::Shl => x << (y & 63),
+                    BinaryOp::Shr => x >> (y & 63),
+                    BinaryOp::BitAnd => x & y,
+                    BinaryOp::BitOr => x | y,
+                    BinaryOp::BitXor => x ^ y,
+                    _ => return Err(CompileError::new(e.line, "not a constant expression")),
+                };
+                Ok(ConstVal::Int(r))
+            }
+        }
+        _ => Err(CompileError::new(e.line, "not a constant expression")),
+    }
+}
+
+/// A value: an operand plus its mini-C type.
+#[derive(Debug, Clone)]
+struct Val {
+    op: Operand,
+    ty: Type,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone)]
+enum Place {
+    /// A scalar local held in a virtual register.
+    Reg(Reg, Type),
+    /// A memory location.
+    Mem(MemRef, Type),
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    Scalar(Reg, Type),
+    /// Local array at a fixed offset in the stack frame.
+    FrameArray(i64, Type),
+}
+
+struct FnCx<'a> {
+    f: Function,
+    cur: Label,
+    module: &'a mut Module,
+    globals: &'a HashMap<String, (SymId, Type)>,
+    funcs: &'a HashMap<String, FuncSig>,
+    scopes: Vec<HashMap<String, Binding>>,
+    ret_ty: Type,
+    exit: Label,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(Label, Label)>,
+    str_count: u32,
+}
+
+impl<'a> FnCx<'a> {
+    fn lower_function(
+        decl: &FuncDecl,
+        module: &'a mut Module,
+        globals: &'a HashMap<String, (SymId, Type)>,
+        funcs: &'a HashMap<String, FuncSig>,
+    ) -> Result<Function, CompileError> {
+        let n_int = decl
+            .params
+            .iter()
+            .filter(|(t, _)| t.decayed().is_integral())
+            .count();
+        let n_flt = decl.params.len() - n_int;
+        let mut f = Function::new(&decl.name, n_int, n_flt);
+        // Function::new allocates int params then float params; bind names
+        // in declaration order to the right vregs.
+        let mut int_i = 0;
+        let mut flt_i = 0;
+        let mut top = HashMap::new();
+        for (ty, name) in &decl.params {
+            let ty = ty.decayed();
+            let reg = if ty.is_integral() {
+                let r = f.params[int_i];
+                int_i += 1;
+                r
+            } else {
+                let r = f.params[n_int + flt_i];
+                flt_i += 1;
+                r
+            };
+            top.insert(name.clone(), Binding::Scalar(reg, ty));
+        }
+        if decl.ret != Type::Void {
+            let class = if decl.ret.is_double() {
+                RegClass::Flt
+            } else {
+                RegClass::Int
+            };
+            f.ret = Some(f.new_vreg(class));
+        }
+        let entry = f.entry_label();
+        let exit = f.add_block();
+        let mut cx = FnCx {
+            f,
+            cur: entry,
+            module,
+            globals,
+            funcs,
+            scopes: vec![top],
+            ret_ty: decl.ret.clone(),
+            exit,
+            loops: Vec::new(),
+            str_count: 0,
+        };
+        for s in &decl.body {
+            cx.stmt(s)?;
+        }
+        // Fall off the end: jump to the exit block.
+        cx.terminate_with_jump(cx.exit);
+        let exit = cx.exit;
+        cx.f.push(exit, InstKind::Ret);
+        Ok(cx.f)
+    }
+
+    // ---- small emission helpers ----
+
+    fn emit(&mut self, kind: InstKind) {
+        self.f.push(self.cur, kind);
+    }
+
+    /// Emit a jump unless the current block is already terminated.
+    fn terminate_with_jump(&mut self, target: Label) {
+        if self.f.block(self.cur).terminator().is_none() {
+            self.f.push(self.cur, InstKind::Jump { target });
+        }
+    }
+
+    fn new_block(&mut self) -> Label {
+        self.f.add_block()
+    }
+
+    fn vreg(&mut self, class: RegClass) -> Reg {
+        self.f.new_vreg(class)
+    }
+
+    fn class_of(ty: &Type) -> RegClass {
+        if ty.is_double() {
+            RegClass::Flt
+        } else {
+            RegClass::Int
+        }
+    }
+
+    fn force_reg(&mut self, v: &Val) -> Reg {
+        match v.op {
+            Operand::Reg(r) => r,
+            op => {
+                let r = self.vreg(Self::class_of(&v.ty));
+                self.emit(InstKind::Assign {
+                    dst: r,
+                    src: RExpr::Op(op),
+                });
+                r
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                line,
+            } => self.decl(ty, name, init.as_ref(), *line),
+            Stmt::If { cond, then, els } => {
+                let then_l = self.new_block();
+                let else_l = self.new_block();
+                let end_l = if els.is_some() {
+                    self.new_block()
+                } else {
+                    else_l
+                };
+                self.cond_branch(cond, then_l, else_l)?;
+                self.cur = then_l;
+                self.stmt(then)?;
+                self.terminate_with_jump(end_l);
+                if let Some(els_stmt) = els {
+                    self.cur = else_l;
+                    self.stmt(els_stmt)?;
+                    self.terminate_with_jump(end_l);
+                }
+                self.cur = end_l;
+                Ok(())
+            }
+            Stmt::While { cond, body } => self.lower_loop(None, Some(cond), None, body),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => self.lower_loop(init.as_ref(), cond.as_ref(), step.as_ref(), body),
+            Stmt::DoWhile { body, cond } => {
+                let body_l = self.new_block();
+                let latch_l = self.new_block();
+                let exit_l = self.new_block();
+                self.terminate_with_jump(body_l);
+                self.cur = body_l;
+                self.loops.push((latch_l, exit_l));
+                self.stmt(body)?;
+                self.loops.pop();
+                self.terminate_with_jump(latch_l);
+                self.cur = latch_l;
+                self.cond_branch(cond, body_l, exit_l)?;
+                self.cur = exit_l;
+                Ok(())
+            }
+            Stmt::Return(e, line) => {
+                if let Some(e) = e {
+                    if self.ret_ty == Type::Void {
+                        return Err(CompileError::new(*line, "void function returns a value"));
+                    }
+                    let v = self.rvalue(e)?;
+                    let v = self.convert(v, &self.ret_ty.clone())?;
+                    let ret = self.f.ret.expect("non-void function has a return register");
+                    self.emit(InstKind::Assign {
+                        dst: ret,
+                        src: RExpr::Op(v.op),
+                    });
+                } else if self.ret_ty != Type::Void {
+                    return Err(CompileError::new(*line, "missing return value"));
+                }
+                let exit = self.exit;
+                self.terminate_with_jump(exit);
+                // Continue lowering any (dead) code after the return into a
+                // fresh block.
+                self.cur = self.new_block();
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let Some(&(_, brk)) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "break outside a loop"));
+                };
+                self.terminate_with_jump(brk);
+                self.cur = self.new_block();
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let Some(&(cont, _)) = self.loops.last() else {
+                    return Err(CompileError::new(*line, "continue outside a loop"));
+                };
+                self.terminate_with_jump(cont);
+                self.cur = self.new_block();
+                Ok(())
+            }
+        }
+    }
+
+    /// Lower `for`/`while` into the guarded bottom-tested form:
+    ///
+    /// ```text
+    ///     init
+    ///     if (!cond) goto exit      -- guard
+    /// body:
+    ///     ...body...
+    /// latch:
+    ///     step
+    ///     if (cond) goto body       -- bottom test
+    /// exit:
+    /// ```
+    fn lower_loop(
+        &mut self,
+        init: Option<&Expr>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Stmt,
+    ) -> Result<(), CompileError> {
+        if let Some(init) = init {
+            self.rvalue(init)?;
+        }
+        let body_l = self.new_block();
+        let latch_l = self.new_block();
+        let exit_l = self.new_block();
+        match cond {
+            Some(c) => self.cond_branch(c, body_l, exit_l)?,
+            None => self.terminate_with_jump(body_l),
+        }
+        self.cur = body_l;
+        self.loops.push((latch_l, exit_l));
+        self.stmt(body)?;
+        self.loops.pop();
+        self.terminate_with_jump(latch_l);
+        self.cur = latch_l;
+        if let Some(step) = step {
+            self.rvalue(step)?;
+        }
+        match cond {
+            Some(c) => self.cond_branch(c, body_l, exit_l)?,
+            None => self.terminate_with_jump(body_l),
+        }
+        self.cur = exit_l;
+        Ok(())
+    }
+
+    fn decl(
+        &mut self,
+        ty: &Type,
+        name: &str,
+        init: Option<&Expr>,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let binding = match ty {
+            Type::Array(..) => {
+                // Align the frame slot for the element type.
+                let align = base_align(ty) as i64;
+                let off = (self.f.frame_size + align - 1) / align * align;
+                self.f.frame_size = off + ty.size() as i64;
+                if init.is_some() {
+                    return Err(CompileError::new(line, "local array initializers unsupported"));
+                }
+                Binding::FrameArray(off, ty.clone())
+            }
+            Type::Void => return Err(CompileError::new(line, "cannot declare void variable")),
+            _ => {
+                let reg = self.vreg(Self::class_of(ty));
+                if let Some(e) = init {
+                    let v = self.rvalue(e)?;
+                    let v = self.convert(v, ty)?;
+                    self.emit(InstKind::Assign {
+                        dst: reg,
+                        src: RExpr::Op(v.op),
+                    });
+                }
+                Binding::Scalar(reg, ty.clone())
+            }
+        };
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), binding);
+        Ok(())
+    }
+
+    // ---- conditions ----
+
+    /// Lower `e` as a condition, branching to `t` if true and `f` if false.
+    fn cond_branch(&mut self, e: &Expr, t: Label, f: Label) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Binary(BinaryOp::LogAnd, a, b) => {
+                let mid = self.new_block();
+                self.cond_branch(a, mid, f)?;
+                self.cur = mid;
+                self.cond_branch(b, t, f)
+            }
+            ExprKind::Binary(BinaryOp::LogOr, a, b) => {
+                let mid = self.new_block();
+                self.cond_branch(a, t, mid)?;
+                self.cur = mid;
+                self.cond_branch(b, t, f)
+            }
+            ExprKind::Unary(UnaryOp::LogNot, a) => self.cond_branch(a, f, t),
+            ExprKind::Binary(op, a, b) if op.is_comparison() => {
+                let (cmp, va, vb) = self.compare_operands(*op, a, b)?;
+                let class = Self::class_of(&va.ty);
+                self.emit(InstKind::Compare {
+                    class,
+                    op: cmp,
+                    a: va.op,
+                    b: vb.op,
+                });
+                self.emit(InstKind::Branch {
+                    class,
+                    when: true,
+                    target: t,
+                    els: f,
+                });
+                Ok(())
+            }
+            _ => {
+                let v = self.rvalue(e)?;
+                let class = Self::class_of(&v.ty);
+                let zero = if class == RegClass::Flt {
+                    Operand::FImm(0.0)
+                } else {
+                    Operand::Imm(0)
+                };
+                self.emit(InstKind::Compare {
+                    class,
+                    op: CmpOp::Ne,
+                    a: v.op,
+                    b: zero,
+                });
+                self.emit(InstKind::Branch {
+                    class,
+                    when: true,
+                    target: t,
+                    els: f,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate comparison operands with the usual arithmetic conversions.
+    fn compare_operands(
+        &mut self,
+        op: BinaryOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<(CmpOp, Val, Val), CompileError> {
+        let va = self.rvalue(a)?;
+        let vb = self.rvalue(b)?;
+        let (va, vb) = self.usual_conversions(va, vb)?;
+        let cmp = match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::Ne => CmpOp::Ne,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::Le => CmpOp::Le,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::Ge => CmpOp::Ge,
+            _ => unreachable!("not a comparison"),
+        };
+        Ok((cmp, va, vb))
+    }
+
+    // ---- expressions ----
+
+    fn rvalue(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Val {
+                op: Operand::Imm(*v),
+                ty: Type::Int,
+            }),
+            ExprKind::CharLit(v) => Ok(Val {
+                op: Operand::Imm(*v as i64),
+                ty: Type::Int,
+            }),
+            ExprKind::FltLit(v) => Ok(Val {
+                op: Operand::FImm(*v),
+                ty: Type::Double,
+            }),
+            ExprKind::StrLit(s) => {
+                let sym = self.intern_string(s);
+                let r = self.vreg(RegClass::Int);
+                self.emit(InstKind::LoadAddr {
+                    dst: r,
+                    sym,
+                    disp: 0,
+                });
+                Ok(Val {
+                    op: r.into(),
+                    ty: Type::Ptr(Box::new(Type::Char)),
+                })
+            }
+            ExprKind::Var(name) => self.var_rvalue(name, e.line),
+            ExprKind::Index(..) | ExprKind::Unary(UnaryOp::Deref, _) => {
+                let place = self.place(e)?;
+                Ok(self.load_place(place))
+            }
+            ExprKind::Unary(UnaryOp::AddrOf, inner) => self.addr_of(inner),
+            ExprKind::Unary(UnaryOp::Neg, a) => {
+                let v = self.rvalue(a)?;
+                match v.op {
+                    Operand::Imm(x) => Ok(Val {
+                        op: Operand::Imm(-x),
+                        ty: v.ty,
+                    }),
+                    Operand::FImm(x) => Ok(Val {
+                        op: Operand::FImm(-x),
+                        ty: v.ty,
+                    }),
+                    _ => {
+                        let (un, class) = if v.ty.is_double() {
+                            (UnOp::FNeg, RegClass::Flt)
+                        } else {
+                            (UnOp::Neg, RegClass::Int)
+                        };
+                        let r = self.vreg(class);
+                        self.emit(InstKind::Assign {
+                            dst: r,
+                            src: RExpr::Un(un, v.op),
+                        });
+                        Ok(Val { op: r.into(), ty: v.ty })
+                    }
+                }
+            }
+            ExprKind::Unary(UnaryOp::BitNot, a) => {
+                let v = self.rvalue(a)?;
+                if !v.ty.is_integral() {
+                    return Err(CompileError::new(e.line, "~ requires an integer"));
+                }
+                let r = self.vreg(RegClass::Int);
+                self.emit(InstKind::Assign {
+                    dst: r,
+                    src: RExpr::Un(UnOp::Not, v.op),
+                });
+                Ok(Val {
+                    op: r.into(),
+                    ty: Type::Int,
+                })
+            }
+            ExprKind::Unary(UnaryOp::LogNot, _)
+            | ExprKind::Binary(BinaryOp::LogAnd, ..)
+            | ExprKind::Binary(BinaryOp::LogOr, ..) => self.bool_value(e),
+            ExprKind::Binary(op, a, b) if op.is_comparison() => self.bool_value(e),
+            ExprKind::Binary(op, a, b) => self.arith(*op, a, b, e.line),
+            ExprKind::Assign(op, lhs, rhs) => self.assign(*op, lhs, rhs, e.line),
+            ExprKind::IncDec { target, inc, post } => self.inc_dec(target, *inc, *post, e.line),
+            ExprKind::Cond(c, t, f) => {
+                let then_l = self.new_block();
+                let else_l = self.new_block();
+                let end_l = self.new_block();
+                self.cond_branch(c, then_l, else_l)?;
+                // Evaluate both arms into a common register. Determine the
+                // result type from the arms: double if either is double.
+                self.cur = then_l;
+                let vt = self.rvalue(t)?;
+                let t_blocks_end = self.cur;
+                self.cur = else_l;
+                let vf = self.rvalue(f)?;
+                let f_blocks_end = self.cur;
+                let ty = if vt.ty.is_double() || vf.ty.is_double() {
+                    Type::Double
+                } else {
+                    vt.ty.clone()
+                };
+                let r = self.vreg(Self::class_of(&ty));
+                self.cur = t_blocks_end;
+                let vt = self.convert(vt, &ty)?;
+                self.emit(InstKind::Assign {
+                    dst: r,
+                    src: RExpr::Op(vt.op),
+                });
+                self.terminate_with_jump(end_l);
+                self.cur = f_blocks_end;
+                let vf = self.convert(vf, &ty)?;
+                self.emit(InstKind::Assign {
+                    dst: r,
+                    src: RExpr::Op(vf.op),
+                });
+                self.terminate_with_jump(end_l);
+                self.cur = end_l;
+                Ok(Val { op: r.into(), ty })
+            }
+            ExprKind::Cast(ty, a) => {
+                let v = self.rvalue(a)?;
+                let mut out = self.convert(v, ty)?;
+                if *ty == Type::Char {
+                    // (char) masks to a byte.
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Bin(BinOp::And, out.op, Operand::Imm(0xff)),
+                    });
+                    out = Val {
+                        op: r.into(),
+                        ty: Type::Int,
+                    };
+                }
+                Ok(out)
+            }
+            ExprKind::Call(name, args) => self.call(name, args, e.line),
+        }
+    }
+
+    fn var_rvalue(&mut self, name: &str, line: u32) -> Result<Val, CompileError> {
+        if let Some(b) = self.lookup(name).cloned() {
+            return Ok(match b {
+                Binding::Scalar(r, ty) => Val { op: r.into(), ty },
+                Binding::FrameArray(off, ty) => {
+                    // Array decays to a pointer: sp + off.
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Bin(BinOp::Add, Reg::sp().into(), Operand::Imm(off)),
+                    });
+                    Val {
+                        op: r.into(),
+                        ty: ty.decayed(),
+                    }
+                }
+            });
+        }
+        if let Some((sym, ty)) = self.globals.get(name).cloned() {
+            return Ok(match ty {
+                Type::Array(..) => {
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::LoadAddr {
+                        dst: r,
+                        sym,
+                        disp: 0,
+                    });
+                    Val {
+                        op: r.into(),
+                        ty: ty.decayed(),
+                    }
+                }
+                _ => {
+                    let width = width_of(&ty);
+                    let r = self.vreg(Self::class_of(&ty));
+                    self.emit(InstKind::GLoad {
+                        dst: r,
+                        mem: MemRef::sym(sym, 0, width),
+                    });
+                    let ty = if ty == Type::Char { Type::Int } else { ty };
+                    Val { op: r.into(), ty }
+                }
+            });
+        }
+        Err(CompileError::new(line, format!("unknown variable {name}")))
+    }
+
+    fn intern_string(&mut self, s: &str) -> SymId {
+        let name = format!("str.{}.{}", self.f.name, self.str_count);
+        self.str_count += 1;
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.module
+            .add_data(name, bytes.len() as u64, 1, bytes)
+    }
+
+    /// Compute the address of an lvalue (`&e`).
+    fn addr_of(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        let place = self.place(e)?;
+        match place {
+            Place::Reg(..) => Err(CompileError::new(
+                e.line,
+                "cannot take the address of a register variable",
+            )),
+            Place::Mem(mem, ty) => {
+                let r = self.materialize_address(&mem);
+                Ok(Val {
+                    op: r.into(),
+                    ty: Type::Ptr(Box::new(ty)),
+                })
+            }
+        }
+    }
+
+    fn materialize_address(&mut self, mem: &MemRef) -> Reg {
+        // Start from the symbolic or register base.
+        let mut cur: Option<Reg> = None;
+        if let Some(sym) = mem.sym {
+            let r = self.vreg(RegClass::Int);
+            self.emit(InstKind::LoadAddr {
+                dst: r,
+                sym,
+                disp: 0,
+            });
+            cur = Some(r);
+        }
+        if let Some(base) = mem.base {
+            cur = Some(match cur {
+                None => base,
+                Some(c) => {
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Bin(BinOp::Add, c.into(), base.into()),
+                    });
+                    r
+                }
+            });
+        }
+        if let Some((idx, scale)) = mem.index {
+            let scaled: Operand = if scale == 0 {
+                idx.into()
+            } else {
+                let r = self.vreg(RegClass::Int);
+                self.emit(InstKind::Assign {
+                    dst: r,
+                    src: RExpr::Bin(BinOp::Shl, idx.into(), Operand::Imm(scale as i64)),
+                });
+                r.into()
+            };
+            let r = self.vreg(RegClass::Int);
+            let base: Operand = cur.map(Operand::Reg).unwrap_or(Operand::Imm(0));
+            self.emit(InstKind::Assign {
+                dst: r,
+                src: RExpr::Bin(BinOp::Add, base, scaled),
+            });
+            cur = Some(r);
+        }
+        let mut r = cur.unwrap_or_else(|| {
+            let r = self.vreg(RegClass::Int);
+            self.emit(InstKind::Assign {
+                dst: r,
+                src: RExpr::Op(Operand::Imm(0)),
+            });
+            r
+        });
+        if mem.disp != 0 {
+            let d = self.vreg(RegClass::Int);
+            self.emit(InstKind::Assign {
+                dst: d,
+                src: RExpr::Bin(BinOp::Add, r.into(), Operand::Imm(mem.disp)),
+            });
+            r = d;
+        }
+        r
+    }
+
+    /// Resolve an lvalue expression into a place.
+    fn place(&mut self, e: &Expr) -> Result<Place, CompileError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if let Some(b) = self.lookup(name).cloned() {
+                    return Ok(match b {
+                        Binding::Scalar(r, ty) => Place::Reg(r, ty),
+                        Binding::FrameArray(off, ty) => {
+                            let el = ty.element().expect("array binding").clone();
+                            Place::Mem(
+                                MemRef::base(Reg::sp(), off, width_of(&el)),
+                                el,
+                            )
+                        }
+                    });
+                }
+                if let Some((sym, ty)) = self.globals.get(name).cloned() {
+                    let width = width_of(&ty);
+                    return Ok(Place::Mem(MemRef::sym(sym, 0, width), ty));
+                }
+                Err(CompileError::new(e.line, format!("unknown variable {name}")))
+            }
+            ExprKind::Index(base, idx) => self.index_place(base, idx, e.line),
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                let p = self.rvalue(inner)?;
+                let el = p
+                    .ty
+                    .element()
+                    .ok_or_else(|| CompileError::new(e.line, "dereference of non-pointer"))?
+                    .clone();
+                let base = self.force_reg(&p);
+                Ok(Place::Mem(MemRef::base(base, 0, width_of(&el)), el))
+            }
+            _ => Err(CompileError::new(e.line, "expression is not assignable")),
+        }
+    }
+
+    /// Resolve `base[idx]` into a memory place.
+    fn index_place(&mut self, base: &Expr, idx: &Expr, line: u32) -> Result<Place, CompileError> {
+        // Global array indexed directly: use the symbolic form so the
+        // optimizer sees `_x + i<<3` style references. Local frame arrays
+        // similarly index straight off the stack pointer.
+        if let ExprKind::Var(name) = &base.kind {
+            match self.lookup(name).cloned() {
+                Some(Binding::FrameArray(off, Type::Array(el, _))) => {
+                    return self.finish_index(
+                        MemRef::base(Reg::sp(), off, width_of(&el)),
+                        *el,
+                        idx,
+                        line,
+                    );
+                }
+                None => {
+                    if let Some((sym, Type::Array(el, _))) = self.globals.get(name).cloned() {
+                        return self.finish_index(
+                            MemRef::sym(sym, 0, width_of(&el)),
+                            *el,
+                            idx,
+                            line,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        let b = self.rvalue(base)?;
+        let el = b
+            .ty
+            .element()
+            .ok_or_else(|| CompileError::new(line, "indexing a non-pointer"))?
+            .clone();
+        let base_reg = self.force_reg(&b);
+        self.finish_index(MemRef::base(base_reg, 0, width_of(&el)), el, idx, line)
+    }
+
+    fn finish_index(
+        &mut self,
+        mut mem: MemRef,
+        el: Type,
+        idx: &Expr,
+        line: u32,
+    ) -> Result<Place, CompileError> {
+        let iv = self.rvalue(idx)?;
+        if !iv.ty.is_integral() {
+            return Err(CompileError::new(line, "array subscript must be an integer"));
+        }
+        match iv.op {
+            Operand::Imm(k) => {
+                mem.disp += k * el.size() as i64;
+            }
+            _ => {
+                let r = self.force_reg(&iv);
+                let scale = el.size().trailing_zeros() as u8;
+                mem.index = Some((r, scale));
+            }
+        }
+        Ok(Place::Mem(mem, el))
+    }
+
+    fn load_place(&mut self, place: Place) -> Val {
+        match place {
+            Place::Reg(r, ty) => Val { op: r.into(), ty },
+            Place::Mem(mem, ty) => {
+                let r = self.vreg(Self::class_of(&ty));
+                self.emit(InstKind::GLoad { dst: r, mem });
+                // chars widen to int when loaded
+                let ty = if ty == Type::Char { Type::Int } else { ty };
+                Val { op: r.into(), ty }
+            }
+        }
+    }
+
+    fn store_place(&mut self, place: &Place, v: Val) -> Result<Val, CompileError> {
+        match place {
+            Place::Reg(r, ty) => {
+                let v = self.convert(v, ty)?;
+                self.emit(InstKind::Assign {
+                    dst: *r,
+                    src: RExpr::Op(v.op),
+                });
+                Ok(Val {
+                    op: (*r).into(),
+                    ty: ty.clone(),
+                })
+            }
+            Place::Mem(mem, ty) => {
+                let v = self.convert(v, ty)?;
+                self.emit(InstKind::GStore {
+                    src: v.op,
+                    mem: mem.clone(),
+                });
+                Ok(v)
+            }
+        }
+    }
+
+    // ---- conversions ----
+
+    /// Convert `v` to type `to` (int↔double, char→int; pointers pass
+    /// through as integers).
+    fn convert(&mut self, v: Val, to: &Type) -> Result<Val, CompileError> {
+        let to = to.clone();
+        if v.ty.is_double() == to.is_double() {
+            return Ok(Val { op: v.op, ty: to });
+        }
+        if to.is_double() {
+            // int -> double
+            let op = match v.op {
+                Operand::Imm(x) => Operand::FImm(x as f64),
+                op => {
+                    let r = self.vreg(RegClass::Flt);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Un(UnOp::IntToFlt, op),
+                    });
+                    r.into()
+                }
+            };
+            Ok(Val { op, ty: to })
+        } else {
+            // double -> int
+            let op = match v.op {
+                Operand::FImm(x) => Operand::Imm(x as i64),
+                op => {
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Un(UnOp::FltToInt, op),
+                    });
+                    r.into()
+                }
+            };
+            Ok(Val { op, ty: to })
+        }
+    }
+
+    /// The usual arithmetic conversions: if either side is double, both
+    /// become double.
+    fn usual_conversions(&mut self, a: Val, b: Val) -> Result<(Val, Val), CompileError> {
+        if a.ty.is_double() || b.ty.is_double() {
+            let a = self.convert(a, &Type::Double)?;
+            let b = self.convert(b, &Type::Double)?;
+            Ok((a, b))
+        } else {
+            Ok((a, b))
+        }
+    }
+
+    // ---- operators ----
+
+    fn arith(&mut self, op: BinaryOp, a: &Expr, b: &Expr, line: u32) -> Result<Val, CompileError> {
+        let va = self.rvalue(a)?;
+        let vb = self.rvalue(b)?;
+
+        // Pointer arithmetic: p + i and p - i scale by the element size.
+        if let Some(el) = va.ty.element().cloned() {
+            if matches!(op, BinaryOp::Add | BinaryOp::Sub) && vb.ty.is_integral() {
+                return self.pointer_arith(op, va, vb, el, line);
+            }
+        }
+        if let Some(el) = vb.ty.element().cloned() {
+            if op == BinaryOp::Add && va.ty.is_integral() {
+                return self.pointer_arith(op, vb, va, el, line);
+            }
+        }
+
+        let (va, vb) = self.usual_conversions(va, vb)?;
+        let double = va.ty.is_double();
+        let bin = match (op, double) {
+            (BinaryOp::Add, false) => BinOp::Add,
+            (BinaryOp::Sub, false) => BinOp::Sub,
+            (BinaryOp::Mul, false) => BinOp::Mul,
+            (BinaryOp::Div, false) => BinOp::Div,
+            (BinaryOp::Rem, false) => BinOp::Rem,
+            (BinaryOp::Shl, false) => BinOp::Shl,
+            (BinaryOp::Shr, false) => BinOp::Shr,
+            (BinaryOp::BitAnd, false) => BinOp::And,
+            (BinaryOp::BitOr, false) => BinOp::Or,
+            (BinaryOp::BitXor, false) => BinOp::Xor,
+            (BinaryOp::Add, true) => BinOp::FAdd,
+            (BinaryOp::Sub, true) => BinOp::FSub,
+            (BinaryOp::Mul, true) => BinOp::FMul,
+            (BinaryOp::Div, true) => BinOp::FDiv,
+            _ => {
+                return Err(CompileError::new(
+                    line,
+                    format!("operator {op:?} not defined for these operands"),
+                ))
+            }
+        };
+        // Constant folding at lowering keeps the naive code tidy; the
+        // optimizer folds anything that remains.
+        if let (Operand::Imm(x), Operand::Imm(y)) = (va.op, vb.op) {
+            if let Some(v) = bin.fold_int(x, y) {
+                return Ok(Val {
+                    op: Operand::Imm(v),
+                    ty: va.ty,
+                });
+            }
+        }
+        let class = if double { RegClass::Flt } else { RegClass::Int };
+        let r = self.vreg(class);
+        self.emit(InstKind::Assign {
+            dst: r,
+            src: RExpr::Bin(bin, va.op, vb.op),
+        });
+        Ok(Val {
+            op: r.into(),
+            ty: va.ty,
+        })
+    }
+
+    fn pointer_arith(
+        &mut self,
+        op: BinaryOp,
+        ptr: Val,
+        int: Val,
+        el: Type,
+        _line: u32,
+    ) -> Result<Val, CompileError> {
+        let size = el.size() as i64;
+        let scaled: Operand = match int.op {
+            Operand::Imm(k) => Operand::Imm(k * size),
+            _ => {
+                let i = self.force_reg(&int);
+                if size == 1 {
+                    i.into()
+                } else {
+                    let r = self.vreg(RegClass::Int);
+                    self.emit(InstKind::Assign {
+                        dst: r,
+                        src: RExpr::Bin(
+                            BinOp::Shl,
+                            i.into(),
+                            Operand::Imm(size.trailing_zeros() as i64),
+                        ),
+                    });
+                    r.into()
+                }
+            }
+        };
+        let bin = if op == BinaryOp::Add {
+            BinOp::Add
+        } else {
+            BinOp::Sub
+        };
+        let r = self.vreg(RegClass::Int);
+        self.emit(InstKind::Assign {
+            dst: r,
+            src: RExpr::Bin(bin, ptr.op, scaled),
+        });
+        Ok(Val {
+            op: r.into(),
+            ty: ptr.ty,
+        })
+    }
+
+    /// Materialize a boolean-valued expression as 0/1.
+    fn bool_value(&mut self, e: &Expr) -> Result<Val, CompileError> {
+        let one_l = self.new_block();
+        let zero_l = self.new_block();
+        let end_l = self.new_block();
+        let r = self.vreg(RegClass::Int);
+        self.cond_branch(e, one_l, zero_l)?;
+        self.cur = one_l;
+        self.emit(InstKind::Assign {
+            dst: r,
+            src: RExpr::Op(Operand::Imm(1)),
+        });
+        self.terminate_with_jump(end_l);
+        self.cur = zero_l;
+        self.emit(InstKind::Assign {
+            dst: r,
+            src: RExpr::Op(Operand::Imm(0)),
+        });
+        self.terminate_with_jump(end_l);
+        self.cur = end_l;
+        Ok(Val {
+            op: r.into(),
+            ty: Type::Int,
+        })
+    }
+
+    fn assign(
+        &mut self,
+        op: AssignOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<Val, CompileError> {
+        let place = self.place(lhs)?;
+        let rv = self.rvalue(rhs)?;
+        let v = if op == AssignOp::Eq {
+            rv
+        } else {
+            let old = self.load_place(place.clone());
+            let (old, rv) = self.usual_conversions(old, rv)?;
+            let double = old.ty.is_double();
+            let bin = match (op, double) {
+                (AssignOp::Add, false) => BinOp::Add,
+                (AssignOp::Sub, false) => BinOp::Sub,
+                (AssignOp::Mul, false) => BinOp::Mul,
+                (AssignOp::Div, false) => BinOp::Div,
+                (AssignOp::Rem, false) => BinOp::Rem,
+                (AssignOp::Add, true) => BinOp::FAdd,
+                (AssignOp::Sub, true) => BinOp::FSub,
+                (AssignOp::Mul, true) => BinOp::FMul,
+                (AssignOp::Div, true) => BinOp::FDiv,
+                (AssignOp::Rem, true) => {
+                    return Err(CompileError::new(line, "%= requires integers"))
+                }
+                (AssignOp::Eq, _) => unreachable!(),
+            };
+            let class = if double { RegClass::Flt } else { RegClass::Int };
+            let r = self.vreg(class);
+            self.emit(InstKind::Assign {
+                dst: r,
+                src: RExpr::Bin(bin, old.op, rv.op),
+            });
+            Val {
+                op: r.into(),
+                ty: old.ty,
+            }
+        };
+        self.store_place(&place, v)
+    }
+
+    fn inc_dec(
+        &mut self,
+        target: &Expr,
+        inc: bool,
+        post: bool,
+        _line: u32,
+    ) -> Result<Val, CompileError> {
+        let place = self.place(target)?;
+        let old = self.load_place(place.clone());
+        let step: i64 = match old.ty.element() {
+            Some(el) => el.size() as i64,
+            None => 1,
+        };
+        let bin = if old.ty.is_double() {
+            if inc {
+                BinOp::FAdd
+            } else {
+                BinOp::FSub
+            }
+        } else if inc {
+            BinOp::Add
+        } else {
+            BinOp::Sub
+        };
+        let step_op = if old.ty.is_double() {
+            Operand::FImm(step as f64)
+        } else {
+            Operand::Imm(step)
+        };
+        let class = Self::class_of(&old.ty);
+        if let Place::Reg(r, ty) = &place {
+            // Update register variables in place (`i := (i) + 1`), which is
+            // the basic-induction-variable shape the loop analyses expect.
+            let ty = ty.clone();
+            let oldv = if post {
+                let o = self.vreg(class);
+                self.emit(InstKind::Assign {
+                    dst: o,
+                    src: RExpr::Op(old.op),
+                });
+                Some(o)
+            } else {
+                None
+            };
+            let r = *r;
+            self.emit(InstKind::Assign {
+                dst: r,
+                src: RExpr::Bin(bin, r.into(), step_op),
+            });
+            return Ok(Val {
+                op: match oldv {
+                    Some(o) => o.into(),
+                    None => r.into(),
+                },
+                ty,
+            });
+        }
+        let newv = self.vreg(class);
+        // Keep the old value in its own register so post-increment returns
+        // it even when the place is the same register.
+        let oldv = self.vreg(class);
+        self.emit(InstKind::Assign {
+            dst: oldv,
+            src: RExpr::Op(old.op),
+        });
+        self.emit(InstKind::Assign {
+            dst: newv,
+            src: RExpr::Bin(bin, oldv.into(), step_op),
+        });
+        self.store_place(
+            &place,
+            Val {
+                op: newv.into(),
+                ty: old.ty.clone(),
+            },
+        )?;
+        Ok(Val {
+            op: if post { oldv.into() } else { newv.into() },
+            ty: old.ty,
+        })
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<Val, CompileError> {
+        let sig = self
+            .funcs
+            .get(name)
+            .ok_or_else(|| CompileError::new(line, format!("unknown function {name}")))?
+            .clone();
+        if args.len() != sig.params.len() {
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "{name} expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut arg_regs = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let v = self.rvalue(a)?;
+            let v = self.convert(v, pty)?;
+            let r = self.vreg(Self::class_of(pty));
+            self.emit(InstKind::Assign {
+                dst: r,
+                src: RExpr::Op(v.op),
+            });
+            arg_regs.push(r);
+        }
+        let ret = if sig.ret == Type::Void {
+            None
+        } else {
+            Some(self.vreg(Self::class_of(&sig.ret)))
+        };
+        self.emit(InstKind::Call {
+            callee: sig.sym,
+            args: arg_regs,
+            ret,
+        });
+        Ok(match ret {
+            Some(r) => Val {
+                op: r.into(),
+                ty: sig.ret,
+            },
+            None => Val {
+                op: Operand::Imm(0),
+                ty: Type::Void,
+            },
+        })
+    }
+}
+
+fn width_of(ty: &Type) -> Width {
+    match ty {
+        Type::Char => Width::B1,
+        Type::Double => Width::D8,
+        Type::Int | Type::Ptr(_) => Width::W4,
+        Type::Void => Width::W4,
+        Type::Array(el, _) => width_of(el),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Module {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn livermore_loop5_lowers() {
+        let m = lower_src(
+            r"
+            double x[1000]; double y[1000]; double z[1000];
+            void loop5(int n) {
+                int i;
+                for (i = 2; i < n; i++)
+                    x[i] = z[i] * (y[i] - x[i-1]);
+            }
+        ",
+        );
+        let f = m.function_named("loop5").unwrap();
+        // guarded bottom-tested loop: entry, exit, body, latch, loop-exit
+        assert!(f.blocks.len() >= 5);
+        // four memory references in the loop body
+        let mems: usize = f
+            .insts()
+            .filter(|i| i.kind.mem_access().is_some())
+            .count();
+        assert_eq!(mems, 4);
+        let listing = f.display(Some(&m)).to_string();
+        assert!(listing.contains("_x"), "{listing}");
+    }
+
+    #[test]
+    fn returns_and_conversions() {
+        let m = lower_src("double half(int n) { return n / 2; }");
+        let f = m.function_named("half").unwrap();
+        assert!(f.ret.is_some());
+        // must contain an IntToFlt conversion
+        assert!(f.insts().any(|i| matches!(
+            &i.kind,
+            InstKind::Assign {
+                src: RExpr::Un(UnOp::IntToFlt, _),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn pointer_walk() {
+        let m = lower_src(
+            "int strcpy0(char *d, char *s) { while ((*d++ = *s++)) ; return 0; }",
+        );
+        let f = m.function_named("strcpy0").unwrap();
+        let loads = f
+            .insts()
+            .filter(|i| matches!(i.kind, InstKind::GLoad { .. }))
+            .count();
+        let stores = f
+            .insts()
+            .filter(|i| matches!(i.kind, InstKind::GStore { .. }))
+            .count();
+        assert!(loads >= 1 && stores >= 1);
+    }
+
+    #[test]
+    fn calls_and_builtins() {
+        let m = lower_src("void emit(int c) { putchar(c + 1); }");
+        let f = m.function_named("emit").unwrap();
+        assert!(f
+            .insts()
+            .any(|i| matches!(i.kind, InstKind::Call { .. })));
+    }
+
+    #[test]
+    fn global_initializers() {
+        let m = lower_src(r#"int tab[] = {1,2,3}; double pi = 3.5; char msg[] = "ab";"#);
+        match &m.global(m.lookup("tab").unwrap()).kind {
+            wm_ir::GlobalKind::Data { size, init, .. } => {
+                assert_eq!(*size, 12);
+                assert_eq!(init, &vec![1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]);
+            }
+            _ => unreachable!(),
+        }
+        match &m.global(m.lookup("pi").unwrap()).kind {
+            wm_ir::GlobalKind::Data { init, .. } => {
+                assert_eq!(init, &3.5f64.to_le_bytes().to_vec());
+            }
+            _ => unreachable!(),
+        }
+        match &m.global(m.lookup("msg").unwrap()).kind {
+            wm_ir::GlobalKind::Data { size, init, .. } => {
+                assert_eq!(*size, 3);
+                assert_eq!(init, b"ab\0");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn local_arrays_use_the_frame() {
+        let m = lower_src("int f() { int a[10]; a[3] = 7; return a[3]; }");
+        let f = m.function_named("f").unwrap();
+        assert_eq!(f.frame_size, 40);
+        assert!(f.insts().any(|i| matches!(
+            &i.kind,
+            InstKind::GStore { mem, .. } if mem.base == Some(Reg::sp())
+        )));
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let p = parse("int f() { return g(); }").unwrap();
+        assert!(lower(&p).is_err());
+        let p = parse("void f() { return 1; }").unwrap();
+        assert!(lower(&p).is_err());
+        let p = parse("int f() { break; }").unwrap();
+        assert!(lower(&p).is_err());
+        let p = parse("int f(int x) { int *p; p = &x; return 0; }").unwrap();
+        assert!(lower(&p).is_err(), "address of register variable");
+    }
+
+    #[test]
+    fn short_circuit_and_ternary() {
+        let m = lower_src(
+            "int f(int a, int b) { int c; c = a && b; return c ? a : b; }",
+        );
+        let f = m.function_named("f").unwrap();
+        assert!(f.blocks.len() >= 6);
+    }
+
+    #[test]
+    fn string_literals_become_globals() {
+        let m = lower_src(r#"void f() { putstr("hi"); } void putstr(char *s) { }"#);
+        assert!(m.lookup("str.f.0").is_some());
+    }
+
+    #[test]
+    fn compound_assign_and_incdec() {
+        let m = lower_src(
+            "int sum(int *a, int n) { int s; int i; s = 0; for (i = 0; i < n; i++) s += a[i]; return s; }",
+        );
+        let f = m.function_named("sum").unwrap();
+        assert!(f.insts().any(|i| matches!(
+            &i.kind,
+            InstKind::Assign { src: RExpr::Bin(BinOp::Add, _, _), .. }
+        )));
+    }
+}

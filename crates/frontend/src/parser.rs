@@ -1,0 +1,763 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parse mini-C source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
+}
+
+/// Maximum expression/statement nesting depth. Recursive descent uses the
+/// host stack; beyond this the parser reports an error instead of
+/// overflowing.
+const MAX_DEPTH: usize = 120;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), CompileError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError::new(self.line(), msg.into()))
+    }
+
+    fn enter(&mut self) -> Result<(), CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(CompileError::new(self.line(), "nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    // ---- types ----
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwChar | TokenKind::KwDouble | TokenKind::KwVoid
+        )
+    }
+
+    fn base_type(&mut self) -> Result<Type, CompileError> {
+        let t = match self.bump() {
+            TokenKind::KwInt => Type::Int,
+            TokenKind::KwChar => Type::Char,
+            TokenKind::KwDouble => Type::Double,
+            TokenKind::KwVoid => Type::Void,
+            other => {
+                return Err(CompileError::new(
+                    self.line(),
+                    format!("expected type, found {other:?}"),
+                ))
+            }
+        };
+        Ok(t)
+    }
+
+    fn pointered(&mut self, mut t: Type) -> Type {
+        while self.eat(&TokenKind::Star) {
+            t = Type::Ptr(Box::new(t));
+        }
+        t
+    }
+
+    // ---- program structure ----
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        if !self.is_type_start() {
+            return self.error("expected a declaration");
+        }
+        let base = self.base_type()?;
+        let ty = self.pointered(base);
+        let name = self.ident()?;
+        if *self.peek() == TokenKind::LParen {
+            self.func(ty, name, line).map(Item::Func)
+        } else {
+            self.global(ty, name, line)
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn func(&mut self, ret: Type, name: String, line: u32) -> Result<FuncDecl, CompileError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            if *self.peek() == TokenKind::KwVoid
+                && self.tokens[self.pos + 1].kind == TokenKind::RParen
+            {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    let base = self.base_type()?;
+                    let ty = self.pointered(base);
+                    let pname = self.ident()?;
+                    // `double a[]` parameter form decays to pointer
+                    let ty = if self.eat(&TokenKind::LBracket) {
+                        self.expect(&TokenKind::RBracket, "']'")?;
+                        Type::Ptr(Box::new(ty))
+                    } else {
+                        ty
+                    };
+                    params.push((ty, pname));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "')'")?;
+            }
+        }
+        // a trailing semicolon makes this a prototype
+        if self.eat(&TokenKind::Semi) {
+            return Ok(FuncDecl {
+                name,
+                ret,
+                params,
+                body: Vec::new(),
+                line,
+                is_prototype: true,
+            });
+        }
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+            line,
+            is_prototype: false,
+        })
+    }
+
+    fn global(&mut self, ty: Type, name: String, line: u32) -> Result<Item, CompileError> {
+        // optional array declarator
+        let ty = if self.eat(&TokenKind::LBracket) {
+            if self.eat(&TokenKind::RBracket) {
+                // size from initializer
+                Type::Array(Box::new(ty), 0)
+            } else {
+                let n = self.const_index()?;
+                self.expect(&TokenKind::RBracket, "']'")?;
+                Type::Array(Box::new(ty), n)
+            }
+        } else {
+            ty
+        };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "';'")?;
+        // fix up unsized arrays from initializer length
+        let ty = match (&ty, &init) {
+            (Type::Array(el, 0), Some(Init::Str(s))) => {
+                Type::Array(el.clone(), s.len() + 1)
+            }
+            (Type::Array(el, 0), Some(Init::List(es))) => Type::Array(el.clone(), es.len()),
+            _ => ty,
+        };
+        Ok(Item::Global {
+            ty,
+            name,
+            init,
+            line,
+        })
+    }
+
+    fn const_index(&mut self) -> Result<usize, CompileError> {
+        // Array sizes must be integer literals (possibly a product like
+        // `100 * 1000` is *not* supported; keep declarations simple).
+        match self.bump() {
+            TokenKind::IntLit(v) if v >= 0 => Ok(v as usize),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected constant array size, found {other:?}"),
+            )),
+        }
+    }
+
+    fn initializer(&mut self) -> Result<Init, CompileError> {
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                self.bump();
+                let mut es = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        es.push(self.assignment()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        if *self.peek() == TokenKind::RBrace {
+                            break; // trailing comma
+                        }
+                    }
+                    self.expect(&TokenKind::RBrace, "'}'")?;
+                }
+                Ok(Init::List(es))
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Init::Str(s))
+            }
+            _ => Ok(Init::Scalar(self.assignment()?)),
+        }
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    body.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(body))
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&TokenKind::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                if !self.eat(&TokenKind::KwWhile) {
+                    return self.error("expected 'while' after do-body");
+                }
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let init = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi, "';'")?;
+                let cond = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi, "';'")?;
+                let step = if *self.peek() == TokenKind::RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let e = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Return(e, line))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Break(line))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ if self.is_type_start() => {
+                let base = self.base_type()?;
+                let ty = self.pointered(base);
+                let name = self.ident()?;
+                let ty = if self.eat(&TokenKind::LBracket) {
+                    let n = self.const_index()?;
+                    self.expect(&TokenKind::RBracket, "']'")?;
+                    Type::Array(Box::new(ty), n)
+                } else {
+                    ty
+                };
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.assignment()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    init,
+                    line,
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        self.enter()?;
+        let r = self.assignment_inner();
+        self.leave();
+        r
+    }
+
+    fn assignment_inner(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Eq),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            TokenKind::PercentAssign => Some(AssignOp::Rem),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.assignment()?;
+            Ok(Expr {
+                kind: ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.expr()?;
+            self.expect(&TokenKind::Colon, "':'")?;
+            let e = self.ternary()?;
+            Ok(Expr {
+                kind: ExprKind::Cond(Box::new(cond), Box::new(t), Box::new(e)),
+                line,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over binary operators; `min_prec` 0 is `||`.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::OrOr => (BinaryOp::LogOr, 0),
+                TokenKind::AndAnd => (BinaryOp::LogAnd, 1),
+                TokenKind::Pipe => (BinaryOp::BitOr, 2),
+                TokenKind::Caret => (BinaryOp::BitXor, 3),
+                TokenKind::Amp => (BinaryOp::BitAnd, 4),
+                TokenKind::Eq => (BinaryOp::Eq, 5),
+                TokenKind::Ne => (BinaryOp::Ne, 5),
+                TokenKind::Lt => (BinaryOp::Lt, 6),
+                TokenKind::Le => (BinaryOp::Le, 6),
+                TokenKind::Gt => (BinaryOp::Gt, 6),
+                TokenKind::Ge => (BinaryOp::Ge, 6),
+                TokenKind::Shl => (BinaryOp::Shl, 7),
+                TokenKind::Shr => (BinaryOp::Shr, 7),
+                TokenKind::Plus => (BinaryOp::Add, 8),
+                TokenKind::Minus => (BinaryOp::Sub, 8),
+                TokenKind::Star => (BinaryOp::Mul, 9),
+                TokenKind::Slash => (BinaryOp::Div, 9),
+                TokenKind::Percent => (BinaryOp::Rem, 9),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        // cast: '(' type ')' unary
+        if *self.peek() == TokenKind::LParen {
+            if let TokenKind::KwInt | TokenKind::KwChar | TokenKind::KwDouble | TokenKind::KwVoid =
+                self.tokens[self.pos + 1].kind
+            {
+                self.bump(); // (
+                let base = self.base_type()?;
+                let ty = self.pointered(base);
+                self.expect(&TokenKind::RParen, "')'")?;
+                let e = self.unary()?;
+                return Ok(Expr {
+                    kind: ExprKind::Cast(ty, Box::new(e)),
+                    line,
+                });
+            }
+        }
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Not => Some(UnaryOp::LogNot),
+            TokenKind::Tilde => Some(UnaryOp::BitNot),
+            TokenKind::Star => Some(UnaryOp::Deref),
+            TokenKind::Amp => Some(UnaryOp::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(e)),
+                line,
+            });
+        }
+        if self.eat(&TokenKind::PlusPlus) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::IncDec {
+                    target: Box::new(e),
+                    inc: true,
+                    post: false,
+                },
+                line,
+            });
+        }
+        if self.eat(&TokenKind::MinusMinus) {
+            let e = self.unary()?;
+            return Ok(Expr {
+                kind: ExprKind::IncDec {
+                    target: Box::new(e),
+                    inc: false,
+                    post: false,
+                },
+                line,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "']'")?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    e = Expr {
+                        kind: ExprKind::IncDec {
+                            target: Box::new(e),
+                            inc: true,
+                            post: true,
+                        },
+                        line,
+                    };
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    e = Expr {
+                        kind: ExprKind::IncDec {
+                            target: Box::new(e),
+                            inc: false,
+                            post: true,
+                        },
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::IntLit(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                line,
+            }),
+            TokenKind::FltLit(v) => Ok(Expr {
+                kind: ExprKind::FltLit(v),
+                line,
+            }),
+            TokenKind::CharLit(v) => Ok(Expr {
+                kind: ExprKind::CharLit(v),
+                line,
+            }),
+            TokenKind::StrLit(s) => Ok(Expr {
+                kind: ExprKind::StrLit(s),
+                line,
+            }),
+            TokenKind::Ident(name) => {
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.assignment()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "')'")?;
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_livermore_loop5() {
+        let src = r"
+            double x[100000]; double y[100000]; double z[100000];
+            void loop5(int n) {
+                int i;
+                for (i = 2; i < n; i++)
+                    x[i] = z[i] * (y[i] - x[i-1]);
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.items.len(), 4);
+        match &p.items[3] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "loop5");
+                assert_eq!(f.params.len(), 1);
+                assert_eq!(f.body.len(), 2);
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int f() { return 1 + 2 * 3 << 1 < 4 && 5; }").unwrap();
+        // shape check: && at the top
+        match &p.items[0] {
+            Item::Func(f) => match &f.body[0] {
+                Stmt::Return(Some(e), _) => match &e.kind {
+                    ExprKind::Binary(BinaryOp::LogAnd, _, _) => {}
+                    other => panic!("expected &&, got {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pointers_and_postfix() {
+        let p = parse("int f(char *s) { while (*s++) ; return 0; }").unwrap();
+        match &p.items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.params[0].0, Type::Ptr(Box::new(Type::Char)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn array_param_decays() {
+        let p = parse("double dot(double a[], double b[], int n) { return 0.0; }").unwrap();
+        match &p.items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.params[0].0, Type::Ptr(Box::new(Type::Double)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let p = parse(r#"int tab[] = {1, 2, 3}; char msg[] = "hi"; double pi = 3.14;"#).unwrap();
+        match &p.items[0] {
+            Item::Global { ty, .. } => assert_eq!(*ty, Type::Array(Box::new(Type::Int), 3)),
+            _ => unreachable!(),
+        }
+        match &p.items[1] {
+            // "hi" plus NUL
+            Item::Global { ty, .. } => assert_eq!(*ty, Type::Array(Box::new(Type::Char), 3)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn casts_and_ternary() {
+        parse("double f(int n) { return (double) (n > 0 ? n : -n); }").unwrap();
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let err = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn do_while_and_for_variants() {
+        parse("void f() { int i; do i++; while (i < 10); for (;;) break; }").unwrap();
+    }
+}

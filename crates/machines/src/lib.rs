@@ -1,0 +1,39 @@
+//! In-order timing models of the scalar machines of Table I.
+//!
+//! The paper measures the recurrence optimization on real hardware: a
+//! Sun 3/280, an HP 9000/345, a VAX 8600 and a Motorola 88100 (plus the WM
+//! simulator). That hardware is long gone; this crate substitutes
+//! **in-order, single-issue interpreters of the generic RTL** with
+//! per-instruction-class latencies chosen from each machine's published
+//! characteristics:
+//!
+//! * **Sun 3/280** — 68020 + 68881: floating-point operands move over the
+//!   coprocessor interface, so FP loads/stores cost nearly as much as the
+//!   arithmetic itself;
+//! * **HP 9000/345** — 68030 + 68882 at a higher clock with a burst-mode
+//!   cache: the same shape, uniformly faster FP access;
+//! * **VAX 8600** — pipelined memory-operand architecture: operand fetch
+//!   largely overlaps execution, so removing a load saves the least;
+//! * **Motorola 88100** — scoreboarded RISC with pipelined loads.
+//!
+//! The absolute numbers are calibrations, not measurements; EXPERIMENTS.md
+//! records how each model's Table-I percentage compares with the paper's.
+//!
+//! # Example
+//!
+//! ```
+//! use wm_machines::{MachineModel, ScalarMachine};
+//!
+//! let mut module = wm_frontend::compile("int main() { return 2 + 3; }").unwrap();
+//! for f in module.functions.iter_mut() {
+//!     wm_target::allocate_registers(f, wm_target::TargetKind::Scalar).unwrap();
+//! }
+//! let r = ScalarMachine::run(&module, "main", &[], &MachineModel::sun_3_280()).unwrap();
+//! assert_eq!(r.ret_int, 5);
+//! ```
+
+mod interp;
+mod model;
+
+pub use interp::{ScalarError, ScalarMachine, ScalarResult};
+pub use model::MachineModel;

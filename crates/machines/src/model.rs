@@ -1,0 +1,278 @@
+//! Per-machine instruction timing models.
+
+/// Instruction-class latencies, in cycles, for an in-order single-issue
+/// scalar machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Register-to-register move.
+    pub move_rr: u64,
+    /// Integer ALU operation (add, shift, logic).
+    pub int_op: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// Integer/word load from memory.
+    pub load: u64,
+    /// Integer/word store.
+    pub store: u64,
+    /// Floating-point load (memory → FP register).
+    pub fp_load: u64,
+    /// Floating-point store.
+    pub fp_store: u64,
+    /// FP add/subtract.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// Integer compare.
+    pub cmp: u64,
+    /// FP compare.
+    pub fp_cmp: u64,
+    /// Conditional branch, taken.
+    pub branch_taken: u64,
+    /// Conditional branch, not taken.
+    pub branch_not: u64,
+    /// Unconditional jump.
+    pub jump: u64,
+    /// Address formation (`lea`).
+    pub lea: u64,
+    /// Extra cycles for a scaled-index addressing mode.
+    pub index_penalty: u64,
+    /// Call instruction (including return-address handling).
+    pub call: u64,
+    /// Return instruction.
+    pub ret: u64,
+    /// Int ↔ FP conversion.
+    pub convert: u64,
+    /// Builtin I/O call (`putchar`): system-call overhead.
+    pub io: u64,
+}
+
+impl MachineModel {
+    /// Sun 3/280: 25 MHz 68020 with a 20 MHz 68881 FPU. The coprocessor
+    /// protocol makes every FP operand transfer expensive, so memory
+    /// references are a large fraction of FP loop time.
+    pub fn sun_3_280() -> MachineModel {
+        MachineModel {
+            name: "Sun 3/280",
+            move_rr: 2,
+            int_op: 3,
+            int_mul: 28,
+            int_div: 45,
+            load: 7,
+            store: 6,
+            fp_load: 40,
+            fp_store: 40,
+            fp_add: 22,
+            fp_mul: 26,
+            fp_div: 60,
+            cmp: 3,
+            fp_cmp: 20,
+            branch_taken: 6,
+            branch_not: 4,
+            jump: 5,
+            lea: 4,
+            index_penalty: 4,
+            call: 15,
+            ret: 10,
+            convert: 25,
+            io: 60,
+        }
+    }
+
+    /// HP 9000/345: 50 MHz 68030 with a 68882. Same architecture family as
+    /// the Sun but with a faster FP interface and burst cache.
+    pub fn hp_9000_345() -> MachineModel {
+        MachineModel {
+            name: "HP 9000/345",
+            move_rr: 2,
+            int_op: 2,
+            int_mul: 22,
+            int_div: 38,
+            load: 5,
+            store: 5,
+            fp_load: 16,
+            fp_store: 16,
+            fp_add: 18,
+            fp_mul: 22,
+            fp_div: 45,
+            cmp: 2,
+            fp_cmp: 12,
+            branch_taken: 5,
+            branch_not: 3,
+            jump: 4,
+            lea: 3,
+            index_penalty: 3,
+            call: 12,
+            ret: 8,
+            convert: 18,
+            io: 60,
+        }
+    }
+
+    /// VAX 8600: heavily pipelined operand fetch — loads mostly overlap
+    /// execution, so eliminating one buys the least.
+    pub fn vax_8600() -> MachineModel {
+        MachineModel {
+            name: "VAX 8600",
+            move_rr: 1,
+            int_op: 2,
+            int_mul: 12,
+            int_div: 25,
+            load: 2,
+            store: 2,
+            fp_load: 2,
+            fp_store: 4,
+            fp_add: 11,
+            fp_mul: 14,
+            fp_div: 25,
+            cmp: 2,
+            fp_cmp: 5,
+            branch_taken: 3,
+            branch_not: 2,
+            jump: 2,
+            lea: 1,
+            index_penalty: 1,
+            call: 12,
+            ret: 10,
+            convert: 8,
+            io: 60,
+        }
+    }
+
+    /// Motorola 88100: scoreboarded RISC; loads are pipelined and cheap,
+    /// FP is moderately fast.
+    pub fn m88100() -> MachineModel {
+        MachineModel {
+            name: "Motorola 88100",
+            move_rr: 1,
+            int_op: 1,
+            int_mul: 4,
+            int_div: 38,
+            load: 2,
+            store: 1,
+            fp_load: 2,
+            fp_store: 2,
+            fp_add: 5,
+            fp_mul: 6,
+            fp_div: 30,
+            cmp: 1,
+            fp_cmp: 5,
+            branch_taken: 2,
+            branch_not: 1,
+            jump: 1,
+            lea: 1,
+            index_penalty: 1,
+            call: 5,
+            ret: 3,
+            convert: 5,
+            io: 60,
+        }
+    }
+
+    /// Intel i860 — one of the processors the paper says the algorithms
+    /// "would also be applicable to". Dual-instruction-mode RISC with
+    /// pipelined FP; modelled in its scalar (non-pipelined-FP) mode.
+    /// Not part of Table I; provided for exploration.
+    pub fn i860() -> MachineModel {
+        MachineModel {
+            name: "Intel i860",
+            move_rr: 1,
+            int_op: 1,
+            int_mul: 5,
+            int_div: 40,
+            load: 2,
+            store: 1,
+            fp_load: 2,
+            fp_store: 2,
+            fp_add: 3,
+            fp_mul: 4,
+            fp_div: 22,
+            cmp: 1,
+            fp_cmp: 3,
+            branch_taken: 2,
+            branch_not: 1,
+            jump: 1,
+            lea: 1,
+            index_penalty: 0,
+            call: 4,
+            ret: 2,
+            convert: 4,
+            io: 40,
+        }
+    }
+
+    /// IBM RS/6000 (POWER) — the machine whose C compiler was the only one
+    /// of the six the paper examined that optimized recurrences. Superscalar
+    /// in reality; modelled in-order with short latencies. Not part of
+    /// Table I; provided for exploration.
+    pub fn rs6000() -> MachineModel {
+        MachineModel {
+            name: "IBM RS/6000",
+            move_rr: 1,
+            int_op: 1,
+            int_mul: 4,
+            int_div: 20,
+            load: 1,
+            store: 1,
+            fp_load: 1,
+            fp_store: 1,
+            fp_add: 2,
+            fp_mul: 2,
+            fp_div: 17,
+            cmp: 1,
+            fp_cmp: 2,
+            branch_taken: 1,
+            branch_not: 1,
+            jump: 1,
+            lea: 1,
+            index_penalty: 0,
+            call: 3,
+            ret: 2,
+            convert: 3,
+            io: 40,
+        }
+    }
+
+    /// All four Table-I scalar machines.
+    pub fn table1_machines() -> Vec<MachineModel> {
+        vec![
+            MachineModel::sun_3_280(),
+            MachineModel::hp_9000_345(),
+            MachineModel::vax_8600(),
+            MachineModel::m88100(),
+        ]
+    }
+
+    /// Every model in the crate, including the exploratory ones.
+    pub fn all_machines() -> Vec<MachineModel> {
+        let mut v = MachineModel::table1_machines();
+        v.push(MachineModel::i860());
+        v.push(MachineModel::rs6000());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_have_distinct_profiles() {
+        let ms = MachineModel::table1_machines();
+        assert_eq!(ms.len(), 4);
+        assert_eq!(MachineModel::all_machines().len(), 6);
+        // FP loads dominate on the 68881 machines, not on the VAX/88k
+        let sun = &ms[0];
+        let vax = &ms[2];
+        assert!(sun.fp_load > 5 * vax.fp_load);
+        // names are unique
+        let mut names: Vec<&str> = ms.iter().map(|m| m.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! The RTL optimizer.
+//!
+//! The compiler of the paper performs "all optimizations … on object code
+//! (RTLs)" and "uses the same representation for all phases of optimization",
+//! so that optimization phases can be "reinvoked at any time". This crate
+//! follows that structure: every phase is a function from a
+//! [`wm_ir::Function`] to a changed/unchanged flag, and the drivers in
+//! [`pipeline`] re-invoke phases until a fixed point.
+//!
+//! Two phases are the paper's contribution and the heart of this crate:
+//!
+//! * [`recurrence::optimize_recurrences`] — the *Recurrence Detection and
+//!   Optimization Algorithm* (Steps 1–4 of the paper), which partitions the
+//!   memory references of each innermost loop, finds read/write pairs that
+//!   fetch a value stored on a previous iteration, and replaces the loads
+//!   with register copies (Figure 4 → Figure 5);
+//! * [`streaming::optimize_streams`] — the *Streaming Optimization
+//!   Algorithm* (Steps 1–3), which converts regular loop accesses into WM
+//!   stream instructions serviced by the stream control units
+//!   (Figure 5 → Figure 7).
+//!
+//! Supporting analyses: dominators and natural loops ([`mod@cfg`]), live
+//! registers ([`liveness`]), induction variables and affine address forms
+//! ([`affine`]), and the memory-reference partitions of the paper
+//! ([`partition`]).
+
+pub mod affine;
+pub mod cfg;
+pub mod liveness;
+pub mod partition;
+pub mod phases;
+pub mod pipeline;
+pub mod recurrence;
+pub mod streaming;
+pub mod vectorize;
+
+pub use partition::{AliasModel, MemPartition, PartitionSet, RefInfo};
+pub use pipeline::{optimize_generic, optimize_wm, OptOptions, OptStats};
+pub use recurrence::RecurrenceReport;
+pub use streaming::StreamingReport;
+pub use vectorize::VectorReport;

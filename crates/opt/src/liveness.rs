@@ -1,0 +1,159 @@
+//! Live-register analysis (backward may dataflow).
+
+use std::collections::HashSet;
+
+use wm_ir::{Function, InstKind, Reg};
+
+/// Should `r` be tracked by liveness? FIFO-mapped cells and the zero
+/// register carry no conventional value; the stack pointer is reserved and
+/// treated as always live.
+pub fn tracked(r: Reg) -> bool {
+    !(r.is_fifo() || r.is_zero() || r == Reg::sp())
+}
+
+/// Registers used by `kind`, including the implicit use of the return-value
+/// register at `Ret`.
+pub fn uses_of(kind: &InstKind, func: &Function) -> Vec<Reg> {
+    let mut u = kind.uses();
+    if matches!(kind, InstKind::Ret) {
+        if let Some(r) = func.ret {
+            u.push(r);
+        }
+    }
+    u.retain(|r| tracked(*r));
+    u
+}
+
+/// Registers defined by `kind` (tracked only).
+pub fn defs_of(kind: &InstKind) -> Vec<Reg> {
+    let mut d = kind.defs();
+    d.retain(|r| tracked(*r));
+    d
+}
+
+/// Per-block live-in/out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block (layout index).
+    pub live_in: Vec<HashSet<Reg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Compute liveness for `func`.
+    pub fn compute(func: &Function) -> Liveness {
+        let n = func.blocks.len();
+        let mut gen_: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut kill: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                for u in uses_of(&inst.kind, func) {
+                    if !kill[bi].contains(&u) {
+                        gen_[bi].insert(u);
+                    }
+                }
+                for d in defs_of(&inst.kind) {
+                    kill[bi].insert(d);
+                }
+            }
+        }
+        let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = HashSet::new();
+                for s in func.successors(bi) {
+                    out.extend(live_in[s].iter().copied());
+                }
+                let mut inn: HashSet<Reg> = out
+                    .iter()
+                    .copied()
+                    .filter(|r| !kill[bi].contains(r))
+                    .collect();
+                inn.extend(gen_[bi].iter().copied());
+                if inn != live_in[bi] || out != live_out[bi] {
+                    live_in[bi] = inn;
+                    live_out[bi] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Walk a block backwards yielding, for each instruction index, the set
+    /// of registers live *after* that instruction.
+    pub fn live_after(&self, func: &Function, bi: usize) -> Vec<HashSet<Reg>> {
+        let block = &func.blocks[bi];
+        let mut cur = self.live_out[bi].clone();
+        let mut out = vec![HashSet::new(); block.insts.len()];
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            out[i] = cur.clone();
+            for d in defs_of(&inst.kind) {
+                cur.remove(&d);
+            }
+            for u in uses_of(&inst.kind, func) {
+                cur.insert(u);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_ir::{BinOp, CmpOp, FuncBuilder, Operand, RExpr, RegClass};
+
+    #[test]
+    fn loop_carried_value_is_live_around_back_edge() {
+        // i := 0; L: i := i + 1; if (i < n) goto L; ret
+        let mut b = FuncBuilder::new("f", 1, 0);
+        let n = b.func().params[0];
+        let i = b.vreg(RegClass::Int);
+        b.copy(i, Operand::Imm(0));
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(body);
+        b.switch_to(body);
+        b.assign(i, RExpr::Bin(BinOp::Add, i.into(), Operand::Imm(1)));
+        b.branch_if(RegClass::Int, CmpOp::Lt, i.into(), n.into(), body, exit);
+        b.switch_to(exit);
+        b.emit(wm_ir::InstKind::Ret);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        let body_i = 1;
+        assert!(lv.live_in[body_i].contains(&i));
+        assert!(lv.live_out[body_i].contains(&i));
+        assert!(lv.live_in[body_i].contains(&n));
+        // nothing is live into the exit block
+        assert!(lv.live_in[2].is_empty());
+    }
+
+    #[test]
+    fn ret_uses_return_register() {
+        let mut b = FuncBuilder::new("f", 0, 0);
+        let r = b.vreg(RegClass::Int);
+        b.func_mut().ret = Some(r);
+        b.copy(r, Operand::Imm(3));
+        b.emit(wm_ir::InstKind::Ret);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // r is defined then used by Ret within the single block; live_in empty
+        assert!(lv.live_in[0].is_empty());
+        let after = lv.live_after(&f, 0);
+        assert!(after[0].contains(&r), "live between def and ret");
+    }
+
+    #[test]
+    fn fifo_registers_are_not_tracked() {
+        assert!(!tracked(Reg::flt(0)));
+        assert!(!tracked(Reg::int(31)));
+        assert!(!tracked(Reg::sp()));
+        assert!(tracked(Reg::int(5)));
+        assert!(tracked(Reg::virt(RegClass::Flt, 3)));
+    }
+}

@@ -1,0 +1,828 @@
+//! The Streaming Optimization Algorithm (paper Steps 1–3).
+//!
+//! Runs on WM-expanded code (`WLoad`/`WStore` plus FIFO dequeues/enqueues),
+//! using the same partition information as the recurrence pass:
+//!
+//! 1. determine the trip count (`loop_count`), skipping loops of three or
+//!    fewer iterations;
+//! 2. for every reference in every safe partition: check that no memory
+//!    recurrence remains, compute the stride (`cee` × loop increment),
+//!    check the reference executes every iteration (its block dominates the
+//!    latches), allocate a FIFO register, emit the stream instructions in
+//!    the preheader and rewrite the loop body;
+//! 3. replace the loop bottom test by a stream-termination jump when the
+//!    count is known, insert stream-stop instructions at the exits when it
+//!    is not, and delete the induction variable when it becomes dead.
+
+
+use wm_ir::{
+    BinOp, CmpOp, DataFifo, Function, Inst, InstKind, Label, Operand, RExpr, Reg, RegClass,
+};
+
+use crate::affine::{analyze_latch, LatchInfo, LoopAnalysis, Region};
+use crate::cfg::{ensure_preheader, natural_loops, split_edge, Dominators};
+use crate::liveness::Liveness;
+use crate::partition::{build_partitions, AliasModel};
+
+/// What the pass did, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingReport {
+    /// Loops in which at least one stream was created.
+    pub loops_streamed: usize,
+    /// Stream-in instructions created.
+    pub streams_in: usize,
+    /// Stream-out instructions created.
+    pub streams_out: usize,
+    /// Streams with unknown (unbounded) trip counts.
+    pub infinite: usize,
+    /// Loop bottom tests replaced by stream-termination jumps.
+    pub tests_replaced: usize,
+    /// Induction-variable increments deleted (step j).
+    pub ivs_deleted: usize,
+}
+
+/// A planned stream for one memory reference.
+#[derive(Debug, Clone)]
+struct StreamPlan {
+    /// Position of the `WLoad`/`WStore`.
+    pos: (usize, usize),
+    is_load: bool,
+    fifo: DataFifo,
+    region: Region,
+    /// `dee`: offset from region base.
+    off: i64,
+    /// The paper's `cee`: bytes per unit of the induction variable.
+    cee: i64,
+    /// Loop-invariant address term `reg * mult` (a matrix row base).
+    inv: Option<(Reg, i64)>,
+    stride: i64,
+    /// Register step for symbolic-stride loops (stride = cee × step reg).
+    sym_step: Option<Reg>,
+    width: wm_ir::Width,
+    iv: Reg,
+}
+
+/// Run the streaming optimization on every innermost loop of `func`.
+///
+/// `min_count` is the paper's Step 1 cutoff: statically-known trip counts
+/// at or below 3 are not worth the stream setup.
+pub fn optimize_streams(
+    func: &mut Function,
+    alias: AliasModel,
+    min_count: i64,
+) -> StreamingReport {
+    let mut report = StreamingReport::default();
+    let mut visited: Vec<Label> = Vec::new();
+    loop {
+        let dom = Dominators::compute(func);
+        let loops = natural_loops(func, &dom);
+        let candidate = loops.iter().find(|lp| {
+            lp.is_innermost(&loops) && !visited.contains(&func.blocks[lp.header].label)
+        });
+        let Some(lp) = candidate else { break };
+        visited.push(func.blocks[lp.header].label);
+        let nested = loops
+            .iter()
+            .any(|outer| outer.header != lp.header && outer.contains(lp.header));
+        let lp = lp.clone();
+        stream_one_loop(func, &lp, &dom, alias, min_count, nested, &mut report);
+    }
+    report
+}
+
+fn stream_one_loop(
+    func: &mut Function,
+    lp: &crate::cfg::Loop,
+    dom: &Dominators,
+    alias: AliasModel,
+    min_count: i64,
+    nested: bool,
+    report: &mut StreamingReport,
+) {
+    // A called function would compete for the FIFOs and may touch any
+    // memory; loops containing calls are not streamed.
+    let has_call = lp.blocks.iter().any(|&bi| {
+        func.blocks[bi]
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Call { .. }))
+    });
+    if has_call {
+        return;
+    }
+    // ---- analysis (immutable borrow scope) ----
+    let (plans, latch, static_count) = {
+        let la = LoopAnalysis::new(func, lp, dom);
+        let latch = analyze_latch(&la);
+        // Step 1: trip count. When it is statically known and small, do not
+        // stream.
+        let static_count = latch.as_ref().and_then(|l| static_trip_count(&la, l));
+        if let Some(n) = static_count {
+            if n <= min_count {
+                return;
+            }
+        }
+        let parts = build_partitions(&la, alias);
+        // Candidate references, per partition.
+        let mut cands: Vec<StreamPlan> = Vec::new();
+        for p in &parts.partitions {
+            if !p.safe {
+                continue;
+            }
+            // Step 2a: no memory recurrences may remain.
+            if !p.recurrence_pairs().is_empty() {
+                continue;
+            }
+            if p.region == Region::Unknown {
+                continue;
+            }
+            if p.cee <= 0 {
+                continue;
+            }
+            // A symbolic-stride partition cannot prove recurrence distances:
+            // only stream it when it is all-reads or all-writes.
+            if p.sym_step.is_some() {
+                let loads = p.refs.iter().filter(|r| r.is_load).count();
+                if loads != 0 && loads != p.refs.len() {
+                    continue;
+                }
+            }
+            // An intra-iteration same-address pair where the read follows
+            // the write (w[i] = …; … = w[i]) must see the new value; a
+            // prefetching stream would deliver the stale one. Reads that
+            // strictly precede the same-offset write (a[i] = a[i] + 1) are
+            // fine: the prefetched value is the pre-write value the program
+            // reads anyway.
+            let raw_hazard = p.refs.iter().any(|w| {
+                !w.is_load
+                    && p.refs.iter().any(|r| {
+                        r.is_load && r.roffset == w.roffset && {
+                            let read_first = if r.pos.0 == w.pos.0 {
+                                r.pos.1 < w.pos.1
+                            } else {
+                                la.dom.dominates(r.pos.0, w.pos.0)
+                            };
+                            !read_first
+                        }
+                    })
+            });
+            if raw_hazard {
+                continue;
+            }
+            for r in &p.refs {
+                // Step 2c: executed every time through the loop.
+                if !lp.latches.iter().all(|&l| la.dom.dominates(r.pos.0, l)) {
+                    continue;
+                }
+                // WM forms only, with the canonical adjacent FIFO transfer.
+                let ok_form = match &func.blocks[r.pos.0].insts[r.pos.1].kind {
+                    InstKind::WLoad { fifo, .. } => {
+                        fifo.index == 0 && paired_dequeue(func, r.pos, fifo.class).is_some()
+                    }
+                    InstKind::WStore { unit, .. } => paired_enqueue(func, r.pos, *unit).is_some(),
+                    _ => false,
+                };
+                if !ok_form {
+                    continue;
+                }
+                let class = match &func.blocks[r.pos.0].insts[r.pos.1].kind {
+                    InstKind::WLoad { fifo, .. } => fifo.class,
+                    InstKind::WStore { unit, .. } => *unit,
+                    _ => unreachable!(),
+                };
+                let affine = r.affine.as_ref().expect("safe");
+                cands.push(StreamPlan {
+                    pos: r.pos,
+                    is_load: r.is_load,
+                    fifo: DataFifo::new(class, 0), // assigned below
+                    region: p.region,
+                    off: affine.off,
+                    cee: p.cee,
+                    inv: affine.inv,
+                    stride: p.stride,
+                    sym_step: p.sym_step,
+                    width: r.width,
+                    iv: p.iv.expect("safe"),
+                });
+            }
+        }
+        if cands.is_empty() {
+            return;
+        }
+        // Step 2e: FIFO allocation with resource accounting. Scalar
+        // (non-streamed) loads of a class occupy input FIFO 0; scalar
+        // stores occupy the output FIFO.
+        let chosen = allocate_fifos(func, lp, cands);
+        (chosen, latch, static_count)
+    };
+    if plans.is_empty() {
+        return;
+    }
+    let countable = latch.is_some();
+    // An unbounded stream inside an enclosing loop is re-set-up on every
+    // outer iteration for typically few elements (quicksort's partition
+    // scans); the setup overhead makes that a loss, so skip it — which also
+    // matches the paper's tiny Table II gain on quicksort.
+    if !countable && nested {
+        return;
+    }
+
+    // ---- transformation ----
+    let pre = ensure_preheader(func, lp);
+    // Shared trip-count computation (step 2d).
+    let count_operand: Option<Operand> = match (&latch, static_count) {
+        (_, Some(n)) => Some(Operand::Imm(n)),
+        (Some(l), None) => Some(emit_trip_count(func, pre, l)),
+        (None, _) => None,
+    };
+    if count_operand.is_none() {
+        report.infinite += plans.len();
+    }
+    // The stream the termination jump will test — only it may load the
+    // IFU's dispatch counter.
+    let jump_fifo = plans.iter().find(|p| p.is_load).map(|p| p.fifo);
+
+    // Rewrite each reference (steps 2g/2h).
+    for plan in &plans {
+        // preheader: base address = region + off + cee*iv (the IV register
+        // still holds its initial value in the preheader)
+        let base = emit_base_address(func, pre, plan);
+        let stride = emit_stride(func, pre, plan);
+        let kind = if plan.is_load {
+            report.streams_in += 1;
+            InstKind::StreamIn {
+                fifo: plan.fifo,
+                base,
+                count: count_operand,
+                stride,
+                width: plan.width,
+                tested: countable && jump_fifo == Some(plan.fifo),
+            }
+        } else {
+            report.streams_out += 1;
+            InstKind::StreamOut {
+                fifo: plan.fifo,
+                base,
+                count: count_operand,
+                stride,
+                width: plan.width,
+            }
+        };
+        insert_before_jump(func, pre, kind);
+        // body rewrite
+        if plan.is_load {
+            let (bi, ii) = plan.pos;
+            let deq = paired_dequeue(func, plan.pos, plan.fifo.class)
+                .expect("candidate validated");
+            func.blocks[bi].insts[ii].kind = InstKind::Nop;
+            if plan.fifo.index == 1 {
+                // retarget the dequeue from register 0 to register 1
+                let old = Reg::phys(plan.fifo.class, 0);
+                func.blocks[bi].insts[deq]
+                    .kind
+                    .substitute_use(old, Operand::Reg(plan.fifo.reg()));
+            }
+        } else {
+            let (bi, ii) = plan.pos;
+            func.blocks[bi].insts[ii].kind = InstKind::Nop;
+        }
+    }
+
+    // Step i: replace the bottom test with a stream jump, or add stream
+    // stops at the exits.
+    if let (true, Some(jump_fifo)) = (countable, jump_fifo) {
+        let l = latch.as_ref().unwrap();
+        let header_label = func.blocks[lp.header].label;
+        let (cbi, cii) = l.compare;
+        let (bbi, bii) = l.branch;
+        let (target, els) = match &func.blocks[bbi].insts[bii].kind {
+            InstKind::Branch { target, els, .. } => {
+                if *target == header_label {
+                    (*target, *els)
+                } else {
+                    (*els, *target)
+                }
+            }
+            _ => unreachable!("latch analyzed as a branch"),
+        };
+        func.blocks[cbi].insts[cii].kind = InstKind::Nop;
+        func.blocks[bbi].insts[bii].kind = InstKind::BranchStream {
+            fifo: jump_fifo,
+            target,
+            els,
+        };
+        report.tests_replaced += 1;
+
+        // Step j: delete the IV increment when the IV is dead.
+        let iv = l.iv;
+        let uses_in_loop: usize = lp
+            .blocks
+            .iter()
+            .map(|&bi| {
+                func.blocks[bi]
+                    .insts
+                    .iter()
+                    .enumerate()
+                    .filter(|(ii, inst)| {
+                        (bi, *ii) != iv.def && inst.kind.uses().contains(&iv.reg)
+                    })
+                    .count()
+            })
+            .sum();
+        if uses_in_loop == 0 {
+            let lv = Liveness::compute(func);
+            let live_at_exit = lp
+                .exits
+                .iter()
+                .any(|&(_, to)| lv.live_in[to].contains(&iv.reg));
+            if !live_at_exit {
+                let (bi, ii) = iv.def;
+                func.blocks[bi].insts[ii].kind = InstKind::Nop;
+                report.ivs_deleted += 1;
+            }
+        }
+
+        // Early exits (breaks, returns) leave the counted streams running:
+        // stop them on every exit edge except the stream-exhaustion edge
+        // itself. Early-exit branches are data-dependent, so consumption
+        // has caught up by the time the stop executes; the jNI edge must
+        // NOT get a stop because the IFU reaches it ahead of the consuming
+        // unit (the stream self-terminates there).
+        let latch_block = bbi;
+        let exits: Vec<(usize, usize)> = lp
+            .exits
+            .iter()
+            .copied()
+            .filter(|&(from, _)| from != latch_block)
+            .collect();
+        for (from, to) in exits {
+            let stub = split_edge(func, from, to);
+            for plan in &plans {
+                let id = func.new_inst_id();
+                func.block_mut(stub).insts.insert(
+                    0,
+                    Inst {
+                        id,
+                        kind: InstKind::StreamStop { fifo: plan.fifo },
+                    },
+                );
+            }
+        }
+    } else {
+        // Unknown count: stream stops on every exit edge.
+        // Collect exit edges afresh (indices may have shifted).
+        let dom2 = Dominators::compute(func);
+        let loops2 = natural_loops(func, &dom2);
+        let header_label = func.blocks[lp.header].label;
+        if let Some(cur) = loops2
+            .iter()
+            .find(|l| func.blocks[l.header].label == header_label)
+        {
+            let exits = cur.exits.clone();
+            for (from, to) in exits {
+                let stub = split_edge(func, from, to);
+                for plan in &plans {
+                    let id = func.new_inst_id();
+                    func.block_mut(stub)
+                        .insts
+                        .insert(0, Inst {
+                            id,
+                            kind: InstKind::StreamStop { fifo: plan.fifo },
+                        });
+                }
+            }
+        }
+    }
+    func.compact();
+    report.loops_streamed += 1;
+}
+
+/// The dequeue paired with a WM load: the immediately following instruction
+/// when it is exactly `v := fifo0` (the form target expansion emits).
+/// Returns its instruction index.
+fn paired_dequeue(func: &Function, pos: (usize, usize), class: RegClass) -> Option<usize> {
+    let (bi, ii) = pos;
+    let next = func.blocks[bi].insts.get(ii + 1)?;
+    match &next.kind {
+        InstKind::Assign { dst, src } => {
+            let fifo0 = Reg::phys(class, 0);
+            if *src == RExpr::Op(Operand::Reg(fifo0)) && !dst.is_fifo() {
+                Some(ii + 1)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The enqueue paired with a WM store: the immediately preceding
+/// instruction when it writes the unit's output FIFO.
+fn paired_enqueue(func: &Function, pos: (usize, usize), unit: RegClass) -> Option<usize> {
+    let (bi, ii) = pos;
+    if ii == 0 {
+        return None;
+    }
+    let prev = &func.blocks[bi].insts[ii - 1];
+    match &prev.kind {
+        InstKind::Assign { dst, .. } if *dst == Reg::phys(unit, 0) => Some(ii - 1),
+        _ => None,
+    }
+}
+
+/// Step 2e: assign FIFO registers, accounting for the scalar references
+/// that remain in the loop. Input FIFO 0 of a class is only available when
+/// no scalar load of that class survives; the single output FIFO of a class
+/// is only available when no scalar store survives and at most one
+/// out-stream wants it.
+fn allocate_fifos(
+    func: &Function,
+    lp: &crate::cfg::Loop,
+    cands: Vec<StreamPlan>,
+) -> Vec<StreamPlan> {
+    let mut chosen: Vec<StreamPlan> = Vec::new();
+    for class in [RegClass::Int, RegClass::Flt] {
+        let loads: Vec<&StreamPlan> = cands
+            .iter()
+            .filter(|c| c.is_load && c.fifo.class == class)
+            .collect();
+        let stores: Vec<&StreamPlan> = cands
+            .iter()
+            .filter(|c| !c.is_load && c.fifo.class == class)
+            .collect();
+        // scalar refs of this class in the loop, besides the candidates
+        let cand_positions: Vec<(usize, usize)> = cands.iter().map(|c| c.pos).collect();
+        let mut scalar_loads = 0usize;
+        let mut scalar_stores = 0usize;
+        for &bi in &lp.blocks {
+            for (ii, inst) in func.blocks[bi].insts.iter().enumerate() {
+                if cand_positions.contains(&(bi, ii)) {
+                    continue;
+                }
+                match &inst.kind {
+                    InstKind::WLoad { fifo, .. } if fifo.class == class => scalar_loads += 1,
+                    InstKind::WStore { unit, .. } if *unit == class => scalar_stores += 1,
+                    _ => {}
+                }
+            }
+        }
+        // input FIFOs
+        let mut avail_in: Vec<u8> = if scalar_loads > 0 { vec![1] } else { vec![0, 1] };
+        let n_in = avail_in.len().min(loads.len());
+        // If not every candidate load gets a FIFO, the leftovers stay
+        // scalar and occupy input FIFO 0 — so only FIFO 1 is usable.
+        if loads.len() > avail_in.len() && avail_in.contains(&0) {
+            avail_in = vec![1];
+        }
+        for (plan, idx) in loads.into_iter().zip(avail_in.iter().take(n_in)) {
+            let mut p = plan.clone();
+            p.fifo = DataFifo::new(class, *idx);
+            chosen.push(p);
+        }
+        // output FIFO
+        if scalar_stores == 0 && stores.len() == 1 {
+            let mut p = stores[0].clone();
+            p.fifo = DataFifo::new(class, 0);
+            chosen.push(p);
+        }
+    }
+    chosen
+}
+
+/// Statically evaluate the trip count when both the bound and the IV's
+/// initial value are compile-time constants.
+fn static_trip_count(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
+    let bound = l.bound.imm()?;
+    // the IV's initial value: sole definition outside the loop, a constant
+    let sites = la.defs.get(&l.iv.reg)?;
+    let outside: Vec<(usize, usize)> = sites
+        .iter()
+        .copied()
+        .filter(|(bi, _)| !la.lp.contains(*bi))
+        .collect();
+    if outside.len() != 1 {
+        return None;
+    }
+    let (bi, ii) = outside[0];
+    let init = match &la.func.blocks[bi].insts[ii].kind {
+        InstKind::Assign {
+            src: RExpr::Op(Operand::Imm(v)),
+            ..
+        } => *v,
+        _ => return None,
+    };
+    if !l.iv.is_const_step() {
+        return None;
+    }
+    trip_count_value(init, bound, l.iv.step, l.cmp)
+}
+
+/// Public wrapper over the private trip-count emitter, for the vectorizer.
+pub(crate) fn emit_trip_count_public(
+    func: &mut Function,
+    pre: Label,
+    l: &LatchInfo,
+) -> Operand {
+    emit_trip_count(func, pre, l)
+}
+
+/// Public wrapper over the private static-count analysis.
+pub(crate) fn static_trip_count_public(
+    la: &LoopAnalysis<'_>,
+    l: &LatchInfo,
+) -> Option<i64> {
+    static_trip_count(la, l)
+}
+
+/// Closed-form trip count for `for (iv = init; …; iv += step)` with the
+/// bottom test `iv cmp bound` evaluated after the increment, given the
+/// guard has passed (at least one iteration executes).
+pub fn trip_count_value(init: i64, bound: i64, step: i64, cmp: CmpOp) -> Option<i64> {
+    let n = match cmp {
+        CmpOp::Lt if step > 0 => (bound - init + step - 1).div_euclid(step),
+        CmpOp::Le if step > 0 => (bound - init).div_euclid(step) + 1,
+        CmpOp::Gt if step < 0 => (init - bound + (-step) - 1).div_euclid(-step),
+        CmpOp::Ge if step < 0 => (init - bound).div_euclid(-step) + 1,
+        CmpOp::Ne if step == 1 => bound - init,
+        CmpOp::Ne if step == -1 => init - bound,
+        _ => return None,
+    };
+    Some(n.max(1))
+}
+
+/// Emit preheader code computing the dynamic trip count into a register.
+fn emit_trip_count(func: &mut Function, pre: Label, l: &LatchInfo) -> Operand {
+    if let Some(step) = l.iv.step_reg {
+        return emit_trip_count_symbolic(func, pre, l, step);
+    }
+    let iv = l.iv.reg;
+    let step = l.iv.step;
+    // diff = bound - iv   (or iv - bound for downward loops)
+    let diff = func.new_vreg(RegClass::Int);
+    let (a, b): (Operand, Operand) = if step > 0 {
+        (l.bound, Operand::Reg(iv))
+    } else {
+        (Operand::Reg(iv), l.bound)
+    };
+    insert_before_jump(
+        func,
+        pre,
+        InstKind::Assign {
+            dst: diff,
+            src: RExpr::Bin(BinOp::Sub, a, b),
+        },
+    );
+    let mag = step.abs();
+    let mut count = diff;
+    match l.cmp {
+        CmpOp::Lt | CmpOp::Gt => {
+            if mag != 1 {
+                // ceil(diff / mag) = (diff + mag - 1) / mag
+                let t = func.new_vreg(RegClass::Int);
+                insert_before_jump(
+                    func,
+                    pre,
+                    InstKind::Assign {
+                        dst: t,
+                        src: RExpr::Bin(BinOp::Add, count.into(), Operand::Imm(mag - 1)),
+                    },
+                );
+                let q = func.new_vreg(RegClass::Int);
+                insert_before_jump(
+                    func,
+                    pre,
+                    InstKind::Assign {
+                        dst: q,
+                        src: RExpr::Bin(BinOp::Div, t.into(), Operand::Imm(mag)),
+                    },
+                );
+                count = q;
+            }
+        }
+        CmpOp::Le | CmpOp::Ge => {
+            let base = if mag != 1 {
+                let q = func.new_vreg(RegClass::Int);
+                insert_before_jump(
+                    func,
+                    pre,
+                    InstKind::Assign {
+                        dst: q,
+                        src: RExpr::Bin(BinOp::Div, count.into(), Operand::Imm(mag)),
+                    },
+                );
+                q
+            } else {
+                count
+            };
+            let p = func.new_vreg(RegClass::Int);
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: p,
+                    src: RExpr::Bin(BinOp::Add, base.into(), Operand::Imm(1)),
+                },
+            );
+            count = p;
+        }
+        CmpOp::Ne => {}
+        CmpOp::Eq => unreachable!("rejected by analyze_latch"),
+    }
+    Operand::Reg(count)
+}
+
+/// Trip count for an upward loop with a register step `s` (assumed
+/// positive): `Lt` gives `(bound - iv + s - 1) / s`; `Le` adds one to
+/// `(bound - iv) / s`.
+fn emit_trip_count_symbolic(
+    func: &mut Function,
+    pre: Label,
+    l: &LatchInfo,
+    step: Reg,
+) -> Operand {
+    let iv = l.iv.reg;
+    let diff = func.new_vreg(RegClass::Int);
+    insert_before_jump(
+        func,
+        pre,
+        InstKind::Assign {
+            dst: diff,
+            src: RExpr::Bin(BinOp::Sub, l.bound, Operand::Reg(iv)),
+        },
+    );
+    match l.cmp {
+        CmpOp::Lt => {
+            let t = func.new_vreg(RegClass::Int);
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: t,
+                    src: RExpr::Dual {
+                        inner: BinOp::Add,
+                        a: diff.into(),
+                        b: step.into(),
+                        outer: BinOp::Sub,
+                        c: Operand::Imm(1),
+                    },
+                },
+            );
+            let q = func.new_vreg(RegClass::Int);
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: q,
+                    src: RExpr::Bin(BinOp::Div, t.into(), step.into()),
+                },
+            );
+            Operand::Reg(q)
+        }
+        CmpOp::Le => {
+            let q = func.new_vreg(RegClass::Int);
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: q,
+                    src: RExpr::Bin(BinOp::Div, diff.into(), step.into()),
+                },
+            );
+            let p = func.new_vreg(RegClass::Int);
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: p,
+                    src: RExpr::Bin(BinOp::Add, q.into(), Operand::Imm(1)),
+                },
+            );
+            Operand::Reg(p)
+        }
+        other => unreachable!("symbolic latch only matches Lt/Le, got {other:?}"),
+    }
+}
+
+/// Emit preheader code computing a stream's base address.
+fn emit_base_address(func: &mut Function, pre: Label, plan: &StreamPlan) -> Operand {
+    let base = func.new_vreg(RegClass::Int);
+    match plan.region {
+        Region::Global(sym) => {
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::LoadAddr {
+                    dst: base,
+                    sym,
+                    disp: plan.off,
+                },
+            );
+        }
+        Region::Reg(r) => {
+            insert_before_jump(
+                func,
+                pre,
+                InstKind::Assign {
+                    dst: base,
+                    src: RExpr::Bin(BinOp::Add, r.into(), Operand::Imm(plan.off)),
+                },
+            );
+        }
+        Region::Unknown => unreachable!("unknown regions are not streamed"),
+    }
+    // + inv.reg * inv.mult (an invariant row-base term)
+    let base = match plan.inv {
+        None => base,
+        Some((reg, mult)) => {
+            let t = func.new_vreg(RegClass::Int);
+            let src = scaled_add(reg, mult, base.into());
+            insert_before_jump(func, pre, InstKind::Assign { dst: t, src });
+            t
+        }
+    };
+    // + cee*iv (initial IV value read directly in the preheader)
+    let addr = func.new_vreg(RegClass::Int);
+    let src = scaled_add(plan.iv, plan.cee, base.into());
+    insert_before_jump(func, pre, InstKind::Assign { dst: addr, src });
+    Operand::Reg(addr)
+}
+
+/// `(reg * k) + c` as a single dual RTL, using a shift when `k` is a power
+/// of two and a multiply otherwise.
+fn scaled_add(reg: Reg, k: i64, c: Operand) -> RExpr {
+    if k == 1 {
+        RExpr::Bin(BinOp::Add, reg.into(), c)
+    } else if k > 0 && (k as u64).is_power_of_two() {
+        RExpr::Dual {
+            inner: BinOp::Shl,
+            a: reg.into(),
+            b: Operand::Imm(k.trailing_zeros() as i64),
+            outer: BinOp::Add,
+            c,
+        }
+    } else {
+        RExpr::Dual {
+            inner: BinOp::Mul,
+            a: reg.into(),
+            b: Operand::Imm(k),
+            outer: BinOp::Add,
+            c,
+        }
+    }
+}
+
+/// The stride operand: a constant, or `step << log2(cee)` computed in the
+/// preheader for symbolic-stride loops.
+fn emit_stride(func: &mut Function, pre: Label, plan: &StreamPlan) -> Operand {
+    match plan.sym_step {
+        None => Operand::Imm(plan.stride),
+        Some(step) => {
+            if plan.cee == 1 {
+                Operand::Reg(step)
+            } else {
+                let t = func.new_vreg(RegClass::Int);
+                let op = if plan.cee > 0 && (plan.cee as u64).is_power_of_two() {
+                    RExpr::Bin(
+                        BinOp::Shl,
+                        step.into(),
+                        Operand::Imm(plan.cee.trailing_zeros() as i64),
+                    )
+                } else {
+                    RExpr::Bin(BinOp::Mul, step.into(), Operand::Imm(plan.cee))
+                };
+                insert_before_jump(func, pre, InstKind::Assign { dst: t, src: op });
+                Operand::Reg(t)
+            }
+        }
+    }
+}
+
+fn insert_before_jump(func: &mut Function, block: Label, kind: InstKind) {
+    let id = func.new_inst_id();
+    let b = func.block_mut(block);
+    let at = b.insts.len().saturating_sub(1);
+    b.insts.insert(at, Inst { id, kind });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_closed_forms() {
+        // for (i = 2; i < 10; i++) → 8 iterations
+        assert_eq!(trip_count_value(2, 10, 1, CmpOp::Lt), Some(8));
+        // for (i = 0; i <= 9; i++) → 10
+        assert_eq!(trip_count_value(0, 9, 1, CmpOp::Le), Some(10));
+        // for (i = 10; i > 0; i--) → 10
+        assert_eq!(trip_count_value(10, 0, -1, CmpOp::Gt), Some(10));
+        // for (i = 9; i >= 0; i--) → 10
+        assert_eq!(trip_count_value(9, 0, -1, CmpOp::Ge), Some(10));
+        // for (i = 0; i != 7; i++) → 7
+        assert_eq!(trip_count_value(0, 7, 1, CmpOp::Ne), Some(7));
+        // step 3: for (i = 0; i < 10; i += 3) → 4
+        assert_eq!(trip_count_value(0, 10, 3, CmpOp::Lt), Some(4));
+        // wrong-direction loops are rejected
+        assert_eq!(trip_count_value(0, 10, -1, CmpOp::Lt), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Direct tests of the streaming pass on WM-expanded code: FIFO resource
+//! accounting, recurrence blocking, trip-count handling and exit stops.
+
+use wm_ir::{Function, InstKind};
+use wm_opt::{optimize_generic, optimize_wm, OptOptions, StreamingReport};
+
+fn wm_function(src: &str, name: &str, opts: &OptOptions) -> (Function, StreamingReport) {
+    let m = wm_frontend::compile(src).expect("compiles");
+    let mut f = m.function_named(name).unwrap().clone();
+    optimize_generic(&mut f, opts);
+    wm_target::expand_wm(&mut f);
+    let stats = optimize_wm(&mut f, opts);
+    (f, stats.streaming)
+}
+
+fn count_kind(f: &Function, pred: impl Fn(&InstKind) -> bool) -> usize {
+    f.insts().filter(|i| pred(&i.kind)).count()
+}
+
+#[test]
+fn two_input_fifos_per_class_limit() {
+    // three streamable double reads: only two input FIFOs exist
+    let (_f, s) = wm_function(
+        r"
+        double a[500]; double b[500]; double c[500]; double d[500];
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i++)
+                d[i] = a[i] + b[i] + c[i];
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert!(
+        s.streams_in <= 2,
+        "at most two in-streams per class: {s:?}"
+    );
+    assert_eq!(s.streams_out, 1, "d streams out: {s:?}");
+}
+
+#[test]
+fn scalar_load_reserves_input_fifo_zero() {
+    // a conditional (unstreamable) load forces streams onto FIFO 1 only
+    let (f, s) = wm_function(
+        r"
+        double a[500]; double b[500]; double c[500];
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i & 1)
+                    c[i] = c[i] + b[i];
+                c[i] = c[i] * 2.0 + a[i];
+            }
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    // b's load is conditional → scalar on f0; c has a same-offset RAW +
+    // conditional writes; only `a` can stream, and it must take FIFO 1
+    assert!(s.streams_in <= 1, "{s:?}");
+    if s.streams_in == 1 {
+        let uses_f1 = f.insts().any(|i| matches!(
+            &i.kind,
+            InstKind::StreamIn { fifo, .. } if fifo.index == 1
+        ));
+        assert!(uses_f1, "the stream must avoid the scalar FIFO 0");
+    }
+}
+
+#[test]
+fn remaining_recurrence_blocks_streaming() {
+    // without the recurrence pass, x still has a loop-carried pair: the x
+    // partition must not stream (step 2a), but y and z still may
+    let opts = OptOptions::all().without_recurrence();
+    let (f, s) = wm_function(
+        r"
+        double x[500]; double y[500]; double z[500];
+        void f(int n) {
+            int i;
+            for (i = 2; i < n; i++)
+                x[i] = z[i] * (y[i] - x[i-1]);
+        }",
+        "f",
+        &opts,
+    );
+    // x's remaining scalar load occupies input FIFO 0, so only ONE of
+    // y/z can stream (on FIFO 1) — exactly the paper's step 2e resource
+    // rule ("Allocate appropriate FIFO register. If one is not available,
+    // do not stream.")
+    assert_eq!(s.streams_in, 1, "one of y/z on FIFO 1: {s:?}");
+    assert_eq!(s.streams_out, 0, "x must stay scalar: {s:?}");
+    // x's load and store remain in WM scalar form
+    assert!(count_kind(&f, |k| matches!(k, InstKind::WLoad { .. })) >= 1);
+    assert!(count_kind(&f, |k| matches!(k, InstKind::WStore { .. })) >= 1);
+}
+
+#[test]
+fn small_static_trip_counts_are_not_streamed() {
+    let (_f, s) = wm_function(
+        r"
+        double a[8]; double b[8];
+        void f() {
+            int i;
+            for (i = 0; i < 3; i++) b[i] = a[i];
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.streams_in + s.streams_out, 0, "3 iterations: {s:?}");
+}
+
+#[test]
+fn larger_static_trip_counts_use_immediate_counts() {
+    let (f, s) = wm_function(
+        r"
+        double a[64]; double b[64];
+        void f() {
+            int i;
+            for (i = 0; i < 64; i++) b[i] = a[i];
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.streams_in, 1);
+    assert_eq!(s.streams_out, 1);
+    let imm64 = f.insts().any(|i| matches!(
+        &i.kind,
+        InstKind::StreamIn { count: Some(wm_ir::Operand::Imm(64)), .. }
+    ));
+    assert!(imm64, "static count folds to an immediate");
+    assert_eq!(s.tests_replaced, 1);
+    assert_eq!(s.ivs_deleted, 1, "the IV dies with the test: {s:?}");
+}
+
+#[test]
+fn unknown_counts_use_unbounded_streams_with_stops() {
+    let opts = OptOptions::all().assume_noalias();
+    let (f, s) = wm_function(
+        r"
+        int copy(char *d, char *s) {
+            int i;
+            i = 0;
+            while (s[i]) { d[i] = s[i]; i = i + 1; }
+            return i;
+        }",
+        "copy",
+        &opts,
+    );
+    assert!(s.infinite >= 2, "src reads + dst writes: {s:?}");
+    assert!(
+        count_kind(&f, |k| matches!(k, InstKind::StreamStop { .. })) >= 2,
+        "stops on the loop exit"
+    );
+    assert_eq!(s.tests_replaced, 0, "data-dependent exit keeps its branch");
+}
+
+#[test]
+fn loops_with_calls_are_not_streamed() {
+    let (_f, s) = wm_function(
+        r"
+        int g(int x) { return x + 1; }
+        int sum(int n) {
+            int a[100];
+            int i; int t;
+            t = 0;
+            for (i = 0; i < n; i++) t = t + g(i);
+            return t;
+        }",
+        "sum",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.streams_in + s.streams_out, 0, "{s:?}");
+}
+
+#[test]
+fn downward_loops_get_negative_strides() {
+    let (f, s) = wm_function(
+        r"
+        double a[500]; double b[500];
+        void f(int n) {
+            int i;
+            for (i = n - 1; i >= 0; i--) b[i] = a[i];
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.streams_in, 1, "{s:?}");
+    let neg = f.insts().any(|i| matches!(
+        &i.kind,
+        InstKind::StreamIn { stride: wm_ir::Operand::Imm(-8), .. }
+    ));
+    assert!(neg, "stride −8 for the downward walk");
+}
+
+#[test]
+fn streamed_loop_body_sheds_address_arithmetic() {
+    let (f, _s) = wm_function(
+        r"
+        double a[500]; double s[1];
+        void f(int n) {
+            int i; double acc;
+            acc = 0.0;
+            for (i = 0; i < n; i++) acc = acc + a[i];
+            s[0] = acc;
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    // find the loop (block targeted by a BranchStream) and check it has no
+    // integer ALU work left
+    let loop_target = f
+        .insts()
+        .find_map(|i| match &i.kind {
+            InstKind::BranchStream { target, .. } => Some(*target),
+            _ => None,
+        })
+        .expect("a streamed loop");
+    let bi = f.block_index(loop_target);
+    for inst in &f.blocks[bi].insts {
+        assert!(
+            !matches!(&inst.kind, InstKind::WLoad { .. } | InstKind::WStore { .. }),
+            "no in-loop memory ops: {}",
+            inst.kind
+        );
+    }
+}

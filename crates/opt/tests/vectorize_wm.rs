@@ -1,0 +1,143 @@
+//! Vectorizer tests: which loops become VEU code and which are left for
+//! streaming, exactly the paper's division ("recurrences … are difficult
+//! and usually impossible to vectorize").
+
+use wm_ir::InstKind;
+use wm_opt::{optimize_generic, optimize_wm, OptOptions};
+
+fn vector_stats(src: &str, name: &str) -> (wm_ir::Function, usize) {
+    let opts = OptOptions::all().with_vectorization();
+    let m = wm_frontend::compile(src).expect("compiles");
+    let mut f = m.function_named(name).unwrap().clone();
+    optimize_generic(&mut f, &opts);
+    wm_target::expand_wm(&mut f);
+    let stats = optimize_wm(&mut f, &opts);
+    (f, stats.vector.loops_vectorized)
+}
+
+#[test]
+fn two_array_map_vectorizes() {
+    let (f, n) = vector_stats(
+        r"
+        double a[500]; double b[500]; double c[500];
+        void f(int k) {
+            int i;
+            for (i = 0; i < k; i++) c[i] = a[i] * b[i];
+        }",
+        "f",
+    );
+    assert_eq!(n, 1);
+    assert!(f.insts().any(|i| matches!(i.kind, InstKind::VecBin { .. })));
+    assert_eq!(
+        f.insts()
+            .filter(|i| matches!(i.kind, InstKind::VStreamIn { .. }))
+            .count(),
+        2
+    );
+    assert_eq!(
+        f.insts()
+            .filter(|i| matches!(i.kind, InstKind::VStreamOut { .. }))
+            .count(),
+        1
+    );
+    assert!(f.insts().any(|i| matches!(i.kind, InstKind::BranchVec { .. })));
+    // the original loop survives as the tail (the streaming pass may then
+    // claim it, so accept either form)
+    assert!(f.insts().any(|i| matches!(
+        i.kind,
+        InstKind::WStore { .. } | InstKind::StreamOut { .. }
+    )));
+}
+
+#[test]
+fn const_operand_map_vectorizes_with_broadcast() {
+    let (f, n) = vector_stats(
+        r"
+        double a[500]; double c[500];
+        void f(int k) {
+            int i;
+            for (i = 0; i < k; i++) c[i] = a[i] * 2.5;
+        }",
+        "f",
+    );
+    assert_eq!(n, 1);
+    assert!(f
+        .insts()
+        .any(|i| matches!(i.kind, InstKind::VecBroadcast { .. })));
+}
+
+#[test]
+fn recurrences_do_not_vectorize() {
+    let (_f, n) = vector_stats(
+        r"
+        double x[500]; double y[500]; double z[500];
+        void f(int k) {
+            int i;
+            for (i = 2; i < k; i++) x[i] = z[i] * (y[i] - x[i-1]);
+        }",
+        "f",
+    );
+    assert_eq!(n, 0, "the paper: recurrences are impossible to vectorize");
+}
+
+#[test]
+fn reductions_do_not_vectorize() {
+    let (_f, n) = vector_stats(
+        r"
+        double a[500]; double s[1];
+        void f(int k) {
+            int i; double acc;
+            acc = 0.0;
+            for (i = 0; i < k; i++) acc = acc + a[i];
+            s[0] = acc;
+        }",
+        "f",
+    );
+    assert_eq!(n, 0, "a reduction is not an elementwise map");
+}
+
+#[test]
+fn integer_maps_do_not_vectorize() {
+    let (_f, n) = vector_stats(
+        r"
+        int a[500]; int c[500];
+        void f(int k) {
+            int i;
+            for (i = 0; i < k; i++) c[i] = a[i] + 1;
+        }",
+        "f",
+    );
+    assert_eq!(n, 0, "the VEU is modelled for doubles only");
+}
+
+#[test]
+fn read_modify_write_maps_do_not_vectorize() {
+    let (_f, n) = vector_stats(
+        r"
+        double c[500];
+        void f(int k) {
+            int i;
+            for (i = 0; i < k; i++) c[i] = c[i] * 0.5;
+        }",
+        "f",
+    );
+    assert_eq!(n, 0, "in/out on one region needs ordering the VEU lacks");
+}
+
+#[test]
+fn vectorization_is_off_by_default() {
+    let src = r"
+        double a[500]; double b[500]; double c[500];
+        void f(int k) {
+            int i;
+            for (i = 0; i < k; i++) c[i] = a[i] * b[i];
+        }";
+    let m = wm_frontend::compile(src).unwrap();
+    let mut f = m.function_named("f").unwrap().clone();
+    let opts = OptOptions::all();
+    optimize_generic(&mut f, &opts);
+    wm_target::expand_wm(&mut f);
+    let stats = optimize_wm(&mut f, &opts);
+    assert_eq!(stats.vector.loops_vectorized, 0);
+    assert!(stats.streaming.streams_in >= 2, "streaming claims the loop");
+}

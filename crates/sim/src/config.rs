@@ -1,0 +1,98 @@
+//! Simulator configuration.
+
+/// Timing and capacity parameters of the simulated WM implementation.
+///
+/// The defaults model a plausible early-1990s implementation: a handful of
+/// cycles of memory latency, two memory ports (enough to sustain the
+/// two-loads-per-cycle dot-product inner loop the paper describes as
+/// producing "the dot product in N clock cycles"), and eight-deep data
+/// FIFOs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WmConfig {
+    /// Cycles from a memory request being accepted to data delivery.
+    pub mem_latency: u64,
+    /// Memory requests accepted per cycle (scalar units have priority over
+    /// the stream control units).
+    pub mem_ports: u32,
+    /// Capacity of each data FIFO (input and output).
+    pub fifo_capacity: usize,
+    /// Capacity of each condition-code FIFO.
+    pub cc_capacity: usize,
+    /// Capacity of each unit's instruction queue.
+    pub iq_capacity: usize,
+    /// Capacity of each unit's store-address queue.
+    pub store_queue: usize,
+    /// Cycles an SCU spends latching a stream configuration before its
+    /// first memory request (setup cost of `Sin`/`Sout`).
+    pub scu_setup: u64,
+    /// Number of stream control units.
+    pub num_scus: usize,
+    /// Vector length N of the VEU's registers (must match the compiler's
+    /// `OptOptions::vector_length`).
+    pub veu_length: usize,
+    /// VEU lanes: elements processed per cycle by one vector instruction.
+    pub veu_lanes: usize,
+    /// Bytes of simulated memory.
+    pub memory_size: usize,
+    /// Cycles charged for a builtin I/O call (`putchar`): system-call
+    /// overhead on the simulated machine.
+    pub io_latency: u64,
+    /// Hard cycle limit (guards against runaway programs).
+    pub max_cycles: u64,
+}
+
+impl Default for WmConfig {
+    fn default() -> WmConfig {
+        WmConfig {
+            mem_latency: 6,
+            mem_ports: 2,
+            fifo_capacity: 8,
+            cc_capacity: 8,
+            iq_capacity: 16,
+            store_queue: 8,
+            scu_setup: 4,
+            num_scus: 4,
+            veu_length: 32,
+            veu_lanes: 4,
+            memory_size: 16 << 20,
+            io_latency: 20,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl WmConfig {
+    /// A configuration with a different memory latency.
+    pub fn with_mem_latency(mut self, cycles: u64) -> WmConfig {
+        self.mem_latency = cycles;
+        self
+    }
+
+    /// A configuration with a different number of memory ports.
+    pub fn with_mem_ports(mut self, ports: u32) -> WmConfig {
+        self.mem_ports = ports.max(1);
+        self
+    }
+
+    /// A configuration with a different cycle limit.
+    pub fn with_max_cycles(mut self, cycles: u64) -> WmConfig {
+        self.max_cycles = cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = WmConfig::default()
+            .with_mem_latency(12)
+            .with_mem_ports(0)
+            .with_max_cycles(10);
+        assert_eq!(c.mem_latency, 12);
+        assert_eq!(c.mem_ports, 1, "ports clamp to at least one");
+        assert_eq!(c.max_cycles, 10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Module loading: lay out global data in simulated memory.
+
+use std::collections::HashMap;
+
+use wm_ir::{GlobalKind, Module, SymId};
+
+/// A loaded memory image: global data placed at fixed addresses, the rest
+/// zero, with the stack at the top.
+#[derive(Debug, Clone)]
+pub struct MemoryImage {
+    /// The memory bytes.
+    pub bytes: Vec<u8>,
+    /// Address of each data symbol.
+    pub addresses: HashMap<SymId, i64>,
+    /// Initial stack pointer (top of memory, 16-byte aligned, minus slack).
+    pub initial_sp: i64,
+}
+
+/// Base address of the first global (addresses below are kept unmapped so
+/// null-pointer bugs fault).
+pub const DATA_BASE: i64 = 0x1000;
+
+impl MemoryImage {
+    /// Lay out `module`'s globals in `size` bytes of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not fit in `size`.
+    pub fn new(module: &Module, size: usize) -> MemoryImage {
+        let mut bytes = vec![0u8; size];
+        let mut addresses = HashMap::new();
+        let mut cursor = DATA_BASE;
+        for (i, g) in module.globals.iter().enumerate() {
+            if let GlobalKind::Data { size: gsize, align, init } = &g.kind {
+                let align = (*align).max(1) as i64;
+                cursor = (cursor + align - 1) / align * align;
+                let addr = cursor;
+                cursor += *gsize as i64;
+                assert!(
+                    (cursor as usize) < size / 2,
+                    "global data does not fit in simulated memory"
+                );
+                bytes[addr as usize..addr as usize + init.len()].copy_from_slice(init);
+                addresses.insert(SymId(i as u32), addr);
+            }
+        }
+        let initial_sp = (size as i64 - 64) & !15;
+        MemoryImage {
+            bytes,
+            addresses,
+            initial_sp,
+        }
+    }
+
+    /// Read `width` bytes at `addr` as a sign/zero-extended integer.
+    /// Returns `None` when out of bounds.
+    pub fn read_int(&self, addr: i64, width: wm_ir::Width) -> Option<i64> {
+        let a = usize::try_from(addr).ok()?;
+        let n = width.bytes() as usize;
+        let slice = self.bytes.get(a..a + n)?;
+        Some(match width {
+            wm_ir::Width::B1 => slice[0] as i64,
+            wm_ir::Width::W4 => i32::from_le_bytes(slice.try_into().unwrap()) as i64,
+            wm_ir::Width::D8 => i64::from_le_bytes(slice.try_into().unwrap()),
+        })
+    }
+
+    /// Read a double at `addr`.
+    pub fn read_flt(&self, addr: i64) -> Option<f64> {
+        let a = usize::try_from(addr).ok()?;
+        let slice = self.bytes.get(a..a + 8)?;
+        Some(f64::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    /// Write an integer of `width` bytes. Returns false when out of bounds.
+    pub fn write_int(&mut self, addr: i64, width: wm_ir::Width, v: i64) -> bool {
+        let Ok(a) = usize::try_from(addr) else {
+            return false;
+        };
+        let n = width.bytes() as usize;
+        let Some(slice) = self.bytes.get_mut(a..a + n) else {
+            return false;
+        };
+        match width {
+            wm_ir::Width::B1 => slice[0] = v as u8,
+            wm_ir::Width::W4 => slice.copy_from_slice(&(v as i32).to_le_bytes()),
+            wm_ir::Width::D8 => slice.copy_from_slice(&v.to_le_bytes()),
+        }
+        true
+    }
+
+    /// Write a double. Returns false when out of bounds.
+    pub fn write_flt(&mut self, addr: i64, v: f64) -> bool {
+        let Ok(a) = usize::try_from(addr) else {
+            return false;
+        };
+        let Some(slice) = self.bytes.get_mut(a..a + 8) else {
+            return false;
+        };
+        slice.copy_from_slice(&v.to_le_bytes());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_ir::Width;
+
+    #[test]
+    fn layout_respects_alignment_and_inits() {
+        let mut m = Module::new();
+        let a = m.add_data("a", 3, 1, vec![1, 2, 3]);
+        let b = m.add_data("b", 16, 8, vec![]);
+        let img = MemoryImage::new(&m, 1 << 20);
+        let aa = img.addresses[&a];
+        let ba = img.addresses[&b];
+        assert_eq!(aa, DATA_BASE);
+        assert_eq!(ba % 8, 0);
+        assert!(ba >= aa + 3);
+        assert_eq!(img.read_int(aa, Width::B1), Some(1));
+        assert_eq!(img.read_int(aa + 2, Width::B1), Some(3));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let m = Module::new();
+        let mut img = MemoryImage::new(&m, 1 << 16);
+        assert!(img.write_int(0x2000, Width::W4, -5));
+        assert_eq!(img.read_int(0x2000, Width::W4), Some(-5));
+        assert!(img.write_flt(0x2008, 2.5));
+        assert_eq!(img.read_flt(0x2008), Some(2.5));
+        // out of bounds
+        assert!(!img.write_int(1 << 20, Width::W4, 0));
+        assert_eq!(img.read_int(-4, Width::W4), None);
+        assert_eq!(img.read_int((1 << 16) - 2, Width::W4), None);
+    }
+
+    #[test]
+    fn stack_pointer_is_aligned() {
+        let m = Module::new();
+        let img = MemoryImage::new(&m, 1 << 16);
+        assert_eq!(img.initial_sp % 16, 0);
+        assert!(img.initial_sp < (1 << 16));
+    }
+}

@@ -1,0 +1,1696 @@
+//! The WM machine model.
+
+use std::collections::{HashMap, VecDeque};
+
+use wm_ir::{
+    BinOp, DataFifo, GlobalKind, InstKind, Module, Operand, RExpr, Reg, RegClass, SymId, UnOp,
+    Width,
+};
+
+use crate::config::WmConfig;
+use crate::loader::MemoryImage;
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The cycle limit was reached.
+    Timeout { cycles: u64 },
+    /// No unit made progress for a long time; the machine state is wedged
+    /// (usually a miscompilation — e.g. a FIFO imbalance).
+    Deadlock { cycle: u64, detail: String },
+    /// A memory fault or illegal operation.
+    Fault { cycle: u64, detail: String },
+    /// The module cannot be executed (missing entry, virtual registers…).
+    BadProgram(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Timeout { cycles } => write!(f, "cycle limit {cycles} exceeded"),
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::Fault { cycle, detail } => write!(f, "fault at cycle {cycle}: {detail}"),
+            SimError::BadProgram(d) => write!(f, "bad program: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions executed by the integer execution unit.
+    pub insts_ieu: u64,
+    /// Instructions executed by the floating-point execution unit.
+    pub insts_feu: u64,
+    /// Control instructions handled by the instruction fetch unit.
+    pub insts_ifu: u64,
+    /// Scalar memory reads issued.
+    pub mem_reads: u64,
+    /// Memory writes issued (scalar and stream-out).
+    pub mem_writes: u64,
+    /// Stream-in reads issued by the SCUs.
+    pub stream_reads: u64,
+    /// Stream-out writes issued by the SCUs.
+    pub stream_writes: u64,
+    /// Cycles the IFU spent stalled (empty CC FIFO, full queue, sync).
+    pub ifu_stalls: u64,
+    /// Function calls executed.
+    pub calls: u64,
+}
+
+impl SimStats {
+    /// Total instructions executed across all units.
+    pub fn instructions(&self) -> u64 {
+        self.insts_ieu + self.insts_feu + self.insts_ifu
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Exact cycle count, including memory delays.
+    pub cycles: u64,
+    /// Integer return value of the entry function (`r2`).
+    pub ret_int: i64,
+    /// Floating-point return value (`f2`).
+    pub ret_flt: f64,
+    /// Bytes written through `putchar`.
+    pub output: Vec<u8>,
+    /// Detailed statistics.
+    pub stats: SimStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    I(i64),
+    F(f64),
+}
+
+impl Val {
+    fn as_i(self) -> i64 {
+        match self {
+            Val::I(v) => v,
+            Val::F(v) => v as i64,
+        }
+    }
+    fn as_f(self) -> f64 {
+        match self {
+            Val::I(v) => v as f64,
+            Val::F(v) => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pc {
+    func: usize,
+    block: usize,
+    inst: usize,
+}
+
+#[derive(Debug, Default)]
+struct InFifo {
+    q: VecDeque<Val>,
+    /// Requests in flight toward this FIFO.
+    pending: usize,
+    /// Generation: bumped by stream stop so stale arrivals are dropped.
+    gen: u32,
+    /// Is an SCU currently feeding this FIFO?
+    streamed: bool,
+}
+
+#[derive(Debug)]
+struct Unit {
+    regs: [Val; 32],
+    iq: VecDeque<InstKind>,
+    ins: [InFifo; 2],
+    out: VecDeque<Val>,
+    cc: VecDeque<bool>,
+    prev_dst: Option<u8>,
+    prev_cycle: u64,
+    busy: u64,
+}
+
+impl Unit {
+    fn new(class: RegClass) -> Unit {
+        let zero = match class {
+            RegClass::Int => Val::I(0),
+            RegClass::Flt => Val::F(0.0),
+        };
+        Unit {
+            regs: [zero; 32],
+            iq: VecDeque::new(),
+            ins: [InFifo::default(), InFifo::default()],
+            out: VecDeque::new(),
+            cc: VecDeque::new(),
+            prev_dst: None,
+            prev_cycle: 0,
+            busy: 0,
+        }
+    }
+}
+
+/// The vector execution unit: 8 vector registers of N doubles, two input
+/// stream ports and one output FIFO.
+#[derive(Debug)]
+struct Veu {
+    iq: VecDeque<InstKind>,
+    vregs: Vec<Vec<f64>>,
+    ports: [VecDeque<f64>; 2],
+    /// requests in flight toward each port
+    pending: [usize; 2],
+    out: VecDeque<f64>,
+    busy: u64,
+}
+
+impl Veu {
+    fn new(n: usize) -> Veu {
+        Veu {
+            iq: VecDeque::new(),
+            vregs: vec![vec![0.0; n]; 8],
+            ports: [VecDeque::new(), VecDeque::new()],
+            pending: [0, 0],
+            out: VecDeque::new(),
+            busy: 0,
+        }
+    }
+}
+
+/// Where a stream delivers / takes its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamTarget {
+    /// A scalar unit's FIFO-mapped register 0/1.
+    Fifo(DataFifo),
+    /// A VEU input port (in-streams) or the VEU output FIFO (out-streams).
+    Veu(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scu {
+    active: bool,
+    dir_in: bool,
+    fifo: DataFifo,
+    target: StreamTarget,
+    addr: i64,
+    stride: i64,
+    remaining: Option<i64>,
+    width: Width,
+    gen: u32,
+    /// Cycle at which the SCU may issue its first request.
+    ready_at: u64,
+    /// Configuration order: an in-stream's prefetch must wait for
+    /// overlapping writes of out-streams configured *before* it (they
+    /// precede it in program order), but not for younger ones (a
+    /// read-modify-write loop configures its in-stream first).
+    seq: u64,
+}
+
+#[derive(Debug)]
+enum MemOp {
+    ReadFifo {
+        target: StreamTarget,
+        addr: i64,
+        width: Width,
+        gen: u32,
+        from_stream: bool,
+    },
+    Write {
+        addr: i64,
+        width: Width,
+        val: Val,
+    },
+}
+
+/// A pending scalar store: the address is known, the data comes from the
+/// named unit's output FIFO.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    addr: i64,
+    width: Width,
+    class: RegClass,
+}
+
+/// One executed instruction, recorded when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of execution.
+    pub cycle: u64,
+    /// Which unit executed it (`"IEU"`, `"FEU"`, `"IFU"`).
+    pub unit: &'static str,
+    /// The instruction, rendered in listing notation.
+    pub text: String,
+}
+
+/// The simulated machine. Use [`WmMachine::run`] for the common case.
+pub struct WmMachine<'m> {
+    module: &'m Module,
+    config: WmConfig,
+    mem: MemoryImage,
+    ieu: Unit,
+    feu: Unit,
+    veu: Veu,
+    scus: Vec<Scu>,
+    store_q: VecDeque<PendingStore>,
+    in_flight: VecDeque<(u64, MemOp)>,
+    pc: Option<Pc>,
+    ret_stack: Vec<Pc>,
+    /// IFU-side per-stream dispatch counters for `jNI` jumps.
+    dispatch: HashMap<DataFifo, i64>,
+    /// IFU-side vector-termination counter for `jNIv` jumps.
+    dispatch_vec: Option<i64>,
+    output: Vec<u8>,
+    stats: SimStats,
+    cycle: u64,
+    last_progress: u64,
+    ports_used: u32,
+    /// The IFU is held (e.g. by builtin I/O) until this cycle.
+    ifu_hold: u64,
+    /// Monotonic stream-configuration counter (see `Scu::seq`).
+    scu_seq: u64,
+    /// Execution trace (populated only when enabled).
+    trace: Vec<TraceEvent>,
+    trace_enabled: bool,
+}
+
+impl<'m> WmMachine<'m> {
+    /// Build a machine around a compiled module (WM form, physical
+    /// registers only).
+    pub fn new(module: &'m Module, config: &WmConfig) -> Result<WmMachine<'m>, SimError> {
+        for f in &module.functions {
+            for inst in f.insts() {
+                if inst
+                    .kind
+                    .uses()
+                    .into_iter()
+                    .chain(inst.kind.defs())
+                    .any(|r| r.is_virt())
+                {
+                    return Err(SimError::BadProgram(format!(
+                        "function {} still has virtual registers",
+                        f.name
+                    )));
+                }
+                if matches!(inst.kind, InstKind::GLoad { .. } | InstKind::GStore { .. }) {
+                    return Err(SimError::BadProgram(format!(
+                        "function {} has generic memory references; expand to WM form first",
+                        f.name
+                    )));
+                }
+            }
+        }
+        let mem = MemoryImage::new(module, config.memory_size);
+        let mut ieu = Unit::new(RegClass::Int);
+        ieu.regs[30] = Val::I(mem.initial_sp);
+        Ok(WmMachine {
+            module,
+            config: config.clone(),
+            mem,
+            ieu,
+            feu: Unit::new(RegClass::Flt),
+            veu: Veu::new(config.veu_length),
+            scus: vec![
+                Scu {
+                    active: false,
+                    dir_in: true,
+                    fifo: DataFifo::new(RegClass::Int, 0),
+                    target: StreamTarget::Fifo(DataFifo::new(RegClass::Int, 0)),
+                    addr: 0,
+                    stride: 0,
+                    remaining: None,
+                    width: Width::W4,
+                    gen: 0,
+                    ready_at: 0,
+                    seq: 0,
+                };
+                config.num_scus
+            ],
+            store_q: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            pc: None,
+            ret_stack: Vec::new(),
+            dispatch: HashMap::new(),
+            dispatch_vec: None,
+            output: Vec::new(),
+            stats: SimStats::default(),
+            cycle: 0,
+            last_progress: 0,
+            ports_used: 0,
+            ifu_hold: 0,
+            scu_seq: 0,
+            trace: Vec::new(),
+            trace_enabled: false,
+        })
+    }
+
+    /// Compile-and-go entry point: run `entry` with integer `args` until it
+    /// returns, and report exact cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for faults, deadlocks, cycle-limit timeouts or
+    /// unexecutable modules.
+    pub fn run(
+        module: &Module,
+        entry: &str,
+        args: &[i64],
+        config: &WmConfig,
+    ) -> Result<RunResult, SimError> {
+        let mut m = WmMachine::new(module, config)?;
+        m.start(entry, args)?;
+        m.run_to_completion()
+    }
+
+    /// Enable instruction tracing: every executed instruction is recorded
+    /// with its cycle and unit. Costly; intended for debugging.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// The execution trace collected so far (empty unless tracing was
+    /// enabled with [`WmMachine::set_trace`]).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    fn record(&mut self, unit: &'static str, kind: &InstKind) {
+        if self.trace_enabled {
+            self.trace.push(TraceEvent {
+                cycle: self.cycle,
+                unit,
+                text: kind.to_string(),
+            });
+        }
+    }
+
+    /// Position the machine at the entry of `entry` with `args` in the
+    /// argument registers.
+    pub fn start(&mut self, entry: &str, args: &[i64]) -> Result<(), SimError> {
+        let sym = self
+            .module
+            .lookup(entry)
+            .ok_or_else(|| SimError::BadProgram(format!("no entry symbol {entry}")))?;
+        let fidx = match self.module.global(sym).kind {
+            GlobalKind::Func(i) => i,
+            _ => return Err(SimError::BadProgram(format!("{entry} is not a function"))),
+        };
+        for (i, a) in args.iter().enumerate() {
+            if 2 + i > 7 {
+                return Err(SimError::BadProgram("too many entry arguments".into()));
+            }
+            self.ieu.regs[2 + i] = Val::I(*a);
+        }
+        self.pc = Some(Pc {
+            func: fidx,
+            block: 0,
+            inst: 0,
+        });
+        Ok(())
+    }
+
+    /// Simulate until the entry function returns.
+    pub fn run_to_completion(&mut self) -> Result<RunResult, SimError> {
+        while !self.halted() {
+            self.step()?;
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: self.config.max_cycles,
+                });
+            }
+            if self.cycle - self.last_progress > 10_000 {
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    detail: self.wedge_report(),
+                });
+            }
+        }
+        self.stats.cycles = self.cycle;
+        Ok(RunResult {
+            cycles: self.cycle,
+            ret_int: self.ieu.regs[2].as_i(),
+            ret_flt: self.feu.regs[2].as_f(),
+            output: self.output.clone(),
+            stats: self.stats,
+        })
+    }
+
+    fn halted(&mut self) -> bool {
+        if self.pc.is_some() {
+            return false;
+        }
+        // Stop prefetching once the program has returned *and* the units
+        // have drained (queued instructions may still consume stream data).
+        if self.ieu.iq.is_empty() && self.feu.iq.is_empty() {
+            for scu in self.scus.iter_mut() {
+                if scu.active && scu.dir_in {
+                    scu.active = false;
+                }
+            }
+        }
+        self.ieu.iq.is_empty()
+            && self.feu.iq.is_empty()
+            && self.veu.iq.is_empty()
+            && self.store_q.is_empty()
+            && self.in_flight.is_empty()
+            && !self.scus.iter().any(|s| s.active && !s.dir_in)
+    }
+
+    fn wedge_report(&self) -> String {
+        format!(
+            "pc={:?} ieu.iq={} feu.iq={} stores={} inflight={} ieu.head={:?} feu.head={:?}              ieu.in=[{},{}] feu.in=[{},{}] ieu.out={} feu.out={} dispatch={:?} scus={:?}",
+            self.pc,
+            self.ieu.iq.len(),
+            self.feu.iq.len(),
+            self.store_q.len(),
+            self.in_flight.len(),
+            self.ieu.iq.front().map(|k| k.to_string()),
+            self.feu.iq.front().map(|k| k.to_string()),
+            self.ieu.ins[0].q.len(),
+            self.ieu.ins[1].q.len(),
+            self.feu.ins[0].q.len(),
+            self.feu.ins[1].q.len(),
+            self.ieu.out.len(),
+            self.feu.out.len(),
+            self.dispatch,
+            self.scus,
+        )
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.ports_used = 0;
+        self.deliver_memory()?;
+        self.unit_step(RegClass::Int)?;
+        self.unit_step(RegClass::Flt)?;
+        self.veu_step()?;
+        self.drain_stores()?;
+        self.scu_step()?;
+        self.ifu_step()?;
+        Ok(())
+    }
+
+    // ---- memory ----
+
+    fn deliver_memory(&mut self) -> Result<(), SimError> {
+        while let Some((t, _)) = self.in_flight.front() {
+            if *t > self.cycle {
+                break;
+            }
+            let (_, op) = self.in_flight.pop_front().unwrap();
+            self.last_progress = self.cycle;
+            match op {
+                MemOp::ReadFifo {
+                    target,
+                    addr,
+                    width,
+                    gen,
+                    from_stream,
+                } => {
+                    let is_flt = match target {
+                        StreamTarget::Fifo(f) => f.class == RegClass::Flt,
+                        StreamTarget::Veu(_) => true,
+                    };
+                    let val = match (is_flt, width) {
+                        (true, Width::D8) => self.mem.read_flt(addr).map(Val::F),
+                        _ => self.mem.read_int(addr, width).map(Val::I),
+                    };
+                    let val = match val {
+                        Some(v) => v,
+                        None if from_stream => {
+                            // prefetch past the end of data: harmless zeros
+                            if is_flt {
+                                Val::F(0.0)
+                            } else {
+                                Val::I(0)
+                            }
+                        }
+                        None => {
+                            return Err(SimError::Fault {
+                                cycle: self.cycle,
+                                detail: format!("load fault at address {addr:#x}"),
+                            })
+                        }
+                    };
+                    match target {
+                        StreamTarget::Fifo(fifo) => {
+                            let unit = self.unit_mut(fifo.class);
+                            let f = &mut unit.ins[fifo.index as usize];
+                            if f.gen == gen {
+                                f.q.push_back(val);
+                                f.pending = f.pending.saturating_sub(1);
+                            }
+                            // stale data (stopped stream) is dropped
+                        }
+                        StreamTarget::Veu(port) => {
+                            let p = port as usize;
+                            self.veu.ports[p].push_back(val.as_f());
+                            self.veu.pending[p] = self.veu.pending[p].saturating_sub(1);
+                        }
+                    }
+                }
+                MemOp::Write { addr, width, val } => {
+                    let ok = match val {
+                        Val::F(v) if width == Width::D8 => self.mem.write_flt(addr, v),
+                        v => self.mem.write_int(addr, width, v.as_i()),
+                    };
+                    if !ok {
+                        return Err(SimError::Fault {
+                            cycle: self.cycle,
+                            detail: format!("store fault at address {addr:#x}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn issue_mem(&mut self, op: MemOp) {
+        let t = self.cycle + self.config.mem_latency;
+        self.in_flight.push_back((t, op));
+        self.ports_used += 1;
+        self.last_progress = self.cycle;
+    }
+
+    fn ports_free(&self) -> bool {
+        self.ports_used < self.config.mem_ports
+    }
+
+    /// Would a read of `[addr, addr+width)` overlap a store whose write has
+    /// not yet reached memory? Loads must wait for such stores (the
+    /// load/store ordering a decoupled access/execute machine enforces with
+    /// its store-address queue).
+    fn conflicts_with_pending_writes(&self, addr: i64, width: Width) -> bool {
+        let end = addr + width.bytes();
+        let overlap = |a: i64, w: Width| a < end && addr < a + w.bytes();
+        self.store_q.iter().any(|s| overlap(s.addr, s.width))
+            || self.in_flight.iter().any(|(_, op)| match op {
+                MemOp::Write { addr: a, width: w, .. } => overlap(*a, *w),
+                MemOp::ReadFifo { .. } => false,
+            })
+    }
+
+    /// Does an active out-stream with a configuration number below `seq`
+    /// still have `[addr, addr+width)` in its unwritten range?
+    fn older_out_stream_overlaps(&self, seq: u64, addr: i64, width: Width) -> bool {
+        let end = addr + width.bytes();
+        self.scus.iter().any(|s| {
+            if !s.active || s.dir_in || s.seq >= seq {
+                return false;
+            }
+            match s.remaining {
+                Some(n) => {
+                    let lo = s.addr.min(s.addr + s.stride * (n - 1).max(0));
+                    let hi = s.addr.max(s.addr + s.stride * (n - 1).max(0)) + s.width.bytes();
+                    lo < end && addr < hi
+                }
+                None => {
+                    if s.stride >= 0 {
+                        s.addr < end
+                    } else {
+                        addr < s.addr + s.width.bytes()
+                    }
+                }
+            }
+        })
+    }
+
+    /// Does a *scalar* load of `[addr, addr+width)` fall inside the range an
+    /// active out-stream has yet to write? Scalar loads follow the stream's
+    /// writes in program order, so they must wait; stream-in prefetches must
+    /// not (their reads precede the overlapping writes in program order).
+    fn conflicts_with_out_streams(&self, addr: i64, width: Width) -> bool {
+        let end = addr + width.bytes();
+        self.scus.iter().any(|s| {
+            if !s.active || s.dir_in {
+                return false;
+            }
+            match s.remaining {
+                Some(n) => {
+                    let lo = s.addr.min(s.addr + s.stride * (n - 1).max(0));
+                    let hi = s.addr.max(s.addr + s.stride * (n - 1).max(0)) + s.width.bytes();
+                    lo < end && addr < hi
+                }
+                // unbounded stream: everything from the cursor onward (in
+                // stride direction) may still be written
+                None => {
+                    if s.stride >= 0 {
+                        s.addr < end
+                    } else {
+                        addr < s.addr + s.width.bytes()
+                    }
+                }
+            }
+        })
+    }
+
+    // ---- execution units ----
+
+    fn unit(&self, class: RegClass) -> &Unit {
+        match class {
+            RegClass::Int => &self.ieu,
+            RegClass::Flt => &self.feu,
+        }
+    }
+
+    fn unit_mut(&mut self, class: RegClass) -> &mut Unit {
+        match class {
+            RegClass::Int => &mut self.ieu,
+            RegClass::Flt => &mut self.feu,
+        }
+    }
+
+    fn unit_step(&mut self, class: RegClass) -> Result<(), SimError> {
+        if self.unit(class).busy > 0 {
+            self.unit_mut(class).busy -= 1;
+            return Ok(());
+        }
+        let Some(head) = self.unit(class).iq.front().cloned() else {
+            return Ok(());
+        };
+        // paired-ALU dependency interlock: the previous instruction's result
+        // is not available to the immediately following instruction
+        {
+            let u = self.unit(class);
+            if let Some(prev) = u.prev_dst {
+                if u.prev_cycle + 1 == self.cycle
+                    && head
+                        .uses()
+                        .iter()
+                        .any(|r| r.class == class && r.phys_num() == Some(prev))
+                {
+                    return Ok(()); // one-cycle bubble
+                }
+            }
+        }
+        // FIFO data availability for every dequeue in the instruction
+        if !self.fifo_ready(class, &head) {
+            return Ok(());
+        }
+        let mut executed_dst: Option<u8> = None;
+        match &head {
+            InstKind::Assign { dst, src } => {
+                if dst.phys_num() == Some(0) && self.unit(class).out.len() >= self.config.fifo_capacity
+                {
+                    return Ok(()); // output FIFO full
+                }
+                let v = self.eval_expr(class, src)?;
+                self.write_reg(class, *dst, v)?;
+                if !dst.is_fifo() && !dst.is_zero() {
+                    executed_dst = dst.phys_num();
+                }
+            }
+            InstKind::LoadAddr { dst, sym, disp } => {
+                let addr = self.sym_addr(*sym)? + disp;
+                self.write_reg(class, *dst, Val::I(addr))?;
+                executed_dst = dst.phys_num();
+                // the llh/sll pair is two 32-bit instructions
+                self.unit_mut(class).busy = 1;
+            }
+            InstKind::Compare { op, a, b, .. } => {
+                if self.unit(class).cc.len() >= self.config.cc_capacity {
+                    return Ok(());
+                }
+                let va = self.read_operand(class, *a)?;
+                let vb = self.read_operand(class, *b)?;
+                let r = match class {
+                    RegClass::Int => op.eval_int(va.as_i(), vb.as_i()),
+                    RegClass::Flt => op.eval_flt(va.as_f(), vb.as_f()),
+                };
+                self.unit_mut(class).cc.push_back(r);
+            }
+            InstKind::WLoad { fifo, addr, width } => {
+                if !self.ports_free() {
+                    return Ok(());
+                }
+                {
+                    let tf = &self.unit(fifo.class).ins[fifo.index as usize];
+                    // A scalar load must not interleave its datum with an
+                    // active stream's: stall until the stream's last
+                    // request has been issued (the hardware interlock).
+                    if tf.streamed {
+                        return Ok(());
+                    }
+                    if tf.q.len() + tf.pending >= self.config.fifo_capacity {
+                        return Ok(());
+                    }
+                }
+                let a = self.eval_expr_pure(class, addr);
+                match a {
+                    Some(a)
+                        if self.conflicts_with_pending_writes(a, *width)
+                            || self.conflicts_with_out_streams(a, *width) =>
+                    {
+                        return Ok(()); // wait for the conflicting store
+                    }
+                    None if !self.store_q.is_empty() || self
+                        .in_flight
+                        .iter()
+                        .any(|(_, op)| matches!(op, MemOp::Write { .. })) =>
+                    {
+                        return Ok(()); // unanalyzable address: drain stores first
+                    }
+                    _ => {}
+                }
+                let a = self.eval_expr(class, addr)?.as_i();
+                let gen = self.unit(fifo.class).ins[fifo.index as usize].gen;
+                self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
+                self.issue_mem(MemOp::ReadFifo {
+                    target: StreamTarget::Fifo(*fifo),
+                    addr: a,
+                    width: *width,
+                    gen,
+                    from_stream: false,
+                });
+                self.stats.mem_reads += 1;
+            }
+            InstKind::WStore { unit, addr, width } => {
+                if self.store_q.len() >= self.config.store_queue {
+                    return Ok(());
+                }
+                let a = self.eval_expr(class, addr)?.as_i();
+                self.store_q.push_back(PendingStore {
+                    addr: a,
+                    width: *width,
+                    class: *unit,
+                });
+            }
+            InstKind::StreamIn {
+                fifo,
+                base,
+                count,
+                stride,
+                width,
+                tested,
+            } => {
+                if !self.configure_scu(true, *fifo, *base, *count, *stride, *width, *tested)? {
+                    return Ok(()); // no free SCU
+                }
+            }
+            InstKind::StreamOut {
+                fifo,
+                base,
+                count,
+                stride,
+                width,
+            } => {
+                if !self.configure_scu(false, *fifo, *base, *count, *stride, *width, false)? {
+                    return Ok(());
+                }
+            }
+            InstKind::VStreamIn {
+                port,
+                base,
+                count,
+                stride,
+                vectors,
+            } => {
+                let Some(slot) = self.scus.iter().position(|u| !u.active) else {
+                    return Ok(());
+                };
+                let addr = self.read_operand(RegClass::Int, *base)?.as_i();
+                let n = self.read_operand(RegClass::Int, *count)?.as_i();
+                let st = self.read_operand(RegClass::Int, *stride)?.as_i();
+                let v = self.read_operand(RegClass::Int, *vectors)?.as_i();
+                if n < 0 || v < 0 {
+                    return Err(SimError::Fault {
+                        cycle: self.cycle,
+                        detail: format!("vector stream configured with count {n}/{v}"),
+                    });
+                }
+                // a previous vector loop's stream into this port must
+                // drain before the port is reused
+                if self
+                    .scus
+                    .iter()
+                    .any(|u| u.active && u.dir_in && u.target == StreamTarget::Veu(*port))
+                {
+                    return Ok(());
+                }
+                self.scu_seq += 1;
+                self.scus[slot] = Scu {
+                    active: n > 0,
+                    dir_in: true,
+                    fifo: DataFifo::new(RegClass::Flt, 0), // unused for VEU targets
+                    target: StreamTarget::Veu(*port),
+                    addr,
+                    stride: st,
+                    remaining: Some(n),
+                    width: Width::D8,
+                    gen: 0,
+                    ready_at: self.cycle + self.config.scu_setup,
+                    seq: self.scu_seq,
+                };
+                // only the stream carrying a positive `vectors` operand
+                // loads the termination counter (one per vector loop);
+                // re-setting it from a second port would corrupt a count
+                // the IFU is already consuming
+                if v > 0 {
+                    self.dispatch_vec = Some(v);
+                }
+            }
+            InstKind::VStreamOut {
+                base,
+                count,
+                stride,
+            } => {
+                let Some(slot) = self.scus.iter().position(|u| !u.active) else {
+                    return Ok(());
+                };
+                let addr = self.read_operand(RegClass::Int, *base)?.as_i();
+                let n = self.read_operand(RegClass::Int, *count)?.as_i();
+                let st = self.read_operand(RegClass::Int, *stride)?.as_i();
+                if self
+                    .scus
+                    .iter()
+                    .any(|u| u.active && !u.dir_in && u.target == StreamTarget::Veu(0))
+                {
+                    return Ok(());
+                }
+                self.scu_seq += 1;
+                self.scus[slot] = Scu {
+                    active: n > 0,
+                    dir_in: false,
+                    fifo: DataFifo::new(RegClass::Flt, 0),
+                    target: StreamTarget::Veu(0),
+                    addr,
+                    stride: st,
+                    remaining: Some(n),
+                    width: Width::D8,
+                    gen: 0,
+                    ready_at: self.cycle + self.config.scu_setup,
+                    seq: self.scu_seq,
+                };
+            }
+            InstKind::StreamStop { fifo } => {
+                // stopping an out-stream must not strand enqueued data:
+                // wait until the SCU has drained the output FIFO
+                let draining = self
+                    .scus
+                    .iter()
+                    .any(|s| s.active && !s.dir_in && s.fifo == *fifo)
+                    && !self.unit(fifo.class).out.is_empty();
+                if draining {
+                    return Ok(());
+                }
+                self.stop_stream(*fifo);
+            }
+            other => {
+                return Err(SimError::BadProgram(format!(
+                    "instruction reached an execution unit: {other}"
+                )))
+            }
+        }
+        self.record(
+            match class {
+                RegClass::Int => "IEU",
+                RegClass::Flt => "FEU",
+            },
+            &head,
+        );
+        let now = self.cycle;
+        let u = self.unit_mut(class);
+        u.iq.pop_front();
+        u.prev_dst = executed_dst;
+        u.prev_cycle = now;
+        match class {
+            RegClass::Int => self.stats.insts_ieu += 1,
+            RegClass::Flt => self.stats.insts_feu += 1,
+        }
+        self.last_progress = self.cycle;
+        Ok(())
+    }
+
+    /// Do the FIFO reads of `kind` have data available?
+    fn fifo_ready(&self, class: RegClass, kind: &InstKind) -> bool {
+        let mut need = [0usize; 2];
+        let exprs: Vec<&RExpr> = match kind {
+            InstKind::Assign { src, .. } => vec![src],
+            InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => vec![addr],
+            _ => Vec::new(),
+        };
+        for e in exprs {
+            for r in e.regs() {
+                if r.class == class && r.is_fifo() {
+                    need[r.phys_num().unwrap() as usize] += 1;
+                }
+            }
+        }
+        // operands of Compare may also dequeue
+        if let InstKind::Compare { a, b, .. } = kind {
+            for op in [a, b] {
+                if let Operand::Reg(r) = op {
+                    if r.class == class && r.is_fifo() {
+                        need[r.phys_num().unwrap() as usize] += 1;
+                    }
+                }
+            }
+        }
+        let u = self.unit(class);
+        need[0] <= u.ins[0].q.len() && need[1] <= u.ins[1].q.len()
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the stream-instruction fields
+    fn configure_scu(
+        &mut self,
+        dir_in: bool,
+        fifo: DataFifo,
+        base: Operand,
+        count: Option<Operand>,
+        stride: Operand,
+        width: Width,
+        tested: bool,
+    ) -> Result<bool, SimError> {
+        let Some(slot) = self.scus.iter().position(|s| !s.active) else {
+            return Ok(false);
+        };
+        let addr = self.read_operand(RegClass::Int, base)?.as_i();
+        let stride = self.read_operand(RegClass::Int, stride)?.as_i();
+        let remaining = match count {
+            Some(c) => {
+                let n = self.read_operand(RegClass::Int, c)?.as_i();
+                if n <= 0 {
+                    return Err(SimError::Fault {
+                        cycle: self.cycle,
+                        detail: format!("stream configured with count {n}"),
+                    });
+                }
+                Some(n)
+            }
+            None => None,
+        };
+        let gen = if dir_in {
+            // The previous loop's stream may still be draining (the IEU
+            // runs ahead of the consuming unit): wait for it rather than
+            // overlap two streams on one FIFO.
+            if self.unit(fifo.class).ins[fifo.index as usize].streamed {
+                return Ok(false);
+            }
+            let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+            f.streamed = true;
+            f.gen
+        } else {
+            // likewise for an out-stream still draining the output FIFO
+            if self
+                .scus
+                .iter()
+                .any(|u| u.active && !u.dir_in && u.target == StreamTarget::Fifo(fifo))
+            {
+                return Ok(false);
+            }
+            0
+        };
+        self.scu_seq += 1;
+        self.scus[slot] = Scu {
+            active: true,
+            dir_in,
+            fifo,
+            target: StreamTarget::Fifo(fifo),
+            addr,
+            stride,
+            remaining,
+            width,
+            gen,
+            ready_at: self.cycle + self.config.scu_setup,
+            seq: self.scu_seq,
+        };
+        // Register the dispatch counter for jNI jumps — but only for the
+        // stream the compiler marked as tested. Registering any other
+        // stream would leave a stale counter behind (its jNI never drains
+        // it), corrupting a later loop's termination test on the same FIFO.
+        if dir_in && tested {
+            if let Some(n) = remaining {
+                self.dispatch.insert(fifo, n);
+            }
+        }
+        Ok(true)
+    }
+
+    fn stop_stream(&mut self, fifo: DataFifo) {
+        let mut flush_in = false;
+        for scu in self.scus.iter_mut() {
+            if scu.active && scu.fifo == fifo {
+                scu.active = false;
+                if scu.dir_in {
+                    flush_in = true;
+                }
+            }
+        }
+        if flush_in {
+            let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+            f.q.clear();
+            f.pending = 0;
+            f.gen = f.gen.wrapping_add(1);
+            f.streamed = false;
+        }
+        self.dispatch.remove(&fifo);
+    }
+
+    fn drain_stores(&mut self) -> Result<(), SimError> {
+        while self.ports_free() {
+            let Some(&PendingStore { addr, width, class }) = self.store_q.front() else {
+                break;
+            };
+            // an active out-stream on the same unit would compete for the
+            // data: that is a miscompilation
+            if self
+                .scus
+                .iter()
+                .any(|s| s.active && !s.dir_in && s.fifo.class == class)
+                && !self.unit(class).out.is_empty()
+            {
+                return Err(SimError::Fault {
+                    cycle: self.cycle,
+                    detail: "scalar store and stream-out compete for output FIFO".into(),
+                });
+            }
+            let Some(val) = self.unit_mut(class).out.pop_front() else {
+                break; // data not produced yet
+            };
+            self.store_q.pop_front();
+            self.issue_mem(MemOp::Write { addr, width, val });
+            self.stats.mem_writes += 1;
+        }
+        Ok(())
+    }
+
+    fn scu_step(&mut self) -> Result<(), SimError> {
+        for i in 0..self.scus.len() {
+            if !self.ports_free() {
+                break;
+            }
+            let scu = self.scus[i];
+            if !scu.active || self.cycle < scu.ready_at {
+                continue;
+            }
+            if scu.dir_in {
+                if scu.remaining == Some(0) {
+                    self.scus[i].active = false;
+                    if let StreamTarget::Fifo(fifo) = scu.target {
+                        let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+                        f.streamed = false;
+                    }
+                    continue;
+                }
+                // back-pressure: respect the destination's capacity
+                match scu.target {
+                    StreamTarget::Fifo(fifo) => {
+                        let f = &self.unit(fifo.class).ins[fifo.index as usize];
+                        if f.q.len() + f.pending >= self.config.fifo_capacity {
+                            continue;
+                        }
+                    }
+                    StreamTarget::Veu(port) => {
+                        let p = port as usize;
+                        if self.veu.ports[p].len() + self.veu.pending[p]
+                            >= 2 * self.config.veu_length
+                        {
+                            continue;
+                        }
+                    }
+                }
+                if self.conflicts_with_pending_writes(scu.addr, scu.width) {
+                    continue; // hold the prefetch until the store lands
+                }
+                // an out-stream configured earlier (program order) may
+                // still owe a write to this address: wait until its cursor
+                // passes
+                if self.older_out_stream_overlaps(scu.seq, scu.addr, scu.width) {
+                    continue;
+                }
+                match scu.target {
+                    StreamTarget::Fifo(fifo) => {
+                        self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1
+                    }
+                    StreamTarget::Veu(port) => self.veu.pending[port as usize] += 1,
+                }
+                self.issue_mem(MemOp::ReadFifo {
+                    target: scu.target,
+                    addr: scu.addr,
+                    width: scu.width,
+                    gen: scu.gen,
+                    from_stream: true,
+                });
+                self.stats.stream_reads += 1;
+                let s = &mut self.scus[i];
+                s.addr += s.stride;
+                if let Some(r) = s.remaining.as_mut() {
+                    *r -= 1;
+                    if *r == 0 {
+                        // the last request is out: release the FIFO so
+                        // scalar loads may follow immediately (ordering is
+                        // preserved by the memory system's FIFO delivery)
+                        s.active = false;
+                        if let StreamTarget::Fifo(fifo) = s.target {
+                            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed =
+                                false;
+                        }
+                    }
+                }
+            } else {
+                if scu.remaining == Some(0) {
+                    self.scus[i].active = false;
+                    continue;
+                }
+                let popped = match scu.target {
+                    StreamTarget::Fifo(fifo) => self.unit_mut(fifo.class).out.pop_front(),
+                    StreamTarget::Veu(_) => self.veu.out.pop_front().map(Val::F),
+                };
+                let Some(val) = popped else {
+                    continue;
+                };
+                self.issue_mem(MemOp::Write {
+                    addr: scu.addr,
+                    width: scu.width,
+                    val,
+                });
+                self.stats.stream_writes += 1;
+                self.stats.mem_writes += 1;
+                let s = &mut self.scus[i];
+                s.addr += s.stride;
+                if let Some(r) = s.remaining.as_mut() {
+                    *r -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- vector execution unit ----
+
+    fn veu_step(&mut self) -> Result<(), SimError> {
+        if self.veu.busy > 0 {
+            self.veu.busy -= 1;
+            self.last_progress = self.cycle;
+            return Ok(());
+        }
+        let Some(head) = self.veu.iq.front().cloned() else {
+            return Ok(());
+        };
+        let n = self.config.veu_length;
+        let lanes = self.config.veu_lanes.max(1);
+        let op_cycles = (n as u64).div_ceil(lanes as u64);
+        match head {
+            InstKind::VLoad { vreg, port } => {
+                let p = port as usize;
+                if self.veu.ports[p].len() < n {
+                    return Ok(()); // wait for a full group
+                }
+                for k in 0..n {
+                    let v = self.veu.ports[p].pop_front().expect("checked length");
+                    self.veu.vregs[vreg as usize][k] = v;
+                }
+                self.veu.busy = op_cycles;
+            }
+            InstKind::VStore { vreg } => {
+                if self.veu.out.len() + n > 4 * n {
+                    return Ok(()); // output FIFO full
+                }
+                for k in 0..n {
+                    let v = self.veu.vregs[vreg as usize][k];
+                    self.veu.out.push_back(v);
+                }
+                self.veu.busy = op_cycles;
+            }
+            InstKind::VecBin { op, dst, a, b } => {
+                for k in 0..n {
+                    let x = self.veu.vregs[a as usize][k];
+                    let y = self.veu.vregs[b as usize][k];
+                    self.veu.vregs[dst as usize][k] = match op {
+                        BinOp::FAdd => x + y,
+                        BinOp::FSub => x - y,
+                        BinOp::FMul => x * y,
+                        BinOp::FDiv => x / y,
+                        other => {
+                            return Err(SimError::BadProgram(format!(
+                                "vector operator {other} is not floating point"
+                            )))
+                        }
+                    };
+                }
+                self.veu.busy = op_cycles;
+            }
+            InstKind::VecBroadcast { dst, value } => {
+                for k in 0..n {
+                    self.veu.vregs[dst as usize][k] = value;
+                }
+                self.veu.busy = 1;
+            }
+            other => {
+                return Err(SimError::BadProgram(format!(
+                    "instruction reached the VEU: {other}"
+                )))
+            }
+        }
+        self.record("VEU", &head);
+        self.veu.iq.pop_front();
+        self.stats.insts_feu += 1; // counted with the FP work
+        self.last_progress = self.cycle;
+        Ok(())
+    }
+
+    // ---- operand evaluation ----
+
+    fn sym_addr(&self, sym: SymId) -> Result<i64, SimError> {
+        self.mem.addresses.get(&sym).copied().ok_or_else(|| {
+            SimError::BadProgram(format!(
+                "address taken of non-data symbol {}",
+                self.module.sym_name(sym)
+            ))
+        })
+    }
+
+    fn read_operand(&mut self, class: RegClass, op: Operand) -> Result<Val, SimError> {
+        match op {
+            Operand::Imm(v) => Ok(Val::I(v)),
+            Operand::FImm(v) => Ok(Val::F(v)),
+            Operand::Reg(r) => {
+                if r.class != class {
+                    return Err(SimError::BadProgram(format!(
+                        "cross-unit register read of {r} on the {class} unit"
+                    )));
+                }
+                let n = r.phys_num().expect("physical registers only") as usize;
+                if n == 31 {
+                    return Ok(match class {
+                        RegClass::Int => Val::I(0),
+                        RegClass::Flt => Val::F(0.0),
+                    });
+                }
+                if n <= 1 {
+                    // dequeue (availability pre-checked by fifo_ready)
+                    let f = &mut self.unit_mut(class).ins[n];
+                    return f.q.pop_front().ok_or(SimError::Deadlock {
+                        cycle: self.cycle,
+                        detail: format!("dequeue from empty FIFO {}{n}", class.prefix()),
+                    });
+                }
+                Ok(self.unit(class).regs[n])
+            }
+        }
+    }
+
+    fn write_reg(&mut self, class: RegClass, r: Reg, v: Val) -> Result<(), SimError> {
+        if r.class != class {
+            return Err(SimError::BadProgram(format!(
+                "cross-unit register write of {r} on the {class} unit"
+            )));
+        }
+        let n = r.phys_num().expect("physical registers only") as usize;
+        match n {
+            31 => Ok(()), // writes to the zero register are discarded
+            0 => {
+                self.unit_mut(class).out.push_back(v);
+                Ok(())
+            }
+            1 => Err(SimError::BadProgram(
+                "register 1 is read-only FIFO-mapped".into(),
+            )),
+            _ => {
+                self.unit_mut(class).regs[n] = v;
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate an expression without side effects; `None` if it reads a
+    /// FIFO (whose dequeue cannot be previewed).
+    fn eval_expr_pure(&self, class: RegClass, e: &RExpr) -> Option<i64> {
+        if e.regs().any(|r| r.is_fifo()) {
+            return None;
+        }
+        let read = |op: Operand| -> Option<i64> {
+            match op {
+                Operand::Imm(v) => Some(v),
+                Operand::FImm(_) => None,
+                Operand::Reg(r) => {
+                    if r.class != class {
+                        return None;
+                    }
+                    let n = r.phys_num()? as usize;
+                    if n == 31 {
+                        Some(0)
+                    } else {
+                        Some(self.unit(class).regs[n].as_i())
+                    }
+                }
+            }
+        };
+        match e {
+            RExpr::Op(a) => read(*a),
+            RExpr::Un(..) => None,
+            RExpr::Bin(op, a, b) => op.fold_int(read(*a)?, read(*b)?),
+            RExpr::Dual {
+                inner,
+                a,
+                b,
+                outer,
+                c,
+            } => outer.fold_int(inner.fold_int(read(*a)?, read(*b)?)?, read(*c)?),
+        }
+    }
+
+    fn eval_expr(&mut self, class: RegClass, e: &RExpr) -> Result<Val, SimError> {
+        match e {
+            RExpr::Op(a) => self.read_operand(class, *a),
+            RExpr::Un(op, a) => {
+                let v = self.read_operand(class, *a)?;
+                self.eval_un(*op, v)
+            }
+            RExpr::Bin(op, a, b) => {
+                let va = self.read_operand(class, *a)?;
+                let vb = self.read_operand(class, *b)?;
+                self.eval_bin(*op, va, vb)
+            }
+            RExpr::Dual {
+                inner,
+                a,
+                b,
+                outer,
+                c,
+            } => {
+                let va = self.read_operand(class, *a)?;
+                let vb = self.read_operand(class, *b)?;
+                let vab = self.eval_bin(*inner, va, vb)?;
+                let vc = self.read_operand(class, *c)?;
+                self.eval_bin(*outer, vab, vc)
+            }
+        }
+    }
+
+    fn eval_un(&self, op: UnOp, v: Val) -> Result<Val, SimError> {
+        Ok(match op {
+            UnOp::Neg => Val::I(v.as_i().wrapping_neg()),
+            UnOp::Not => Val::I(!v.as_i()),
+            UnOp::FNeg => Val::F(-v.as_f()),
+            UnOp::IntToFlt => Val::F(v.as_i() as f64),
+            UnOp::FltToInt => Val::I(v.as_f() as i64),
+        })
+    }
+
+    fn eval_bin(&self, op: BinOp, a: Val, b: Val) -> Result<Val, SimError> {
+        if op.is_float() {
+            let (x, y) = (a.as_f(), b.as_f());
+            return Ok(Val::F(match op {
+                BinOp::FAdd => x + y,
+                BinOp::FSub => x - y,
+                BinOp::FMul => x * y,
+                BinOp::FDiv => x / y,
+                _ => unreachable!(),
+            }));
+        }
+        let (x, y) = (a.as_i(), b.as_i());
+        if matches!(op, BinOp::Div | BinOp::Rem) && y == 0 {
+            return Err(SimError::Fault {
+                cycle: self.cycle,
+                detail: "integer division by zero".into(),
+            });
+        }
+        Ok(Val::I(op.fold_int(x, y).expect("integer operator")))
+    }
+
+    // ---- instruction fetch unit ----
+
+    /// Fetch and dispatch. Control transfers are free (bounded per cycle);
+    /// one instruction is dispatched to a unit queue per cycle.
+    fn ifu_step(&mut self) -> Result<(), SimError> {
+        if self.cycle < self.ifu_hold {
+            self.stats.ifu_stalls += 1;
+            return Ok(());
+        }
+        let mut transfers = 0;
+        loop {
+            let Some(pc) = self.pc else {
+                return Ok(());
+            };
+            let func = &self.module.functions[pc.func];
+            if pc.block >= func.blocks.len() {
+                return Err(SimError::BadProgram(format!(
+                    "control fell off the end of function {}",
+                    func.name
+                )));
+            }
+            let block = &func.blocks[pc.block];
+            if pc.inst >= block.insts.len() {
+                // implicit fallthrough to the next block in layout order
+                self.pc = Some(Pc {
+                    func: pc.func,
+                    block: pc.block + 1,
+                    inst: 0,
+                });
+                continue;
+            }
+            let kind = block.insts[pc.inst].kind.clone();
+            let label_of = |l: wm_ir::Label| -> usize { func.block_index(l) };
+            match kind {
+                InstKind::Nop => {
+                    self.advance();
+                }
+                InstKind::Jump { target } => {
+                    self.record("IFU", &InstKind::Jump { target });
+                    let b = label_of(target);
+                    self.pc = Some(Pc {
+                        func: pc.func,
+                        block: b,
+                        inst: 0,
+                    });
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    transfers += 1;
+                    if transfers > 16 {
+                        return Ok(()); // runaway control; consume the cycle
+                    }
+                }
+                InstKind::Branch {
+                    class,
+                    when,
+                    target,
+                    els,
+                } => {
+                    let Some(cond) = self.unit_mut(class).cc.pop_front() else {
+                        self.stats.ifu_stalls += 1;
+                        return Ok(()); // stall until the compare executes
+                    };
+                    let b = label_of(if cond == when { target } else { els });
+                    self.pc = Some(Pc {
+                        func: pc.func,
+                        block: b,
+                        inst: 0,
+                    });
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    transfers += 1;
+                    if transfers > 16 {
+                        return Ok(());
+                    }
+                }
+                InstKind::BranchStream { fifo, target, els } => {
+                    let Some(count) = self.dispatch.get_mut(&fifo) else {
+                        // the stream instruction has not executed yet
+                        self.stats.ifu_stalls += 1;
+                        return Ok(());
+                    };
+                    *count -= 1;
+                    let taken = *count > 0;
+                    if !taken {
+                        self.dispatch.remove(&fifo);
+                    }
+                    let b = label_of(if taken { target } else { els });
+                    self.pc = Some(Pc {
+                        func: pc.func,
+                        block: b,
+                        inst: 0,
+                    });
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    transfers += 1;
+                    if transfers > 16 {
+                        return Ok(());
+                    }
+                }
+                InstKind::Call { callee, .. } => {
+                    match &self.module.global(callee).kind {
+                        GlobalKind::Func(fi) => {
+                            let fi = *fi;
+                            self.ret_stack.push(Pc {
+                                func: pc.func,
+                                block: pc.block,
+                                inst: pc.inst + 1,
+                            });
+                            self.pc = Some(Pc {
+                                func: fi,
+                                block: 0,
+                                inst: 0,
+                            });
+                            self.stats.insts_ifu += 1;
+                            self.stats.calls += 1;
+                            self.last_progress = self.cycle;
+                            return Ok(()); // calls consume the fetch slot
+                        }
+                        GlobalKind::Builtin => {
+                            // builtins read register state directly: the
+                            // units must be synchronized first
+                            if !self.quiescent() {
+                                self.stats.ifu_stalls += 1;
+                                return Ok(());
+                            }
+                            let name = self.module.sym_name(callee).to_string();
+                            self.exec_builtin(&name)?;
+                            self.ifu_hold = self.cycle + self.config.io_latency;
+                            self.advance();
+                            self.stats.insts_ifu += 1;
+                            self.stats.calls += 1;
+                            self.last_progress = self.cycle;
+                            return Ok(());
+                        }
+                        GlobalKind::Data { .. } => {
+                            return Err(SimError::BadProgram(format!(
+                                "call to data symbol {}",
+                                self.module.sym_name(callee)
+                            )))
+                        }
+                    }
+                }
+                InstKind::Ret => {
+                    self.pc = self.ret_stack.pop();
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    return Ok(());
+                }
+                // cross-unit conversions are executed by the IFU after
+                // synchronizing the execution units
+                InstKind::Assign {
+                    dst,
+                    src: RExpr::Un(op @ (UnOp::IntToFlt | UnOp::FltToInt), a),
+                } => {
+                    if !self.quiescent() {
+                        self.stats.ifu_stalls += 1;
+                        return Ok(());
+                    }
+                    let src_class = if op == UnOp::IntToFlt {
+                        RegClass::Int
+                    } else {
+                        RegClass::Flt
+                    };
+                    // a forwarded FIFO dequeue must wait for its datum
+                    if let Operand::Reg(r) = a {
+                        if r.is_fifo()
+                            && self.unit(src_class).ins[r.phys_num().unwrap() as usize]
+                                .q
+                                .is_empty()
+                        {
+                            self.stats.ifu_stalls += 1;
+                            return Ok(());
+                        }
+                    }
+                    let v = self.read_operand(src_class, a)?;
+                    let v = self.eval_un(op, v)?;
+                    self.write_reg(dst.class, dst, v)?;
+                    self.advance();
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    return Ok(());
+                }
+                InstKind::BranchVec { target, els } => {
+                    let Some(count) = self.dispatch_vec.as_mut() else {
+                        self.stats.ifu_stalls += 1;
+                        return Ok(());
+                    };
+                    *count -= 1;
+                    let taken = *count > 0;
+                    if !taken {
+                        self.dispatch_vec = None;
+                    }
+                    let b = label_of(if taken { target } else { els });
+                    self.pc = Some(Pc {
+                        func: pc.func,
+                        block: b,
+                        inst: 0,
+                    });
+                    self.stats.insts_ifu += 1;
+                    self.last_progress = self.cycle;
+                    transfers += 1;
+                    if transfers > 16 {
+                        return Ok(());
+                    }
+                }
+                k @ (InstKind::VLoad { .. }
+                | InstKind::VStore { .. }
+                | InstKind::VecBin { .. }
+                | InstKind::VecBroadcast { .. }) => {
+                    if self.veu.iq.len() >= self.config.iq_capacity {
+                        self.stats.ifu_stalls += 1;
+                        return Ok(());
+                    }
+                    self.veu.iq.push_back(k);
+                    self.advance();
+                    self.last_progress = self.cycle;
+                    return Ok(());
+                }
+                // everything else is dispatched to an execution unit
+                other => {
+                    let class = dispatch_class(&other);
+                    if self.unit(class).iq.len() >= self.config.iq_capacity {
+                        self.stats.ifu_stalls += 1;
+                        return Ok(());
+                    }
+                    self.unit_mut(class).iq.push_back(other);
+                    self.advance();
+                    self.last_progress = self.cycle;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        if let Some(pc) = self.pc.as_mut() {
+            pc.inst += 1;
+        }
+    }
+
+    /// Are the execution units drained (for IFU-synchronized operations)?
+    /// Register state is final once both instruction queues are empty;
+    /// outstanding memory traffic does not affect registers, so the IFU
+    /// need not wait for it.
+    fn quiescent(&self) -> bool {
+        self.ieu.iq.is_empty() && self.feu.iq.is_empty()
+    }
+
+    fn exec_builtin(&mut self, name: &str) -> Result<(), SimError> {
+        match name {
+            "putchar" => {
+                let c = self.ieu.regs[2].as_i();
+                self.output.push(c as u8);
+                Ok(())
+            }
+            other => Err(SimError::BadProgram(format!("unknown builtin {other}"))),
+        }
+    }
+}
+
+/// Which unit executes a dispatched (non-control) instruction.
+fn dispatch_class(kind: &InstKind) -> RegClass {
+    match kind {
+        InstKind::Assign { dst, .. } => dst.class,
+        InstKind::Compare { class, .. } => *class,
+        // "All simple load and store instructions (for both integer and
+        // floating-point data) are executed by the IEU" — as are the
+        // stream-configuration instructions and address formation.
+        InstKind::LoadAddr { .. }
+        | InstKind::WLoad { .. }
+        | InstKind::WStore { .. }
+        | InstKind::StreamIn { .. }
+        | InstKind::StreamOut { .. }
+        | InstKind::VStreamIn { .. }
+        | InstKind::VStreamOut { .. }
+        | InstKind::StreamStop { .. } => RegClass::Int,
+        other => unreachable!("not a unit instruction: {other}"),
+    }
+}

@@ -1,0 +1,421 @@
+//! Machine-level behavior tests: hand-built modules pin down the cycle
+//! semantics the WM model promises — FIFO discipline, condition-code
+//! stalls, the paired-ALU interlock, store pairing, stream generations and
+//! port arbitration.
+
+use wm_ir::{
+    BinOp, CmpOp, DataFifo, FuncBuilder, Function, InstKind, Module, Operand, RExpr, Reg,
+    RegClass, Width,
+};
+use wm_sim::{SimError, WmConfig, WmMachine};
+
+/// Wrap a single function into a runnable module.
+fn module_of(f: Function) -> Module {
+    let mut m = Module::new();
+    m.add_function(f);
+    m
+}
+
+fn run(m: &Module, cfg: &WmConfig) -> wm_sim::RunResult {
+    WmMachine::run(m, "main", &[], cfg).expect("runs")
+}
+
+#[test]
+fn unconditional_jumps_are_free() {
+    // A chain of N jumps costs no more than the straight-line version.
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let mut labels = Vec::new();
+    for _ in 0..16 {
+        labels.push(b.new_block());
+    }
+    b.jump(labels[0]);
+    for i in 0..15 {
+        b.switch_to(labels[i]);
+        b.jump(labels[i + 1]);
+    }
+    b.switch_to(labels[15]);
+    b.copy(Reg::int(2), Operand::Imm(7));
+    b.emit(InstKind::Ret);
+    let jumps = module_of(b.finish());
+
+    let mut b = FuncBuilder::new("main", 0, 0);
+    b.copy(Reg::int(2), Operand::Imm(7));
+    b.emit(InstKind::Ret);
+    let straight = module_of(b.finish());
+
+    let cfg = WmConfig::default();
+    let rj = run(&jumps, &cfg);
+    let rs = run(&straight, &cfg);
+    assert_eq!(rj.ret_int, 7);
+    // the 16-jump chain may cost a couple of cycles of IFU cap, no more
+    assert!(
+        rj.cycles <= rs.cycles + 3,
+        "jump chain {} vs straight {}",
+        rj.cycles,
+        rs.cycles
+    );
+}
+
+#[test]
+fn branch_stalls_until_compare_executes() {
+    // The branch's compare sits behind a long dependent chain in the IEU;
+    // the IFU must wait for its condition code.
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let t = b.vreg(RegClass::Int);
+    b.copy(t, Operand::Imm(0));
+    for _ in 0..20 {
+        b.assign(t, RExpr::Bin(BinOp::Add, t.into(), Operand::Imm(1)));
+    }
+    let yes = b.new_block();
+    let no = b.new_block();
+    b.branch_if(RegClass::Int, CmpOp::Eq, t.into(), Operand::Imm(20), yes, no);
+    b.switch_to(yes);
+    b.copy(Reg::int(2), Operand::Imm(1));
+    b.emit(InstKind::Ret);
+    b.switch_to(no);
+    b.copy(Reg::int(2), Operand::Imm(0));
+    b.emit(InstKind::Ret);
+    let mut f = b.finish();
+    // keep virtuals out: allocate
+    wm_target::allocate_registers(&mut f, wm_target::TargetKind::Wm).unwrap();
+    let m = module_of(f);
+    let r = run(&m, &WmConfig::default());
+    assert_eq!(r.ret_int, 1);
+    // the chain serializes with the paired-ALU interlock: ≥ 2 cycles/add
+    assert!(r.cycles >= 40, "expected interlocked chain, got {}", r.cycles);
+    assert!(r.stats.ifu_stalls > 0, "IFU must have waited on the CC FIFO");
+}
+
+#[test]
+fn paired_alu_interlock_costs_one_bubble() {
+    // dependent adds: a := a + 1 forty times → ~2 cycles each
+    let mut dep = FuncBuilder::new("main", 0, 0);
+    let a = Reg::int(4);
+    dep.copy(a, Operand::Imm(0));
+    for _ in 0..40 {
+        dep.assign(a, RExpr::Bin(BinOp::Add, a.into(), Operand::Imm(1)));
+    }
+    dep.copy(Reg::int(2), a.into());
+    dep.emit(InstKind::Ret);
+    let dep_m = module_of(dep.finish());
+
+    // independent adds: two alternating accumulators → ~1 cycle each
+    let mut ind = FuncBuilder::new("main", 0, 0);
+    let (x, y) = (Reg::int(4), Reg::int(5));
+    ind.copy(x, Operand::Imm(0));
+    ind.copy(y, Operand::Imm(0));
+    for _ in 0..20 {
+        ind.assign(x, RExpr::Bin(BinOp::Add, x.into(), Operand::Imm(1)));
+        ind.assign(y, RExpr::Bin(BinOp::Add, y.into(), Operand::Imm(1)));
+    }
+    ind.assign(x, RExpr::Bin(BinOp::Add, x.into(), y.into()));
+    ind.copy(Reg::int(2), x.into());
+    ind.emit(InstKind::Ret);
+    let ind_m = module_of(ind.finish());
+
+    let cfg = WmConfig::default();
+    let rd = run(&dep_m, &cfg);
+    let ri = run(&ind_m, &cfg);
+    assert_eq!(rd.ret_int, 40);
+    assert_eq!(ri.ret_int, 40);
+    assert!(
+        rd.cycles > ri.cycles + 20,
+        "dependent {} should pay ~1 bubble per add vs independent {}",
+        rd.cycles,
+        ri.cycles
+    );
+}
+
+#[test]
+fn store_then_load_same_address_is_ordered() {
+    // enqueue 99 → store to addr; immediately load it back; the load must
+    // wait for the store (store-queue interlock) and see 99.
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let addr = 0x4000i64;
+    b.assign(Reg::int(0), RExpr::Op(Operand::Imm(99)));
+    b.emit(InstKind::WStore {
+        unit: RegClass::Int,
+        addr: RExpr::Op(Operand::Imm(addr)),
+        width: Width::W4,
+    });
+    b.emit(InstKind::WLoad {
+        fifo: DataFifo::new(RegClass::Int, 0),
+        addr: RExpr::Op(Operand::Imm(addr)),
+        width: Width::W4,
+    });
+    b.copy(Reg::int(2), Reg::int(0).into());
+    b.emit(InstKind::Ret);
+    let m = module_of(b.finish());
+    let r = run(&m, &WmConfig::default());
+    assert_eq!(r.ret_int, 99, "load must observe the store");
+    // and it must have cost at least two memory latencies (serialized)
+    assert!(r.cycles >= 2 * WmConfig::default().mem_latency);
+}
+
+#[test]
+fn loads_to_different_addresses_pipeline() {
+    // two independent loads complete in ~one latency, not two
+    let mut one = FuncBuilder::new("main", 0, 0);
+    one.emit(InstKind::WLoad {
+        fifo: DataFifo::new(RegClass::Int, 0),
+        addr: RExpr::Op(Operand::Imm(0x4000)),
+        width: Width::W4,
+    });
+    one.copy(Reg::int(2), Reg::int(0).into());
+    one.emit(InstKind::Ret);
+    let one_m = module_of(one.finish());
+
+    let mut two = FuncBuilder::new("main", 0, 0);
+    for k in 0..2 {
+        two.emit(InstKind::WLoad {
+            fifo: DataFifo::new(RegClass::Int, 0),
+            addr: RExpr::Op(Operand::Imm(0x4000 + 8 * k)),
+            width: Width::W4,
+        });
+    }
+    two.copy(Reg::int(2), Reg::int(0).into());
+    two.copy(Reg::int(3), Reg::int(0).into());
+    two.emit(InstKind::Ret);
+    let two_m = module_of(two.finish());
+
+    let cfg = WmConfig::default();
+    let r1 = run(&one_m, &cfg);
+    let r2 = run(&two_m, &cfg);
+    assert!(
+        r2.cycles <= r1.cycles + 3,
+        "second load should overlap the first: {} vs {}",
+        r2.cycles,
+        r1.cycles
+    );
+}
+
+#[test]
+fn stream_delivers_in_order_and_jni_counts() {
+    // stream 5 words out of a data global, sum them in a jNI loop
+    let mut m = Module::new();
+    let init: Vec<u8> = (1i32..=5).flat_map(|v| v.to_le_bytes()).collect();
+    let sym = m.add_data("tab", 20, 4, init);
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let base = Reg::int(3);
+    b.emit(InstKind::LoadAddr {
+        dst: base,
+        sym,
+        disp: 0,
+    });
+    b.emit(InstKind::StreamIn {
+        fifo: DataFifo::new(RegClass::Int, 1),
+        base: base.into(),
+        count: Some(Operand::Imm(5)),
+        stride: Operand::Imm(4),
+        width: Width::W4,
+        tested: true,
+    });
+    let acc = Reg::int(4);
+    b.copy(acc, Operand::Imm(0));
+    let body = b.new_block();
+    let done = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+    b.assign(acc, RExpr::Bin(BinOp::Add, acc.into(), Reg::int(1).into()));
+    b.emit(InstKind::BranchStream {
+        fifo: DataFifo::new(RegClass::Int, 1),
+        target: body,
+        els: done,
+    });
+    b.switch_to(done);
+    b.copy(Reg::int(2), acc.into());
+    b.emit(InstKind::Ret);
+    m.add_function(b.finish());
+    let r = run(&m, &WmConfig::default());
+    assert_eq!(r.ret_int, 15, "1+2+3+4+5 in stream order");
+    assert_eq!(r.stats.stream_reads, 5);
+}
+
+#[test]
+fn stream_stop_flushes_prefetch_and_scalar_loads_resume() {
+    let mut m = Module::new();
+    let init: Vec<u8> = (10i32..20).flat_map(|v| v.to_le_bytes()).collect();
+    let sym = m.add_data("tab", 40, 4, init);
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let base = Reg::int(3);
+    b.emit(InstKind::LoadAddr {
+        dst: base,
+        sym,
+        disp: 0,
+    });
+    // unbounded stream; consume two items, stop, then scalar-load tab[0]
+    b.emit(InstKind::StreamIn {
+        fifo: DataFifo::new(RegClass::Int, 1),
+        base: base.into(),
+        count: None,
+        stride: Operand::Imm(4),
+        width: Width::W4,
+        tested: false,
+    });
+    let acc = Reg::int(4);
+    b.copy(acc, Reg::int(1).into());
+    b.assign(acc, RExpr::Bin(BinOp::Add, acc.into(), Reg::int(1).into()));
+    b.emit(InstKind::StreamStop {
+        fifo: DataFifo::new(RegClass::Int, 1),
+    });
+    b.emit(InstKind::WLoad {
+        fifo: DataFifo::new(RegClass::Int, 0),
+        addr: RExpr::Op(base.into()),
+        width: Width::W4,
+    });
+    let v = Reg::int(5);
+    b.copy(v, Reg::int(0).into());
+    b.assign(Reg::int(2), RExpr::Bin(BinOp::Add, acc.into(), v.into()));
+    b.emit(InstKind::Ret);
+    m.add_function(b.finish());
+    let r = run(&m, &WmConfig::default());
+    // 10 + 11 consumed from the stream, then 10 from the scalar load
+    assert_eq!(r.ret_int, 10 + 11 + 10);
+}
+
+#[test]
+fn single_port_memory_serializes_streams() {
+    const SRC: &str = r"
+        double a[3000]; double b[3000]; double s[1];
+        int main() {
+            int i; double acc;
+            for (i = 0; i < 3000; i++) { a[i] = 1.0; b[i] = 2.0; }
+            acc = 0.0;
+            for (i = 0; i < 3000; i++) acc = acc + a[i] * b[i];
+            s[0] = acc;
+            return (int) acc;
+        }
+    ";
+    let mut module = wm_frontend::compile(SRC).unwrap();
+    for f in module.functions.iter_mut() {
+        wm_opt::optimize_generic(f, &wm_opt::OptOptions::all());
+        wm_target::expand_wm(f);
+        wm_opt::optimize_wm(f, &wm_opt::OptOptions::all());
+        wm_target::allocate_registers(f, wm_target::TargetKind::Wm).unwrap();
+    }
+    let fast = run(&module, &WmConfig::default().with_mem_ports(2));
+    let slow = run(&module, &WmConfig::default().with_mem_ports(1));
+    assert_eq!(fast.ret_int, 6000);
+    assert_eq!(slow.ret_int, 6000);
+    assert!(
+        slow.cycles > fast.cycles,
+        "1 port {} should be slower than 2 ports {}",
+        slow.cycles,
+        fast.cycles
+    );
+}
+
+#[test]
+fn conflicting_stream_configuration_is_detected() {
+    let mut m = Module::new();
+    let sym = m.add_data("tab", 64, 4, vec![]);
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let base = Reg::int(3);
+    b.emit(InstKind::LoadAddr { dst: base, sym, disp: 0 });
+    for _ in 0..2 {
+        b.emit(InstKind::StreamIn {
+            fifo: DataFifo::new(RegClass::Int, 1),
+            base: base.into(),
+            count: None,
+            stride: Operand::Imm(4),
+            width: Width::W4,
+            tested: false,
+        });
+    }
+    b.copy(Reg::int(2), Operand::Imm(0));
+    b.emit(InstKind::Ret);
+    m.add_function(b.finish());
+    // the second configuration waits for the first stream to finish; an
+    // unbounded first stream never does, so the machine reports a deadlock
+    // rather than silently interleaving two streams on one FIFO
+    let cfg = WmConfig::default().with_max_cycles(200_000);
+    let err = WmMachine::run(&m, "main", &[], &cfg).unwrap_err();
+    assert!(
+        matches!(err, SimError::Deadlock { .. } | SimError::Timeout { .. }),
+        "double-streaming one FIFO must be detected: {err}"
+    );
+}
+
+#[test]
+fn non_positive_stream_count_faults() {
+    let mut m = Module::new();
+    let sym = m.add_data("tab", 64, 4, vec![]);
+    let mut b = FuncBuilder::new("main", 0, 0);
+    let base = Reg::int(3);
+    b.emit(InstKind::LoadAddr { dst: base, sym, disp: 0 });
+    b.emit(InstKind::StreamIn {
+        fifo: DataFifo::new(RegClass::Int, 1),
+        base: base.into(),
+        count: Some(Operand::Imm(0)),
+        stride: Operand::Imm(4),
+        width: Width::W4,
+        tested: true,
+    });
+    b.copy(Reg::int(2), Operand::Imm(0));
+    b.emit(InstKind::Ret);
+    m.add_function(b.finish());
+    let err = WmMachine::run(&m, "main", &[], &WmConfig::default()).unwrap_err();
+    assert!(matches!(err, SimError::Fault { .. }));
+}
+
+#[test]
+fn fifo_imbalance_is_detected_as_deadlock() {
+    // a dequeue with no matching load wedges the IEU
+    let mut b = FuncBuilder::new("main", 0, 0);
+    b.copy(Reg::int(2), Reg::int(0).into()); // dequeue from empty FIFO
+    b.emit(InstKind::Ret);
+    let m = module_of(b.finish());
+    let err = WmMachine::run(&m, "main", &[], &WmConfig::default()).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+}
+
+#[test]
+fn writes_to_zero_register_are_discarded() {
+    let mut b = FuncBuilder::new("main", 0, 0);
+    b.copy(Reg::int(31), Operand::Imm(123));
+    b.assign(Reg::int(2), RExpr::Bin(BinOp::Add, Reg::int(31).into(), Operand::Imm(5)));
+    b.emit(InstKind::Ret);
+    let m = module_of(b.finish());
+    let r = run(&m, &WmConfig::default());
+    assert_eq!(r.ret_int, 5, "r31 reads as zero even after a write");
+}
+
+#[test]
+fn dual_op_evaluates_inner_then_outer() {
+    let mut b = FuncBuilder::new("main", 0, 0);
+    b.assign(
+        Reg::int(2),
+        RExpr::Dual {
+            inner: BinOp::Shl,
+            a: Operand::Imm(3),
+            b: Operand::Imm(4),
+            outer: BinOp::Sub,
+            c: Operand::Imm(8),
+        },
+    );
+    b.emit(InstKind::Ret);
+    let m = module_of(b.finish());
+    let r = run(&m, &WmConfig::default());
+    assert_eq!(r.ret_int, (3 << 4) - 8);
+}
+
+#[test]
+fn tracing_records_executed_instructions() {
+    let mut b = FuncBuilder::new("main", 0, 0);
+    b.assign(
+        Reg::int(2),
+        RExpr::Bin(BinOp::Add, Operand::Imm(40), Operand::Imm(2)),
+    );
+    b.emit(InstKind::Ret);
+    let m = module_of(b.finish());
+    let mut machine = WmMachine::new(&m, &WmConfig::default()).unwrap();
+    machine.set_trace(true);
+    machine.start("main", &[]).unwrap();
+    let r = machine.run_to_completion().unwrap();
+    assert_eq!(r.ret_int, 42);
+    let trace = machine.trace();
+    assert!(!trace.is_empty());
+    assert!(trace.iter().any(|e| e.unit == "IEU" && e.text.contains(":= (40) + 2")));
+    // cycles are monotone
+    assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+}

@@ -1,0 +1,252 @@
+//! Benchmark programs from the paper's evaluation, written in mini-C.
+//!
+//! Table II of the paper measures nine programs: *banner, bubblesort, cal,
+//! dhrystone, dot-product, iir, quicksort, sieve* and *whetstone*. Table I
+//! uses the fifth Livermore loop with 100 000 elements. This crate carries
+//! those programs (plus the Unix-utility text kernels the paper mentions)
+//! as mini-C source, each self-verifying: **every program returns 1 (or a
+//! documented checksum) so both simulators can assert correctness, not
+//! just count cycles.**
+//!
+//! Dhrystone and whetstone are faithful *reductions*: the originals use C
+//! constructs outside the mini-C subset (structs, libm), so records become
+//! parallel arrays and transcendentals become polynomials of the same
+//! operation mix. Each source file documents its substitutions.
+
+/// A benchmark program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Short name (matches the paper's Table II rows).
+    pub name: &'static str,
+    /// The mini-C source text.
+    pub source: &'static str,
+    /// What a successful run returns from `main`.
+    pub expected_ret: Expected,
+    /// The paper's reported percent reduction in cycles from streaming
+    /// (Table II), for side-by-side reporting.
+    pub paper_table2_percent: Option<f64>,
+}
+
+/// Expected result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// `main` must return exactly this value.
+    Ret(i64),
+    /// Any return value is acceptable (checked elsewhere).
+    Any,
+}
+
+impl Workload {
+    /// Assert that `ret` is an acceptable result for this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the workload name when the result is wrong.
+    pub fn check(&self, ret: i64) {
+        if let Expected::Ret(want) = self.expected_ret {
+            assert_eq!(
+                ret, want,
+                "workload {} returned {ret}, expected {want}",
+                self.name
+            );
+        }
+    }
+}
+
+/// The nine programs of Table II, in the paper's order.
+pub fn table2() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "banner",
+            source: include_str!("programs/banner.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(5.0),
+        },
+        Workload {
+            name: "bubblesort",
+            source: include_str!("programs/bubblesort.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(18.0),
+        },
+        Workload {
+            name: "cal",
+            source: include_str!("programs/cal.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(17.0),
+        },
+        Workload {
+            name: "dhrystone",
+            source: include_str!("programs/dhrystone.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(39.0),
+        },
+        Workload {
+            name: "dot-product",
+            source: include_str!("programs/dot_product.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(43.0),
+        },
+        Workload {
+            name: "iir",
+            source: include_str!("programs/iir.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(13.0),
+        },
+        Workload {
+            name: "quicksort",
+            source: include_str!("programs/quicksort.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(1.0),
+        },
+        Workload {
+            name: "sieve",
+            source: include_str!("programs/sieve.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(18.0),
+        },
+        Workload {
+            name: "whetstone",
+            source: include_str!("programs/whetstone.c"),
+            expected_ret: Expected::Ret(1),
+            paper_table2_percent: Some(3.0),
+        },
+    ]
+}
+
+/// Livermore loop 5 with 100 000 elements (Table I's workload).
+pub fn livermore5() -> Workload {
+    Workload {
+        name: "livermore5",
+        source: include_str!("programs/livermore5.c"),
+        expected_ret: Expected::Any,
+        paper_table2_percent: None,
+    }
+}
+
+/// Livermore loop 5 with the kernel removed; subtract its cycles from
+/// [`livermore5`]'s to isolate the kernel, as Table I does.
+pub fn livermore5_init_only() -> Workload {
+    Workload {
+        name: "livermore5-init",
+        source: include_str!("programs/livermore5_init.c"),
+        expected_ret: Expected::Any,
+        paper_table2_percent: None,
+    }
+}
+
+/// The Unix-utility text kernels (string copy/search, array init, table
+/// walks) the paper found streaming in *cal, compact, od, sort, diff,
+/// nroff* and *yacc*.
+pub fn text_kernels() -> Workload {
+    Workload {
+        name: "text-kernels",
+        source: include_str!("programs/text_kernels.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
+/// The od (octal dump) kernel — another utility the paper found streaming.
+pub fn od_kernel() -> Workload {
+    Workload {
+        name: "od",
+        source: include_str!("programs/od_kernel.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
+/// The compact (adaptive compression) kernel: code-table walks and scans.
+pub fn compact_kernel() -> Workload {
+    Workload {
+        name: "compact",
+        source: include_str!("programs/compact_kernel.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
+/// The Unix-utility kernels as a suite (the paper: "the optimizer
+/// generates stream instructions for the following Unix utilities: cal,
+/// compact, od, sort, diff, nroff, and yacc").
+pub fn utilities() -> Vec<Workload> {
+    vec![text_kernels(), od_kernel(), compact_kernel()]
+}
+
+/// Every workload in the crate.
+pub fn all() -> Vec<Workload> {
+    let mut v = table2();
+    v.push(livermore5());
+    v.push(livermore5_init_only());
+    v.extend(utilities());
+    v
+}
+
+/// Reference value for [`livermore5`]'s return, computed in Rust.
+pub fn livermore5_expected() -> i64 {
+    let n = 100_000usize;
+    let mut x = vec![0.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; n];
+    for i in 0..n {
+        x[i] = (i % 7) as f64 * 0.25;
+        y[i] = 2.0 + (i % 5) as f64 * 0.5;
+        z[i] = 0.5 - (i % 3) as f64 * 0.125;
+    }
+    for i in 2..n {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+    (x[n - 1] * 100_000.0) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_parse() {
+        for w in all() {
+            let module = wm_frontend::compile(w.source)
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+            assert!(
+                module.function_named("main").is_some(),
+                "{} lacks main",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        let rows = table2();
+        assert_eq!(rows.len(), 9);
+        let names: Vec<&str> = rows.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "banner",
+                "bubblesort",
+                "cal",
+                "dhrystone",
+                "dot-product",
+                "iir",
+                "quicksort",
+                "sieve",
+                "whetstone"
+            ]
+        );
+        // the paper's largest and smallest gains
+        let dot = rows.iter().find(|w| w.name == "dot-product").unwrap();
+        assert_eq!(dot.paper_table2_percent, Some(43.0));
+        let qs = rows.iter().find(|w| w.name == "quicksort").unwrap();
+        assert_eq!(qs.paper_table2_percent, Some(1.0));
+    }
+
+    #[test]
+    fn check_panics_on_wrong_result() {
+        let w = table2()[0];
+        w.check(1); // fine
+        let result = std::panic::catch_unwind(|| w.check(0));
+        assert!(result.is_err());
+    }
+}

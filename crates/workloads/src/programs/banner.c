@@ -1,0 +1,73 @@
+/* banner: print a message in large letters, like the Unix banner utility.
+ * The banner is composed into a character buffer first — row blanking,
+ * glyph stamping and the final copy to the output routine are the regular
+ * array walks where streaming finds its (modest) opportunity; the paper
+ * reports a 5% cycle reduction. Self-checks by counting the '#' cells
+ * against the font population count; returns 1 on success.
+ */
+
+int font[16];    /* two glyphs, 8 rows each, 8-bit masks */
+char text[8];
+char canvas[4096];  /* 8 rows x up to 64 columns, repeated stampings */
+
+int popcount(int v) {
+    int n;
+    n = 0;
+    while (v) { n = n + (v & 1); v = v >> 1; }
+    return n;
+}
+
+int main() {
+    int g; int row; int col; int bits; int printed; int expect;
+    int width; int rep; int i; int base;
+
+    /* glyph 0: W */
+    font[0] = 0x81; font[1] = 0x81; font[2] = 0x81; font[3] = 0x99;
+    font[4] = 0x99; font[5] = 0xA5; font[6] = 0xC3; font[7] = 0x81;
+    /* glyph 1: M */
+    font[8]  = 0x81; font[9]  = 0xC3; font[10] = 0xA5; font[11] = 0x99;
+    font[12] = 0x81; font[13] = 0x81; font[14] = 0x81; font[15] = 0x81;
+
+    /* "WMWM", terminated by 2 */
+    text[0] = 0; text[1] = 1; text[2] = 0; text[3] = 1; text[4] = 2;
+
+    width = 4 * 9; /* 4 glyphs, 8 columns + 1 space each */
+
+    /* the utility composes and prints the banner many times */
+    printed = 0;
+    for (rep = 0; rep < 1; rep++) {
+        /* blank the canvas: a pure array initialization */
+        for (i = 0; i < 8 * width; i++) canvas[i] = ' ';
+
+        /* stamp glyphs */
+        for (row = 0; row < 8; row++) {
+            g = 0;
+            while (text[g] != 2) {
+                bits = font[text[g] * 8 + row];
+                base = row * width + g * 9;
+                for (col = 0; col < 8; col++)
+                    if ((bits >> (7 - col)) & 1)
+                        canvas[base + col] = '#';
+                g = g + 1;
+            }
+        }
+
+        /* count the ink (a pure scan, kept free of calls so it streams) */
+        for (i = 0; i < 8 * width; i++)
+            if (canvas[i] == '#') printed = printed + 1;
+
+        /* print only the first repetition to keep the captured output small */
+        if (rep == 0) {
+            for (row = 0; row < 8; row++) {
+                for (col = 0; col < width; col++)
+                    putchar(canvas[row * width + col]);
+                putchar('\n');
+            }
+        }
+    }
+
+    expect = 0;
+    for (g = 0; g < 16; g++) expect = expect + popcount(font[g]);
+    if (printed == expect * 2 * 1) return 1;
+    return 0;
+}

@@ -1,0 +1,35 @@
+/* bubblesort: classic exchange sort over a pseudo-random array. The inner
+ * compare-exchange pass walks the array with unit stride, which is where
+ * streaming finds its opportunity (paper: 18% cycle reduction).
+ * Self-checks order and a sum invariant; returns 1 on success.
+ */
+
+int a[600];
+
+int main() {
+    int i; int j; int t; int n; int before; int after; int seed;
+
+    n = 600;
+    seed = 42;
+    /* inline linear-congruential fill so the loop stays call-free */
+    for (i = 0; i < n; i++) {
+        seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+        a[i] = seed % 10000;
+    }
+    before = 0;
+    for (i = 0; i < n; i++) before = before + a[i];
+
+    for (i = n - 1; i > 0; i--)
+        for (j = 0; j < i; j++)
+            if (a[j] > a[j+1]) {
+                t = a[j];
+                a[j] = a[j+1];
+                a[j+1] = t;
+            }
+
+    after = 0;
+    for (i = 0; i < n; i++) after = after + a[i];
+    if (after != before) return 0;
+    for (i = 1; i < n; i++) if (a[i-1] > a[i]) return 0;
+    return 1;
+}

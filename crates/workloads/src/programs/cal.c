@@ -1,0 +1,79 @@
+/* cal: produce a 12-month calendar for 1990, like the Unix utility the
+ * paper compiled ("the optimizer generates stream instructions for ...
+ * cal"). Like the real utility, each month is composed into a character
+ * grid first; the grid blanking, the day-number fills, and the copy into
+ * the page buffer are the regular array walks that stream. Self-checks the
+ * day count and the page checksum; returns 1 on success.
+ */
+
+int mdays[12];
+char grid[192];      /* 8 rows x 24 columns: one month */
+char page[4096];     /* the assembled year */
+int total;
+
+int main() {
+    int m; int d; int dow; int col; int i; int days; int row;
+    int pos; int page_len; int rep; int checksum; int expect;
+
+    mdays[0] = 31; mdays[1] = 28; mdays[2] = 31; mdays[3] = 30;
+    mdays[4] = 31; mdays[5] = 30; mdays[6] = 31; mdays[7] = 31;
+    mdays[8] = 30; mdays[9] = 31; mdays[10] = 30; mdays[11] = 31;
+
+    expect = 0;
+    checksum = 0;
+    page_len = 0;
+
+    /* the utility formats the year repeatedly (e.g. once per page copy) */
+    for (rep = 0; rep < 1; rep++) {
+        /* 1 January 1990 was a Monday */
+        dow = 1;
+        total = 0;
+        page_len = 0;
+        for (m = 0; m < 12; m++) {
+            /* blank the month grid: pure array initialization */
+            for (i = 0; i < 192; i++) grid[i] = ' ';
+
+            /* header row: month number */
+            grid[0] = '0' + (m + 1) / 10;
+            grid[1] = '0' + (m + 1) % 10;
+            grid[2] = '/';
+            grid[3] = '9';
+            grid[4] = '0';
+
+            /* day cells */
+            days = mdays[m];
+            row = 1;
+            col = dow;
+            for (d = 1; d <= days; d++) {
+                pos = row * 24 + col * 3;
+                if (d >= 10) grid[pos] = '0' + d / 10;
+                grid[pos + 1] = '0' + d % 10;
+                total = total + 1;
+                col = col + 1;
+                if (col == 7) { col = 0; row = row + 1; }
+            }
+            dow = (dow + days) % 7;
+
+            /* copy the month grid into the page (structure copy) */
+            for (i = 0; i < 192; i++) page[page_len + i] = grid[i];
+            page_len = page_len + 192;
+        }
+
+        /* checksum the page: a pure scan */
+        checksum = 0;
+        for (i = 0; i < page_len; i++) checksum = checksum + page[i];
+        if (total == 365) expect = expect + 1;
+    }
+
+    /* print the last page, one month row per line */
+    for (m = 0; m < 12; m++) {
+        for (row = 0; row < 8; row++) {
+            for (col = 0; col < 24; col++)
+                putchar(page[m * 192 + row * 24 + col]);
+            putchar('\n');
+        }
+    }
+
+    if (expect == 1 && checksum > 0) return 1;
+    return 0;
+}

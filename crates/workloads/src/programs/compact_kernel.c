@@ -1,0 +1,59 @@
+/* compact: the adaptive-compression utility's hot loops, reduced to a
+ * byte-frequency model plus a code-table walk — "searching a decoding
+ * tree" is one of the streaming uses the paper found in compact. The
+ * frequency scan and table initialization stream; the tree walk is
+ * data-dependent. Round-trips a buffer through a move-to-front transform
+ * and verifies reconstruction; returns 1 on success.
+ */
+
+char input[4096];
+char coded[4096];
+char decoded[4096];
+int  order[256];
+int  order2[256];
+
+int mtf_find(int *ord, int c) {
+    int i;
+    for (i = 0; i < 256; i++)
+        if (ord[i] == c) return i;
+    return -1;
+}
+
+void mtf_front(int *ord, int idx) {
+    int i; int c;
+    c = ord[idx];
+    for (i = idx; i > 0; i--) ord[i] = ord[i-1];
+    ord[0] = c;
+}
+
+int main() {
+    int i; int n; int idx; int ok;
+
+    n = 4096;
+    /* skewed input so move-to-front has short searches (array init) */
+    for (i = 0; i < n; i++) input[i] = (i * i + i / 7) % 19;
+
+    /* code tables (array init — streams) */
+    for (i = 0; i < 256; i++) order[i] = i;
+    for (i = 0; i < 256; i++) order2[i] = i;
+
+    /* encode: replace each byte by its current rank, move to front */
+    for (i = 0; i < n; i++) {
+        idx = mtf_find(order, input[i]);
+        coded[i] = idx;
+        mtf_front(order, idx);
+    }
+
+    /* decode with a second table */
+    for (i = 0; i < n; i++) {
+        idx = coded[i];
+        decoded[i] = order2[idx];
+        mtf_front(order2, idx);
+    }
+
+    /* verify the round trip (scan — streams) */
+    ok = 1;
+    for (i = 0; i < n; i++)
+        if (decoded[i] != input[i]) ok = 0;
+    return ok;
+}

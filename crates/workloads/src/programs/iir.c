@@ -1,0 +1,40 @@
+/* iir: a direct-form-I biquad infinite-impulse-response filter. The
+ * feedback terms y[i-1], y[i-2] form a degree-2 recurrence — the case the
+ * paper calls "difficult and often impossible to vectorize" but which
+ * streaming handles: x streams in, y streams out, and the recurrence is
+ * held in registers (paper: 13% cycle reduction). Checks stability and an
+ * output checksum band; returns 1 on success.
+ */
+
+double x[4000];
+double y[4000];
+
+int main() {
+    int i; int n;
+    double b0; double b1; double b2; double a1; double a2;
+    double acc;
+
+    n = 4000;
+    /* a gentle low-pass biquad (stable: poles well inside the unit circle) */
+    b0 = 0.2; b1 = 0.4; b2 = 0.2;
+    a1 = -0.3; a2 = 0.1;
+
+    /* impulse + a step at the midpoint */
+    for (i = 0; i < n; i++) x[i] = 0.0;
+    x[0] = 1.0;
+    for (i = 2000; i < n; i++) x[i] = 0.5;
+
+    y[0] = b0 * x[0];
+    y[1] = b0 * x[1] + b1 * x[0] - a1 * y[0];
+    for (i = 2; i < n; i++)
+        y[i] = b0 * x[i] + b1 * x[i-1] + b2 * x[i-2]
+             - a1 * y[i-1] - a2 * y[i-2];
+
+    /* steady-state gain for a 0.5 step is 0.5 * (b0+b1+b2)/(1+a1+a2) = 0.5 */
+    acc = y[n-1];
+    if (acc < 0.49 || acc > 0.51) return 0;
+
+    /* impulse response must have decayed to nothing by the midpoint */
+    if (y[1999] > 0.001 || y[1999] < -0.001) return 0;
+    return 1;
+}

@@ -1,0 +1,23 @@
+/* Livermore loop 5: tri-diagonal elimination below the diagonal — the
+ * paper's running example of a loop-carried recurrence ("x[i] is defined in
+ * terms of x[i-1]"). Array size follows the paper's Table I setup.
+ * Returns a scaled sample of the result for verification.
+ */
+
+double x[100000];
+double y[100000];
+double z[100000];
+
+int main() {
+    int i; int n;
+
+    n = 100000;
+    for (i = 0; i < n; i++) {
+        x[i] = i % 7 * 0.25;
+        y[i] = 2.0 + i % 5 * 0.5;
+        z[i] = 0.5 - i % 3 * 0.125;
+    }
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+    return (int) (x[n-1] * 100000.0);
+}

@@ -1,0 +1,20 @@
+/* Livermore loop 5, initialization only: identical to livermore5.c with
+ * the kernel loop removed. Subtracting its cycle count from the full
+ * program isolates the kernel, which is what Table I reports.
+ */
+
+double x[100000];
+double y[100000];
+double z[100000];
+
+int main() {
+    int i; int n;
+
+    n = 100000;
+    for (i = 0; i < n; i++) {
+        x[i] = i % 7 * 0.25;
+        y[i] = 2.0 + i % 5 * 0.5;
+        z[i] = 0.5 - i % 3 * 0.125;
+    }
+    return (int) (x[n-1] * 100000.0);
+}

@@ -1,0 +1,63 @@
+/* od: the octal-dump utility's core loops — read a buffer, format each
+ * 16-byte line into an output record, and emit it. The paper lists od
+ * among the utilities whose compiled code uses stream instructions (buffer
+ * scans and record copies). Self-checks an output checksum; returns 1.
+ */
+
+char buf[4096];
+char line[80];
+char page[20480];
+
+int main() {
+    int i; int j; int pos; int b; int n; int out;
+    int checksum; int expect;
+
+    n = 4096;
+    /* fill the input buffer with a reproducible pattern (array init) */
+    for (i = 0; i < n; i++) buf[i] = (i * 7 + 3) % 256;
+
+    out = 0;
+    for (i = 0; i < n; i = i + 16) {
+        /* offset field: six octal digits */
+        pos = 0;
+        for (j = 15; j >= 0; j = j - 3) {
+            line[pos] = '0' + ((i >> j) & 7);
+            pos = pos + 1;
+        }
+        line[pos] = ' ';
+        pos = pos + 1;
+        /* sixteen bytes, three octal digits each */
+        for (j = 0; j < 16; j++) {
+            b = buf[i + j];
+            line[pos] = '0' + ((b >> 6) & 7);
+            line[pos + 1] = '0' + ((b >> 3) & 7);
+            line[pos + 2] = '0' + (b & 7);
+            line[pos + 3] = ' ';
+            pos = pos + 4;
+        }
+        line[pos] = '\n';
+        pos = pos + 1;
+        /* copy the record to the page (structure copy — streams) */
+        for (j = 0; j < pos; j++) page[out + j] = line[j];
+        out = out + pos;
+    }
+
+    /* checksum the page (scan — streams) */
+    checksum = 0;
+    for (i = 0; i < out; i++) checksum = checksum + page[i];
+
+    /* verify against a direct recomputation */
+    expect = 0;
+    for (i = 0; i < n; i = i + 16) {
+        for (j = 15; j >= 0; j = j - 3) expect = expect + '0' + ((i >> j) & 7);
+        expect = expect + ' ';
+        for (j = 0; j < 16; j++) {
+            b = buf[i + j];
+            expect = expect + '0' + ((b >> 6) & 7) + '0' + ((b >> 3) & 7)
+                   + '0' + (b & 7) + ' ';
+        }
+        expect = expect + '\n';
+    }
+    if (checksum == expect) return 1;
+    return 0;
+}

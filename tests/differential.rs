@@ -1,0 +1,92 @@
+//! Differential testing: randomly generated mini-C programs must compute
+//! the same results at every optimization level and on both machines.
+//! This is the broadest guard against miscompilation by the recurrence,
+//! streaming and combining passes.
+
+use proptest::prelude::*;
+use wm_stream::{Compiler, MachineModel, OptOptions, Target};
+
+/// A random arithmetic/array program, built from a small grammar that
+/// exercises loops, arrays (with in-loop offsets ±2), conditionals and
+/// accumulators.
+fn arbitrary_program() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        // accumulate with an array read at a nearby offset
+        (0..3usize, -2i64..=2).prop_map(|(arr, off)| {
+            let a = ["u", "v", "w"][arr];
+            format!("s = s + {a}[i{}{}];", if off >= 0 { "+" } else { "-" }, off.abs())
+        }),
+        // array write from the accumulator
+        (0..3usize).prop_map(|arr| {
+            let a = ["u", "v", "w"][arr];
+            format!("{a}[i] = s % 1000 + i;")
+        }),
+        // recurrence-style update
+        (0..3usize, 1i64..=2).prop_map(|(arr, d)| {
+            let a = ["u", "v", "w"][arr];
+            format!("{a}[i] = {a}[i-{d}] + 1;")
+        }),
+        // conditional bump
+        Just("if (s % 3 == 0) s = s + 7;".to_string()),
+        // scalar churn
+        (1i64..50).prop_map(|k| format!("t = t * 3 + {k}; s = s + t % 100;")),
+    ];
+    // 1..5 statements in the loop body
+    proptest::collection::vec(stmt, 1..5).prop_map(|body| {
+        format!(
+            r"
+            int u[300]; int v[300]; int w[300];
+            int main() {{
+                int i; int s; int t;
+                s = 1; t = 2;
+                for (i = 0; i < 300; i++) {{ u[i] = i; v[i] = 2 * i; w[i] = 3000 - i; }}
+                for (i = 2; i < 298; i++) {{
+                    {}
+                }}
+                for (i = 0; i < 300; i++) s = s + u[i] + v[i] + w[i];
+                return s % 100000;
+            }}",
+            body.join("\n                    ")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case compiles 4 ways and simulates; keep it bounded
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_agree_across_opt_levels_and_machines(src in arbitrary_program()) {
+        let reference = Compiler::new()
+            .options(OptOptions::none())
+            .compile(&src)
+            .expect("compiles")
+            .run_wm("main", &[])
+            .expect("baseline runs");
+
+        for opts in [
+            OptOptions::all().without_recurrence().without_streaming(),
+            OptOptions::all().without_streaming(),
+            OptOptions::all(),
+            OptOptions::all().with_vectorization(),
+        ] {
+            let r = Compiler::new()
+                .options(opts.clone())
+                .compile(&src)
+                .expect("compiles")
+                .run_wm("main", &[])
+                .expect("runs");
+            prop_assert_eq!(r.ret_int, reference.ret_int, "options {:?}\n{}", opts, src);
+        }
+
+        let r = Compiler::new()
+            .target(Target::Scalar)
+            .compile(&src)
+            .expect("compiles")
+            .run_scalar("main", &[], &MachineModel::m88100())
+            .expect("runs");
+        prop_assert_eq!(r.ret_int, reference.ret_int, "scalar target\n{}", src);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end correctness: every benchmark program must produce its
+//! expected result under every optimization level, on the WM simulator and
+//! on a scalar machine. Cycle counts must be deterministic.
+
+use wm_stream::{Compiler, MachineModel, OptOptions, Target};
+
+fn opt_levels() -> Vec<(&'static str, OptOptions)> {
+    vec![
+        ("none", OptOptions::none()),
+        ("classical", OptOptions::all().without_recurrence().without_streaming()),
+        ("recurrence", OptOptions::all().without_streaming()),
+        ("full", OptOptions::all()),
+        ("full+noalias", OptOptions::all().assume_noalias()),
+    ]
+}
+
+#[test]
+fn every_workload_is_correct_on_the_wm_at_every_opt_level() {
+    for w in wm_stream::workloads::table2() {
+        for (level, opts) in opt_levels() {
+            let c = Compiler::new()
+                .options(opts)
+                .compile(w.source)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, level));
+            let r = c
+                .run_wm("main", &[])
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, level));
+            if let wm_stream::workloads::Expected::Ret(want) = w.expected_ret {
+                assert_eq!(r.ret_int, want, "{} [{}]", w.name, level);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_is_correct_on_scalar_machines() {
+    let models = [MachineModel::sun_3_280(), MachineModel::m88100()];
+    for w in wm_stream::workloads::table2() {
+        for model in &models {
+            let c = Compiler::new()
+                .target(Target::Scalar)
+                .compile(w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let r = c
+                .run_scalar("main", &[], model)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, model.name));
+            if let wm_stream::workloads::Expected::Ret(want) = w.expected_ret {
+                assert_eq!(r.ret_int, want, "{} on {}", w.name, model.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn livermore5_matches_the_rust_reference() {
+    let expected = wm_stream::workloads::livermore5_expected();
+    let src = wm_stream::workloads::livermore5().source;
+    for (level, opts) in opt_levels() {
+        let r = Compiler::new()
+            .options(opts)
+            .compile(src)
+            .expect("compiles")
+            .run_wm("main", &[])
+            .unwrap_or_else(|e| panic!("[{level}]: {e}"));
+        assert_eq!(r.ret_int, expected, "[{level}]");
+    }
+    // and on a scalar model
+    let r = Compiler::new()
+        .target(Target::Scalar)
+        .compile(src)
+        .expect("compiles")
+        .run_scalar("main", &[], &MachineModel::vax_8600())
+        .expect("runs");
+    assert_eq!(r.ret_int, expected);
+}
+
+#[test]
+fn text_kernels_verify_with_infinite_streams() {
+    let w = wm_stream::workloads::text_kernels();
+    let c = Compiler::new()
+        .options(OptOptions::all().assume_noalias())
+        .compile(w.source)
+        .expect("compiles");
+    let r = c.run_wm("main", &[]).expect("runs");
+    w.check(r.ret_int);
+    // the kernels must actually use streams
+    let total: usize = c
+        .stats
+        .iter()
+        .map(|(_, s)| s.streaming.streams_in + s.streaming.streams_out)
+        .sum();
+    assert!(total >= 3, "expected several streams, got {total}");
+}
+
+#[test]
+fn cycle_counts_are_deterministic() {
+    let w = &wm_stream::workloads::table2()[4]; // dot-product
+    let c = Compiler::new().compile(w.source).expect("compiles");
+    let a = c.run_wm("main", &[]).expect("runs");
+    let b = c.run_wm("main", &[]).expect("runs");
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn outputs_match_across_optimization_levels() {
+    // programs that print: banner and cal
+    for w in wm_stream::workloads::table2()
+        .into_iter()
+        .filter(|w| w.name == "banner" || w.name == "cal")
+    {
+        let base = Compiler::new()
+            .options(OptOptions::none())
+            .compile(w.source)
+            .expect("compiles")
+            .run_wm("main", &[])
+            .expect("runs");
+        let full = Compiler::new()
+            .options(OptOptions::all().assume_noalias())
+            .compile(w.source)
+            .expect("compiles")
+            .run_wm("main", &[])
+            .expect("runs");
+        assert_eq!(
+            String::from_utf8_lossy(&base.output),
+            String::from_utf8_lossy(&full.output),
+            "{} output differs",
+            w.name
+        );
+        assert!(!base.output.is_empty());
+    }
+}

@@ -29,8 +29,7 @@ pub struct Row {
 impl Row {
     /// Measured percent improvement.
     pub fn percent(&self) -> f64 {
-        100.0 * (self.base_cycles.saturating_sub(self.opt_cycles)) as f64
-            / self.base_cycles as f64
+        100.0 * (self.base_cycles.saturating_sub(self.opt_cycles)) as f64 / self.base_cycles as f64
     }
 }
 

@@ -27,13 +27,13 @@ struct Options {
     trace: usize,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
+const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
                [--opt none|classical|recurrence|full] [--noalias] [--vectorize] [--emit]
                [--stats] [--trace N] [--entry NAME] [--args N,N,...]
-               [--mem-latency N] [--mem-ports N]"
-    );
+               [--mem-latency N] [--mem-ports N]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -58,6 +58,10 @@ fn parse_args() -> Options {
     };
     while i < argv.len() {
         match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             "--target" => {
                 o.target = match need(&mut i).as_str() {
                     "wm" => Target::Wm,
@@ -99,9 +103,7 @@ fn parse_args() -> Options {
             "--mem-latency" => {
                 o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
-            "--mem-ports" => {
-                o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--mem-ports" => o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage()),
             f if !f.starts_with('-') && o.file.is_empty() => o.file = f.to_string(),
             _ => usage(),
         }

@@ -235,10 +235,7 @@ impl Compiled {
 
     /// The optimizer report for one function.
     pub fn stats_for(&self, name: &str) -> Option<&OptStats> {
-        self.stats
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.stats.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 }
 

@@ -463,7 +463,9 @@ mod tests {
 
     #[test]
     fn comments_and_lines() {
-        let toks = Lexer::new("a // one\n/* two\nlines */ b").tokenize().unwrap();
+        let toks = Lexer::new("a // one\n/* two\nlines */ b")
+            .tokenize()
+            .unwrap();
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 3);
     }

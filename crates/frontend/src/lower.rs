@@ -65,7 +65,10 @@ pub fn lower(program: &Program) -> Result<Module, CompileError> {
                     // most one of them has a body
                     let same = existing.ret == f.ret
                         && existing.params
-                            == f.params.iter().map(|(t, _)| t.decayed()).collect::<Vec<_>>();
+                            == f.params
+                                .iter()
+                                .map(|(t, _)| t.decayed())
+                                .collect::<Vec<_>>();
                     if !same {
                         return Err(CompileError::new(
                             f.line,
@@ -156,7 +159,10 @@ fn init_bytes(ty: &Type, init: Option<&Init>, line: u32) -> Result<Vec<u8>, Comp
         }
         (Type::Array(el, n), Init::Str(s)) => {
             if **el != Type::Char {
-                return Err(CompileError::new(line, "string initializer on non-char array"));
+                return Err(CompileError::new(
+                    line,
+                    "string initializer on non-char array",
+                ));
             }
             if s.len() + 1 > *n {
                 return Err(CompileError::new(line, "string longer than array"));
@@ -573,7 +579,10 @@ impl<'a> FnCx<'a> {
                 let off = (self.f.frame_size + align - 1) / align * align;
                 self.f.frame_size = off + ty.size() as i64;
                 if init.is_some() {
-                    return Err(CompileError::new(line, "local array initializers unsupported"));
+                    return Err(CompileError::new(
+                        line,
+                        "local array initializers unsupported",
+                    ));
                 }
                 Binding::FrameArray(off, ty.clone())
             }
@@ -737,7 +746,10 @@ impl<'a> FnCx<'a> {
                             dst: r,
                             src: RExpr::Un(un, v.op),
                         });
-                        Ok(Val { op: r.into(), ty: v.ty })
+                        Ok(Val {
+                            op: r.into(),
+                            ty: v.ty,
+                        })
                     }
                 }
             }
@@ -872,8 +884,7 @@ impl<'a> FnCx<'a> {
         self.str_count += 1;
         let mut bytes = s.as_bytes().to_vec();
         bytes.push(0);
-        self.module
-            .add_data(name, bytes.len() as u64, 1, bytes)
+        self.module.add_data(name, bytes.len() as u64, 1, bytes)
     }
 
     /// Compute the address of an lvalue (`&e`).
@@ -966,10 +977,7 @@ impl<'a> FnCx<'a> {
                         Binding::Scalar(r, ty) => Place::Reg(r, ty),
                         Binding::FrameArray(off, ty) => {
                             let el = ty.element().expect("array binding").clone();
-                            Place::Mem(
-                                MemRef::base(Reg::sp(), off, width_of(&el)),
-                                el,
-                            )
+                            Place::Mem(MemRef::base(Reg::sp(), off, width_of(&el)), el)
                         }
                     });
                 }
@@ -977,16 +985,18 @@ impl<'a> FnCx<'a> {
                     let width = width_of(&ty);
                     return Ok(Place::Mem(MemRef::sym(sym, 0, width), ty));
                 }
-                Err(CompileError::new(e.line, format!("unknown variable {name}")))
+                Err(CompileError::new(
+                    e.line,
+                    format!("unknown variable {name}"),
+                ))
             }
             ExprKind::Index(base, idx) => self.index_place(base, idx, e.line),
             ExprKind::Unary(UnaryOp::Deref, inner) => {
                 let p = self.rvalue(inner)?;
-                let el = p
-                    .ty
-                    .element()
-                    .ok_or_else(|| CompileError::new(e.line, "dereference of non-pointer"))?
-                    .clone();
+                let el =
+                    p.ty.element()
+                        .ok_or_else(|| CompileError::new(e.line, "dereference of non-pointer"))?
+                        .clone();
                 let base = self.force_reg(&p);
                 Ok(Place::Mem(MemRef::base(base, 0, width_of(&el)), el))
             }
@@ -1023,11 +1033,10 @@ impl<'a> FnCx<'a> {
             }
         }
         let b = self.rvalue(base)?;
-        let el = b
-            .ty
-            .element()
-            .ok_or_else(|| CompileError::new(line, "indexing a non-pointer"))?
-            .clone();
+        let el =
+            b.ty.element()
+                .ok_or_else(|| CompileError::new(line, "indexing a non-pointer"))?
+                .clone();
         let base_reg = self.force_reg(&b);
         self.finish_index(MemRef::base(base_reg, 0, width_of(&el)), el, idx, line)
     }
@@ -1041,7 +1050,10 @@ impl<'a> FnCx<'a> {
     ) -> Result<Place, CompileError> {
         let iv = self.rvalue(idx)?;
         if !iv.ty.is_integral() {
-            return Err(CompileError::new(line, "array subscript must be an integer"));
+            return Err(CompileError::new(
+                line,
+                "array subscript must be an integer",
+            ));
         }
         match iv.op {
             Operand::Imm(k) => {
@@ -1491,10 +1503,7 @@ mod tests {
         // guarded bottom-tested loop: entry, exit, body, latch, loop-exit
         assert!(f.blocks.len() >= 5);
         // four memory references in the loop body
-        let mems: usize = f
-            .insts()
-            .filter(|i| i.kind.mem_access().is_some())
-            .count();
+        let mems: usize = f.insts().filter(|i| i.kind.mem_access().is_some()).count();
         assert_eq!(mems, 4);
         let listing = f.display(Some(&m)).to_string();
         assert!(listing.contains("_x"), "{listing}");
@@ -1517,9 +1526,7 @@ mod tests {
 
     #[test]
     fn pointer_walk() {
-        let m = lower_src(
-            "int strcpy0(char *d, char *s) { while ((*d++ = *s++)) ; return 0; }",
-        );
+        let m = lower_src("int strcpy0(char *d, char *s) { while ((*d++ = *s++)) ; return 0; }");
         let f = m.function_named("strcpy0").unwrap();
         let loads = f
             .insts()
@@ -1536,9 +1543,7 @@ mod tests {
     fn calls_and_builtins() {
         let m = lower_src("void emit(int c) { putchar(c + 1); }");
         let f = m.function_named("emit").unwrap();
-        assert!(f
-            .insts()
-            .any(|i| matches!(i.kind, InstKind::Call { .. })));
+        assert!(f.insts().any(|i| matches!(i.kind, InstKind::Call { .. })));
     }
 
     #[test]
@@ -1591,9 +1596,7 @@ mod tests {
 
     #[test]
     fn short_circuit_and_ternary() {
-        let m = lower_src(
-            "int f(int a, int b) { int c; c = a && b; return c ? a : b; }",
-        );
+        let m = lower_src("int f(int a, int b) { int c; c = a && b; return c ? a : b; }");
         let f = m.function_named("f").unwrap();
         assert!(f.blocks.len() >= 6);
     }
@@ -1612,7 +1615,10 @@ mod tests {
         let f = m.function_named("sum").unwrap();
         assert!(f.insts().any(|i| matches!(
             &i.kind,
-            InstKind::Assign { src: RExpr::Bin(BinOp::Add, _, _), .. }
+            InstKind::Assign {
+                src: RExpr::Bin(BinOp::Add, _, _),
+                ..
+            }
         )));
     }
 }

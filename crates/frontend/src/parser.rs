@@ -227,9 +227,7 @@ impl Parser {
         self.expect(&TokenKind::Semi, "';'")?;
         // fix up unsized arrays from initializer length
         let ty = match (&ty, &init) {
-            (Type::Array(el, 0), Some(Init::Str(s))) => {
-                Type::Array(el.clone(), s.len() + 1)
-            }
+            (Type::Array(el, 0), Some(Init::Str(s))) => Type::Array(el.clone(), s.len() + 1),
             (Type::Array(el, 0), Some(Init::List(es))) => Type::Array(el.clone(), es.len()),
             _ => ty,
         };

@@ -292,10 +292,7 @@ impl Function {
     /// A paper-style listing. Pass the module to resolve symbol names
     /// (`_x`, `_y`, ...) as in the paper's figures.
     pub fn display<'a>(&'a self, module: Option<&'a Module>) -> FuncDisplay<'a> {
-        FuncDisplay {
-            func: self,
-            module,
-        }
+        FuncDisplay { func: self, module }
     }
 }
 

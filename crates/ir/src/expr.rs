@@ -177,9 +177,7 @@ impl MemRef {
 
     /// Registers read to form the address (base and index).
     pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
-        self.base
-            .into_iter()
-            .chain(self.index.map(|(r, _)| r))
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
     }
 
     /// Registers *written* by the access (auto-increment modifies the base).

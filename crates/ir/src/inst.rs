@@ -260,13 +260,9 @@ impl InstKind {
     pub fn uses(&self) -> Vec<Reg> {
         match self {
             InstKind::Assign { src, .. } => src.regs().collect(),
-            InstKind::Compare { a, b, .. } => {
-                a.reg().into_iter().chain(b.reg()).collect()
-            }
+            InstKind::Compare { a, b, .. } => a.reg().into_iter().chain(b.reg()).collect(),
             InstKind::GLoad { mem, .. } => mem.regs().collect(),
-            InstKind::GStore { src, mem } => {
-                src.reg().into_iter().chain(mem.regs()).collect()
-            }
+            InstKind::GStore { src, mem } => src.reg().into_iter().chain(mem.regs()).collect(),
             InstKind::WLoad { addr, .. } => addr.regs().collect(),
             InstKind::WStore { addr, .. } => addr.regs().collect(),
             InstKind::StreamIn {

@@ -315,7 +315,14 @@ mod tests {
 
     #[test]
     fn cmp_swap_negate_roundtrip() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.swap().swap(), op);
             assert_eq!(op.negate().negate(), op);
             // semantic checks on a sample

@@ -138,7 +138,11 @@ impl<'m> ScalarMachine<'m> {
             .ok_or_else(|| ScalarError::BadProgram(format!("no entry symbol {entry}")))?;
         let fidx = match module.global(sym).kind {
             GlobalKind::Func(i) => i,
-            _ => return Err(ScalarError::BadProgram(format!("{entry} is not a function"))),
+            _ => {
+                return Err(ScalarError::BadProgram(format!(
+                    "{entry} is not a function"
+                )))
+            }
         };
         m.exec_function(fidx)?;
         Ok(ScalarResult {
@@ -205,7 +209,9 @@ impl<'m> ScalarMachine<'m> {
                     inst = 0;
                     continue;
                 }
-                InstKind::Branch { when, target, els, .. } => {
+                InstKind::Branch {
+                    when, target, els, ..
+                } => {
                     let taken_label = if self.cc == when { target } else { els };
                     // fallthrough to the next block is the "not taken" cost
                     let next_is_fallthrough = func
@@ -243,23 +249,21 @@ impl<'m> ScalarMachine<'m> {
                     self.auto_update(&mem);
                     self.mem_writes += 1;
                 }
-                InstKind::Call { callee, .. } => {
-                    match &self.module.global(callee).kind {
-                        GlobalKind::Func(fi) => {
-                            self.cycles += self.model.call;
-                            let fi = *fi;
-                            self.exec_function(fi)?;
-                        }
-                        GlobalKind::Builtin => {
-                            self.cycles += self.model.call + self.model.io;
-                            let name = self.module.sym_name(callee).to_string();
-                            self.builtin(&name)?;
-                        }
-                        GlobalKind::Data { .. } => {
-                            return Err(ScalarError::BadProgram("call to data symbol".into()))
-                        }
+                InstKind::Call { callee, .. } => match &self.module.global(callee).kind {
+                    GlobalKind::Func(fi) => {
+                        self.cycles += self.model.call;
+                        let fi = *fi;
+                        self.exec_function(fi)?;
                     }
-                }
+                    GlobalKind::Builtin => {
+                        self.cycles += self.model.call + self.model.io;
+                        let name = self.module.sym_name(callee).to_string();
+                        self.builtin(&name)?;
+                    }
+                    GlobalKind::Data { .. } => {
+                        return Err(ScalarError::BadProgram("call to data symbol".into()))
+                    }
+                },
                 InstKind::Ret => {
                     self.cycles += self.model.ret;
                     return Ok(());
@@ -351,7 +355,9 @@ impl<'m> ScalarMachine<'m> {
 
     fn ireg(&self, r: Reg) -> Result<i64, ScalarError> {
         if r.class != RegClass::Int {
-            return Err(ScalarError::BadProgram(format!("{r} is not an integer register")));
+            return Err(ScalarError::BadProgram(format!(
+                "{r} is not an integer register"
+            )));
         }
         let n = r.phys_num().unwrap() as usize;
         Ok(if n == 31 { 0 } else { self.iregs[n] })
@@ -362,9 +368,10 @@ impl<'m> ScalarMachine<'m> {
             Operand::Imm(v) => ScalarVal::I(v),
             Operand::FImm(v) => ScalarVal::F(v),
             Operand::Reg(r) => {
-                let n = r.phys_num().ok_or_else(|| {
-                    ScalarError::BadProgram("virtual register at run time".into())
-                })? as usize;
+                let n = r
+                    .phys_num()
+                    .ok_or_else(|| ScalarError::BadProgram("virtual register at run time".into()))?
+                    as usize;
                 if n == 31 {
                     match class {
                         RegClass::Int => ScalarVal::I(0),
@@ -399,7 +406,11 @@ impl<'m> ScalarMachine<'m> {
                 })
             }
             RExpr::Bin(op, a, b) => {
-                let cls = if op.is_float() { RegClass::Flt } else { RegClass::Int };
+                let cls = if op.is_float() {
+                    RegClass::Flt
+                } else {
+                    RegClass::Int
+                };
                 let va = self.operand(*a, cls)?;
                 let vb = self.operand(*b, cls)?;
                 self.binop(*op, va, vb)
@@ -411,11 +422,19 @@ impl<'m> ScalarMachine<'m> {
                 outer,
                 c,
             } => {
-                let cls = if inner.is_float() { RegClass::Flt } else { RegClass::Int };
+                let cls = if inner.is_float() {
+                    RegClass::Flt
+                } else {
+                    RegClass::Int
+                };
                 let va = self.operand(*a, cls)?;
                 let vb = self.operand(*b, cls)?;
                 let vab = self.binop(*inner, va, vb)?;
-                let cls2 = if outer.is_float() { RegClass::Flt } else { RegClass::Int };
+                let cls2 = if outer.is_float() {
+                    RegClass::Flt
+                } else {
+                    RegClass::Int
+                };
                 let vc = self.operand(*c, cls2)?;
                 self.binop(*outer, vab, vc)
             }

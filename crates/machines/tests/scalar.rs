@@ -87,8 +87,16 @@ fn recurrence_optimization_improves_every_machine() {
         );
         // best-case bound from the paper: about 25% (one of four refs)
         let gain = 100.0 * (k_without - k_with) as f64 / k_without as f64;
-        assert!(gain < 26.0, "{}: gain {gain:.1}% exceeds the best case", model.name);
-        assert!(gain > 2.0, "{}: gain {gain:.1}% suspiciously small", model.name);
+        assert!(
+            gain < 26.0,
+            "{}: gain {gain:.1}% exceeds the best case",
+            model.name
+        );
+        assert!(
+            gain > 2.0,
+            "{}: gain {gain:.1}% suspiciously small",
+            model.name
+        );
     }
 }
 
@@ -163,8 +171,8 @@ fn wm_specific_code_is_rejected() {
     }
     // a module with WM instructions cannot run — but this tiny main has no
     // memory references, so force one in via a real program instead
-    let mut module2 = wm_frontend::compile("int a[4]; int main() { a[0] = 1; return a[0]; }")
-        .unwrap();
+    let mut module2 =
+        wm_frontend::compile("int a[4]; int main() { a[0] = 1; return a[0]; }").unwrap();
     for f in module2.functions.iter_mut() {
         wm_target::expand_wm(f);
         allocate_registers(f, TargetKind::Wm).unwrap();

@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use wm_ir::{
-    BinOp, CmpOp, Function, InstKind, MemRef, Operand, RExpr, Reg, RegClass, SymId,
-};
+use wm_ir::{BinOp, CmpOp, Function, InstKind, MemRef, Operand, RExpr, Reg, RegClass, SymId};
 
 use crate::cfg::{Dominators, Loop};
 
@@ -149,24 +147,14 @@ impl<'a> LoopAnalysis<'a> {
                     continue;
                 }
                 let step = match (op, a, b) {
-                    (BinOp::Add, Operand::Reg(r), Operand::Imm(c)) if r == reg => {
-                        Some((*c, None))
-                    }
-                    (BinOp::Add, Operand::Imm(c), Operand::Reg(r)) if r == reg => {
-                        Some((*c, None))
-                    }
-                    (BinOp::Sub, Operand::Reg(r), Operand::Imm(c)) if r == reg => {
-                        Some((-*c, None))
-                    }
+                    (BinOp::Add, Operand::Reg(r), Operand::Imm(c)) if r == reg => Some((*c, None)),
+                    (BinOp::Add, Operand::Imm(c), Operand::Reg(r)) if r == reg => Some((*c, None)),
+                    (BinOp::Sub, Operand::Reg(r), Operand::Imm(c)) if r == reg => Some((-*c, None)),
                     // symbolic step: r := r + s with s invariant in the loop
-                    (BinOp::Add, Operand::Reg(r), Operand::Reg(st))
-                        if r == reg && st != reg =>
-                    {
+                    (BinOp::Add, Operand::Reg(r), Operand::Reg(st)) if r == reg && st != reg => {
                         Some((0, Some(*st)))
                     }
-                    (BinOp::Add, Operand::Reg(st), Operand::Reg(r))
-                        if r == reg && st != reg =>
-                    {
+                    (BinOp::Add, Operand::Reg(st), Operand::Reg(r)) if r == reg && st != reg => {
                         Some((0, Some(*st)))
                     }
                     _ => None,
@@ -574,8 +562,11 @@ pub fn analyze_latch(la: &LoopAnalysis<'_>) -> Option<LatchInfo> {
         return None;
     };
     // Find the last integer Compare in the latch block before the branch.
-    let (cii, (op, a, b)) = block.insts[..bii].iter().enumerate().rev().find_map(
-        |(i, inst)| match &inst.kind {
+    let (cii, (op, a, b)) = block.insts[..bii]
+        .iter()
+        .enumerate()
+        .rev()
+        .find_map(|(i, inst)| match &inst.kind {
             InstKind::Compare {
                 class: RegClass::Int,
                 op,
@@ -583,8 +574,7 @@ pub fn analyze_latch(la: &LoopAnalysis<'_>) -> Option<LatchInfo> {
                 b,
             } => Some((i, (*op, *a, *b))),
             _ => None,
-        },
-    )?;
+        })?;
     let op = if continue_on_true { op } else { op.negate() };
     // Normalize so the IV is on the left.
     let (op, ivreg, bound) = match (a, b) {
@@ -674,9 +664,7 @@ mod tests {
         let mut forms = Vec::new();
         for &bi in &loops[0].blocks {
             for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
-                if let Some(wm_ir::MemAccess::Generic { mem, is_load }) =
-                    inst.kind.mem_access()
-                {
+                if let Some(wm_ir::MemAccess::Generic { mem, is_load }) = inst.kind.mem_access() {
                     let a = la.eval_memref(mem, (bi, ii), 8).expect("affine");
                     forms.push((a, is_load, mem.width));
                 }

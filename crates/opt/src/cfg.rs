@@ -230,13 +230,22 @@ pub fn ensure_preheader(func: &mut Function, l: &Loop) -> Label {
     if outside.len() == 1 {
         let p = outside[0];
         if let Some(last) = func.blocks[p].insts.last() {
-            if last.kind == (InstKind::Jump { target: header_label }) {
+            if last.kind
+                == (InstKind::Jump {
+                    target: header_label,
+                })
+            {
                 return func.blocks[p].label;
             }
         }
     }
     let pre = func.add_block();
-    func.push(pre, InstKind::Jump { target: header_label });
+    func.push(
+        pre,
+        InstKind::Jump {
+            target: header_label,
+        },
+    );
     // Retarget every outside edge into the header.
     for &p in &outside {
         let label = func.blocks[p].label;

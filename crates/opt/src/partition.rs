@@ -167,7 +167,11 @@ pub fn build_partitions(la: &LoopAnalysis<'_>, alias: AliasModel) -> PartitionSe
             // drop its decomposition so it fails Step 3a in every partition
             // it joins ("generally, a pointer reference will not have an
             // induction variable").
-            let affine = if region == Region::Unknown { None } else { affine };
+            let affine = if region == Region::Unknown {
+                None
+            } else {
+                affine
+            };
             let stride = affine.as_ref().and_then(|a| la.stride_of(a));
             let sym_step = affine.as_ref().and_then(|a| la.sym_step_of(a));
             refs.push((

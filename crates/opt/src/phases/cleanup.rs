@@ -82,7 +82,10 @@ fn collapse_trivial_branches(func: &mut Function) -> bool {
         if n == 0 {
             continue;
         }
-        if let InstKind::Branch { target, els, class, .. } = block.insts[n - 1].kind {
+        if let InstKind::Branch {
+            target, els, class, ..
+        } = block.insts[n - 1].kind
+        {
             if target == els {
                 // only safe if we can also delete the adjacent compare
                 if n >= 2 {
@@ -169,9 +172,7 @@ mod tests {
                 .any(|i| matches!(i.kind, InstKind::Compare { .. })),
             "compare must go with the branch"
         );
-        assert!(!f
-            .insts()
-            .any(|i| matches!(i.kind, InstKind::Branch { .. })));
+        assert!(!f.insts().any(|i| matches!(i.kind, InstKind::Branch { .. })));
     }
 
     #[test]
@@ -182,7 +183,14 @@ mod tests {
         let exit = b.new_block();
         b.jump(body);
         b.switch_to(body);
-        b.branch_if(RegClass::Int, CmpOp::Lt, Operand::Imm(0), n.into(), body, exit);
+        b.branch_if(
+            RegClass::Int,
+            CmpOp::Lt,
+            Operand::Imm(0),
+            n.into(),
+            body,
+            exit,
+        );
         b.switch_to(exit);
         b.emit(InstKind::Ret);
         let mut f = b.finish();

@@ -139,10 +139,7 @@ fn merge_expr(consumer: &RExpr, t: Reg, def_src: &RExpr) -> Option<RExpr> {
         RExpr::Op(fifo_op @ Operand::Reg(fr)) if fr.is_fifo() => {
             let mut out = consumer.clone();
             // count occurrences of t; exactly one may be replaced
-            let occurrences = consumer
-                .operands()
-                .filter(|o| *o == t_op)
-                .count();
+            let occurrences = consumer.operands().filter(|o| *o == t_op).count();
             if occurrences != 1 {
                 return None;
             }

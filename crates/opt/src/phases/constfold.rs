@@ -49,7 +49,9 @@ fn fold_expr(e: &RExpr) -> Option<RExpr> {
             // dual into a single binary operation.
             if let Some(folded) = fold_bin(*inner, *a, *b) {
                 match folded {
-                    RExpr::Op(x) => return fold_bin(*outer, x, *c).or(Some(RExpr::Bin(*outer, x, *c))),
+                    RExpr::Op(x) => {
+                        return fold_bin(*outer, x, *c).or(Some(RExpr::Bin(*outer, x, *c)))
+                    }
                     RExpr::Bin(i2, a2, b2) => {
                         return Some(RExpr::Dual {
                             inner: i2,
@@ -189,7 +191,11 @@ pub fn propagate_single_def_constants(func: &mut Function) -> bool {
                 continue;
             }
             for ii in 0..func.blocks[bi].insts.len() {
-                let dominated = if bi == dbi { ii > dii } else { dom.dominates(dbi, bi) };
+                let dominated = if bi == dbi {
+                    ii > dii
+                } else {
+                    dom.dominates(dbi, bi)
+                };
                 if !dominated {
                     continue;
                 }
@@ -276,9 +282,13 @@ mod tests {
         assert!(propagate_single_def_constants(&mut f));
         assert!(fold_constants(&mut f));
         let kinds: Vec<_> = f.insts().map(|i| i.kind.clone()).collect();
-        assert!(kinds
-            .iter()
-            .any(|k| matches!(k, InstKind::Assign { src: RExpr::Op(Operand::Imm(43)), .. })));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            InstKind::Assign {
+                src: RExpr::Op(Operand::Imm(43)),
+                ..
+            }
+        )));
     }
 
     #[test]

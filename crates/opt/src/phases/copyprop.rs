@@ -54,9 +54,7 @@ pub fn propagate_copies(func: &mut Function) -> bool {
                         RExpr::Op(op @ (Operand::Imm(_) | Operand::FImm(_))) => {
                             avail.insert(*dst, *op);
                         }
-                        RExpr::Op(Operand::Reg(s))
-                            if !s.is_fifo() && !s.is_zero() && s != dst =>
-                        {
+                        RExpr::Op(Operand::Reg(s)) if !s.is_fifo() && !s.is_zero() && s != dst => {
                             let reverse = s.is_virt()
                                 && def_count.get(s).copied().unwrap_or(0) == 1
                                 && def_count.get(dst).copied().unwrap_or(0) > 1;

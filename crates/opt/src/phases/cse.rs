@@ -39,9 +39,7 @@ pub fn eliminate_common_subexpressions(func: &mut Function) -> bool {
         for inst in &mut block.insts {
             let key = match &inst.kind {
                 InstKind::Assign { dst, src }
-                    if !dst.is_fifo()
-                        && !dst.is_zero()
-                        && !src.regs().any(|r| r.is_fifo()) =>
+                    if !dst.is_fifo() && !dst.is_zero() && !src.regs().any(|r| r.is_fifo()) =>
                 {
                     match src {
                         RExpr::Un(op, a) => Some(ExprKey::Un(*op, key_of(*a))),

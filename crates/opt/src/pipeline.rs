@@ -199,8 +199,7 @@ pub fn optimize_wm(func: &mut Function, opts: &OptOptions) -> OptStats {
         phases::eliminate_dead_load_pairs(func);
     }
     if opts.vectorize {
-        stats.vector =
-            crate::vectorize::vectorize_maps(func, opts.alias, opts.vector_length);
+        stats.vector = crate::vectorize::vectorize_maps(func, opts.alias, opts.vector_length);
         stats.iterations += cleanup(func, opts);
     }
     if opts.streaming {

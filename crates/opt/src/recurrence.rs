@@ -51,8 +51,7 @@ pub fn optimize_recurrences(
         let dom = Dominators::compute(func);
         let loops = natural_loops(func, &dom);
         let candidate = loops.iter().find(|lp| {
-            lp.is_innermost(&loops)
-                && !visited_headers.contains(&func.blocks[lp.header].label)
+            lp.is_innermost(&loops) && !visited_headers.contains(&func.blocks[lp.header].label)
         });
         let Some(lp) = candidate else { break };
         visited_headers.push(func.blocks[lp.header].label);
@@ -167,9 +166,10 @@ fn plan_partition(
         return None;
     }
     // Preheader priming loads do not materialize invariant-term addresses.
-    if p.refs.iter().any(|r| {
-        r.affine.as_ref().map(|a| a.inv.is_some()).unwrap_or(true)
-    }) {
+    if p.refs
+        .iter()
+        .any(|r| r.affine.as_ref().map(|a| a.inv.is_some()).unwrap_or(true))
+    {
         return None;
     }
     let mut reads = Vec::new();
@@ -269,7 +269,9 @@ fn apply_plan(func: &mut Function, lp: &crate::cfg::Loop, plan: Plan) {
             dst: holds[d as usize],
             src: RExpr::Op(Operand::Reg(holds[(d - 1) as usize])),
         };
-        func.block_mut(header_label).insts.insert(0, Inst { id, kind });
+        func.block_mut(header_label)
+            .insts
+            .insert(0, Inst { id, kind });
     }
     // Step 4d: preheader with the initial reads. The IV register still
     // holds its initial value there, so it serves as the index directly.

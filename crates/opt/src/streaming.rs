@@ -14,7 +14,6 @@
 //!    count is known, insert stream-stop instructions at the exits when it
 //!    is not, and delete the induction variable when it becomes dead.
 
-
 use wm_ir::{
     BinOp, CmpOp, DataFifo, Function, Inst, InstKind, Label, Operand, RExpr, Reg, RegClass,
 };
@@ -66,19 +65,15 @@ struct StreamPlan {
 ///
 /// `min_count` is the paper's Step 1 cutoff: statically-known trip counts
 /// at or below 3 are not worth the stream setup.
-pub fn optimize_streams(
-    func: &mut Function,
-    alias: AliasModel,
-    min_count: i64,
-) -> StreamingReport {
+pub fn optimize_streams(func: &mut Function, alias: AliasModel, min_count: i64) -> StreamingReport {
     let mut report = StreamingReport::default();
     let mut visited: Vec<Label> = Vec::new();
     loop {
         let dom = Dominators::compute(func);
         let loops = natural_loops(func, &dom);
-        let candidate = loops.iter().find(|lp| {
-            lp.is_innermost(&loops) && !visited.contains(&func.blocks[lp.header].label)
-        });
+        let candidate = loops
+            .iter()
+            .find(|lp| lp.is_innermost(&loops) && !visited.contains(&func.blocks[lp.header].label));
         let Some(lp) = candidate else { break };
         visited.push(func.blocks[lp.header].label);
         let nested = loops
@@ -272,8 +267,7 @@ fn stream_one_loop(
         // body rewrite
         if plan.is_load {
             let (bi, ii) = plan.pos;
-            let deq = paired_dequeue(func, plan.pos, plan.fifo.class)
-                .expect("candidate validated");
+            let deq = paired_dequeue(func, plan.pos, plan.fifo.class).expect("candidate validated");
             func.blocks[bi].insts[ii].kind = InstKind::Nop;
             if plan.fifo.index == 1 {
                 // retarget the dequeue from register 0 to register 1
@@ -313,24 +307,27 @@ fn stream_one_loop(
         };
         report.tests_replaced += 1;
 
-        // Step j: delete the IV increment when the IV is dead.
+        // Step j: delete the IV increment when the IV is dead. The body
+        // rewrite leaves the addressing code (`t := i << 3`, …) behind as
+        // dead pure instructions; those must not keep the IV alive, so the
+        // uses are counted on a scratch copy with dead code Nopped out
+        // (without compaction, preserving instruction positions).
         let iv = l.iv;
+        let cleaned = nop_dead_code(func);
         let uses_in_loop: usize = lp
             .blocks
             .iter()
             .map(|&bi| {
-                func.blocks[bi]
+                cleaned.blocks[bi]
                     .insts
                     .iter()
                     .enumerate()
-                    .filter(|(ii, inst)| {
-                        (bi, *ii) != iv.def && inst.kind.uses().contains(&iv.reg)
-                    })
+                    .filter(|(ii, inst)| (bi, *ii) != iv.def && inst.kind.uses().contains(&iv.reg))
                     .count()
             })
             .sum();
         if uses_in_loop == 0 {
-            let lv = Liveness::compute(func);
+            let lv = Liveness::compute(&cleaned);
             let live_at_exit = lp
                 .exits
                 .iter()
@@ -383,18 +380,48 @@ fn stream_one_loop(
                 let stub = split_edge(func, from, to);
                 for plan in &plans {
                     let id = func.new_inst_id();
-                    func.block_mut(stub)
-                        .insts
-                        .insert(0, Inst {
+                    func.block_mut(stub).insts.insert(
+                        0,
+                        Inst {
                             id,
                             kind: InstKind::StreamStop { fifo: plan.fifo },
-                        });
+                        },
+                    );
                 }
             }
         }
     }
     func.compact();
     report.loops_streamed += 1;
+}
+
+/// A copy of `func` with transitively dead pure instructions turned into
+/// `Nop`, **without** compacting — instruction positions match the
+/// original. Used by step j so addressing code orphaned by the body
+/// rewrite does not count as a live use of the induction variable.
+fn nop_dead_code(func: &Function) -> Function {
+    let mut scratch = func.clone();
+    loop {
+        let lv = Liveness::compute(&scratch);
+        let mut changed = false;
+        for bi in 0..scratch.blocks.len() {
+            let after = lv.live_after(&scratch, bi);
+            for (ii, live) in after.iter().enumerate() {
+                let inst = &scratch.blocks[bi].insts[ii];
+                if inst.kind == InstKind::Nop || inst.kind.has_side_effects() {
+                    continue;
+                }
+                let defs = inst.kind.defs();
+                if !defs.is_empty() && defs.iter().all(|d| !live.contains(d)) {
+                    scratch.blocks[bi].insts[ii].kind = InstKind::Nop;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return scratch;
+        }
+    }
 }
 
 /// The dequeue paired with a WM load: the immediately following instruction
@@ -467,7 +494,11 @@ fn allocate_fifos(
             }
         }
         // input FIFOs
-        let mut avail_in: Vec<u8> = if scalar_loads > 0 { vec![1] } else { vec![0, 1] };
+        let mut avail_in: Vec<u8> = if scalar_loads > 0 {
+            vec![1]
+        } else {
+            vec![0, 1]
+        };
         let n_in = avail_in.len().min(loads.len());
         // If not every candidate load gets a FIFO, the leftovers stay
         // scalar and occupy input FIFO 0 — so only FIFO 1 is usable.
@@ -518,19 +549,12 @@ fn static_trip_count(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
 }
 
 /// Public wrapper over the private trip-count emitter, for the vectorizer.
-pub(crate) fn emit_trip_count_public(
-    func: &mut Function,
-    pre: Label,
-    l: &LatchInfo,
-) -> Operand {
+pub(crate) fn emit_trip_count_public(func: &mut Function, pre: Label, l: &LatchInfo) -> Operand {
     emit_trip_count(func, pre, l)
 }
 
 /// Public wrapper over the private static-count analysis.
-pub(crate) fn static_trip_count_public(
-    la: &LoopAnalysis<'_>,
-    l: &LatchInfo,
-) -> Option<i64> {
+pub(crate) fn static_trip_count_public(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
     static_trip_count(la, l)
 }
 
@@ -634,12 +658,7 @@ fn emit_trip_count(func: &mut Function, pre: Label, l: &LatchInfo) -> Operand {
 /// Trip count for an upward loop with a register step `s` (assumed
 /// positive): `Lt` gives `(bound - iv + s - 1) / s`; `Le` adds one to
 /// `(bound - iv) / s`.
-fn emit_trip_count_symbolic(
-    func: &mut Function,
-    pre: Label,
-    l: &LatchInfo,
-    step: Reg,
-) -> Operand {
+fn emit_trip_count_symbolic(func: &mut Function, pre: Label, l: &LatchInfo, step: Reg) -> Operand {
     let iv = l.iv.reg;
     let diff = func.new_vreg(RegClass::Int);
     insert_before_jump(

@@ -35,10 +35,7 @@
 //! conditionals, integer data) is left for the streaming pass, exactly the
 //! division of labor the paper describes.
 
-use wm_ir::{
-    BinOp, CmpOp, Function, Inst, InstKind, Label, Operand, RExpr, Reg, RegClass,
-    Width,
-};
+use wm_ir::{BinOp, CmpOp, Function, Inst, InstKind, Label, Operand, RExpr, Reg, RegClass, Width};
 
 use crate::affine::{analyze_latch, LatchInfo, LoopAnalysis, Region};
 use crate::cfg::{ensure_preheader, natural_loops, Dominators};
@@ -69,9 +66,9 @@ pub fn vectorize_maps(func: &mut Function, alias: AliasModel, n: i64) -> VectorR
     loop {
         let dom = Dominators::compute(func);
         let loops = natural_loops(func, &dom);
-        let candidate = loops.iter().find(|lp| {
-            lp.is_innermost(&loops) && !visited.contains(&func.blocks[lp.header].label)
-        });
+        let candidate = loops
+            .iter()
+            .find(|lp| lp.is_innermost(&loops) && !visited.contains(&func.blocks[lp.header].label));
         let Some(lp) = candidate else { break };
         visited.push(func.blocks[lp.header].label);
         let lp = lp.clone();
@@ -418,7 +415,9 @@ fn recognize_map(
         return None;
     }
     // the out region must not be read
-    if inputs.iter().any(|m| matches!(m, MapInput::Array { region, .. } if *region == out_region))
+    if inputs
+        .iter()
+        .any(|m| matches!(m, MapInput::Array { region, .. } if *region == out_region))
     {
         return None;
     }
@@ -429,7 +428,11 @@ fn recognize_map(
     let InstKind::Branch { target, els, .. } = &func.blocks[lbi].insts[lii].kind else {
         return None;
     };
-    let exit = if *target == header_label { *els } else { *target };
+    let exit = if *target == header_label {
+        *els
+    } else {
+        *target
+    };
 
     let static_count = {
         // reuse the streaming pass's logic through the public helper
@@ -454,13 +457,7 @@ fn new_int(func: &mut Function, pre: Label, src: RExpr) -> Reg {
     r
 }
 
-fn emit_region_base(
-    func: &mut Function,
-    pre: Label,
-    region: Region,
-    off: i64,
-    iv: Reg,
-) -> Operand {
+fn emit_region_base(func: &mut Function, pre: Label, region: Region, off: i64, iv: Reg) -> Operand {
     let base = func.new_vreg(RegClass::Int);
     match region {
         Region::Global(sym) => insert_before_jump(

@@ -31,10 +31,7 @@ fn two_input_fifos_per_class_limit() {
         "f",
         &OptOptions::all(),
     );
-    assert!(
-        s.streams_in <= 2,
-        "at most two in-streams per class: {s:?}"
-    );
+    assert!(s.streams_in <= 2, "at most two in-streams per class: {s:?}");
     assert_eq!(s.streams_out, 1, "d streams out: {s:?}");
 }
 
@@ -59,10 +56,12 @@ fn scalar_load_reserves_input_fifo_zero() {
     // conditional writes; only `a` can stream, and it must take FIFO 1
     assert!(s.streams_in <= 1, "{s:?}");
     if s.streams_in == 1 {
-        let uses_f1 = f.insts().any(|i| matches!(
-            &i.kind,
-            InstKind::StreamIn { fifo, .. } if fifo.index == 1
-        ));
+        let uses_f1 = f.insts().any(|i| {
+            matches!(
+                &i.kind,
+                InstKind::StreamIn { fifo, .. } if fifo.index == 1
+            )
+        });
         assert!(uses_f1, "the stream must avoid the scalar FIFO 0");
     }
 }
@@ -123,10 +122,15 @@ fn larger_static_trip_counts_use_immediate_counts() {
     );
     assert_eq!(s.streams_in, 1);
     assert_eq!(s.streams_out, 1);
-    let imm64 = f.insts().any(|i| matches!(
-        &i.kind,
-        InstKind::StreamIn { count: Some(wm_ir::Operand::Imm(64)), .. }
-    ));
+    let imm64 = f.insts().any(|i| {
+        matches!(
+            &i.kind,
+            InstKind::StreamIn {
+                count: Some(wm_ir::Operand::Imm(64)),
+                ..
+            }
+        )
+    });
     assert!(imm64, "static count folds to an immediate");
     assert_eq!(s.tests_replaced, 1);
     assert_eq!(s.ivs_deleted, 1, "the IV dies with the test: {s:?}");
@@ -185,10 +189,15 @@ fn downward_loops_get_negative_strides() {
         &OptOptions::all(),
     );
     assert_eq!(s.streams_in, 1, "{s:?}");
-    let neg = f.insts().any(|i| matches!(
-        &i.kind,
-        InstKind::StreamIn { stride: wm_ir::Operand::Imm(-8), .. }
-    ));
+    let neg = f.insts().any(|i| {
+        matches!(
+            &i.kind,
+            InstKind::StreamIn {
+                stride: wm_ir::Operand::Imm(-8),
+                ..
+            }
+        )
+    });
     assert!(neg, "stride −8 for the downward walk");
 }
 

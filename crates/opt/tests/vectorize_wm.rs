@@ -40,13 +40,14 @@ fn two_array_map_vectorizes() {
             .count(),
         1
     );
-    assert!(f.insts().any(|i| matches!(i.kind, InstKind::BranchVec { .. })));
+    assert!(f
+        .insts()
+        .any(|i| matches!(i.kind, InstKind::BranchVec { .. })));
     // the original loop survives as the tail (the streaming pass may then
     // claim it, so accept either form)
-    assert!(f.insts().any(|i| matches!(
-        i.kind,
-        InstKind::WStore { .. } | InstKind::StreamOut { .. }
-    )));
+    assert!(f
+        .insts()
+        .any(|i| matches!(i.kind, InstKind::WStore { .. } | InstKind::StreamOut { .. })));
 }
 
 #[test]

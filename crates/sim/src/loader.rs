@@ -31,7 +31,12 @@ impl MemoryImage {
         let mut addresses = HashMap::new();
         let mut cursor = DATA_BASE;
         for (i, g) in module.globals.iter().enumerate() {
-            if let GlobalKind::Data { size: gsize, align, init } = &g.kind {
+            if let GlobalKind::Data {
+                size: gsize,
+                align,
+                init,
+            } = &g.kind
+            {
                 let align = (*align).max(1) as i64;
                 cursor = (cursor + align - 1) / align * align;
                 let addr = cursor;

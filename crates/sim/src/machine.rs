@@ -591,7 +591,9 @@ impl<'m> WmMachine<'m> {
         let overlap = |a: i64, w: Width| a < end && addr < a + w.bytes();
         self.store_q.iter().any(|s| overlap(s.addr, s.width))
             || self.in_flight.iter().any(|(_, op)| match op {
-                MemOp::Write { addr: a, width: w, .. } => overlap(*a, *w),
+                MemOp::Write {
+                    addr: a, width: w, ..
+                } => overlap(*a, *w),
                 MemOp::ReadFifo { .. } => false,
             })
     }
@@ -696,7 +698,8 @@ impl<'m> WmMachine<'m> {
         let mut executed_dst: Option<u8> = None;
         match &head {
             InstKind::Assign { dst, src } => {
-                if dst.phys_num() == Some(0) && self.unit(class).out.len() >= self.config.fifo_capacity
+                if dst.phys_num() == Some(0)
+                    && self.unit(class).out.len() >= self.config.fifo_capacity
                 {
                     return Ok(()); // output FIFO full
                 }
@@ -749,10 +752,11 @@ impl<'m> WmMachine<'m> {
                     {
                         return Ok(()); // wait for the conflicting store
                     }
-                    None if !self.store_q.is_empty() || self
-                        .in_flight
-                        .iter()
-                        .any(|(_, op)| matches!(op, MemOp::Write { .. })) =>
+                    None if !self.store_q.is_empty()
+                        || self
+                            .in_flight
+                            .iter()
+                            .any(|(_, op)| matches!(op, MemOp::Write { .. })) =>
                     {
                         return Ok(()); // unanalyzable address: drain stores first
                     }
@@ -1148,8 +1152,7 @@ impl<'m> WmMachine<'m> {
                         // preserved by the memory system's FIFO delivery)
                         s.active = false;
                         if let StreamTarget::Fifo(fifo) = s.target {
-                            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed =
-                                false;
+                            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
                         }
                     }
                 }

@@ -225,7 +225,10 @@ fn entry_arguments_are_passed() {
 
 #[test]
 fn division_by_zero_faults() {
-    let module = compile("int main() { int z; z = 0; return 7 / z; }", &OptOptions::none());
+    let module = compile(
+        "int main() { int z; z = 0; return 7 / z; }",
+        &OptOptions::none(),
+    );
     let err = WmMachine::run(&module, "main", &[], &WmConfig::default()).unwrap_err();
     assert!(matches!(err, SimError::Fault { .. }), "{err}");
 }
@@ -261,10 +264,20 @@ fn memory_latency_slows_unstreamed_code() {
     ";
     let opts = OptOptions::all().without_streaming();
     let module = compile(SRC, &opts);
-    let fast = WmMachine::run(&module, "main", &[], &WmConfig::default().with_mem_latency(2))
-        .unwrap();
-    let slow = WmMachine::run(&module, "main", &[], &WmConfig::default().with_mem_latency(40))
-        .unwrap();
+    let fast = WmMachine::run(
+        &module,
+        "main",
+        &[],
+        &WmConfig::default().with_mem_latency(2),
+    )
+    .unwrap();
+    let slow = WmMachine::run(
+        &module,
+        "main",
+        &[],
+        &WmConfig::default().with_mem_latency(40),
+    )
+    .unwrap();
     assert!(
         slow.cycles > fast.cycles,
         "latency must matter: {} vs {}",

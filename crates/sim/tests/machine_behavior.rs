@@ -4,8 +4,8 @@
 //! port arbitration.
 
 use wm_ir::{
-    BinOp, CmpOp, DataFifo, FuncBuilder, Function, InstKind, Module, Operand, RExpr, Reg,
-    RegClass, Width,
+    BinOp, CmpOp, DataFifo, FuncBuilder, Function, InstKind, Module, Operand, RExpr, Reg, RegClass,
+    Width,
 };
 use wm_sim::{SimError, WmConfig, WmMachine};
 
@@ -68,7 +68,14 @@ fn branch_stalls_until_compare_executes() {
     }
     let yes = b.new_block();
     let no = b.new_block();
-    b.branch_if(RegClass::Int, CmpOp::Eq, t.into(), Operand::Imm(20), yes, no);
+    b.branch_if(
+        RegClass::Int,
+        CmpOp::Eq,
+        t.into(),
+        Operand::Imm(20),
+        yes,
+        no,
+    );
     b.switch_to(yes);
     b.copy(Reg::int(2), Operand::Imm(1));
     b.emit(InstKind::Ret);
@@ -82,8 +89,15 @@ fn branch_stalls_until_compare_executes() {
     let r = run(&m, &WmConfig::default());
     assert_eq!(r.ret_int, 1);
     // the chain serializes with the paired-ALU interlock: ≥ 2 cycles/add
-    assert!(r.cycles >= 40, "expected interlocked chain, got {}", r.cycles);
-    assert!(r.stats.ifu_stalls > 0, "IFU must have waited on the CC FIFO");
+    assert!(
+        r.cycles >= 40,
+        "expected interlocked chain, got {}",
+        r.cycles
+    );
+    assert!(
+        r.stats.ifu_stalls > 0,
+        "IFU must have waited on the CC FIFO"
+    );
 }
 
 #[test]
@@ -311,7 +325,11 @@ fn conflicting_stream_configuration_is_detected() {
     let sym = m.add_data("tab", 64, 4, vec![]);
     let mut b = FuncBuilder::new("main", 0, 0);
     let base = Reg::int(3);
-    b.emit(InstKind::LoadAddr { dst: base, sym, disp: 0 });
+    b.emit(InstKind::LoadAddr {
+        dst: base,
+        sym,
+        disp: 0,
+    });
     for _ in 0..2 {
         b.emit(InstKind::StreamIn {
             fifo: DataFifo::new(RegClass::Int, 1),
@@ -342,7 +360,11 @@ fn non_positive_stream_count_faults() {
     let sym = m.add_data("tab", 64, 4, vec![]);
     let mut b = FuncBuilder::new("main", 0, 0);
     let base = Reg::int(3);
-    b.emit(InstKind::LoadAddr { dst: base, sym, disp: 0 });
+    b.emit(InstKind::LoadAddr {
+        dst: base,
+        sym,
+        disp: 0,
+    });
     b.emit(InstKind::StreamIn {
         fifo: DataFifo::new(RegClass::Int, 1),
         base: base.into(),
@@ -373,7 +395,10 @@ fn fifo_imbalance_is_detected_as_deadlock() {
 fn writes_to_zero_register_are_discarded() {
     let mut b = FuncBuilder::new("main", 0, 0);
     b.copy(Reg::int(31), Operand::Imm(123));
-    b.assign(Reg::int(2), RExpr::Bin(BinOp::Add, Reg::int(31).into(), Operand::Imm(5)));
+    b.assign(
+        Reg::int(2),
+        RExpr::Bin(BinOp::Add, Reg::int(31).into(), Operand::Imm(5)),
+    );
     b.emit(InstKind::Ret);
     let m = module_of(b.finish());
     let r = run(&m, &WmConfig::default());
@@ -415,7 +440,9 @@ fn tracing_records_executed_instructions() {
     assert_eq!(r.ret_int, 42);
     let trace = machine.trace();
     assert!(!trace.is_empty());
-    assert!(trace.iter().any(|e| e.unit == "IEU" && e.text.contains(":= (40) + 2")));
+    assert!(trace
+        .iter()
+        .any(|e| e.unit == "IEU" && e.text.contains(":= (40) + 2")));
     // cycles are monotone
     assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
 }

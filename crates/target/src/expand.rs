@@ -1,0 +1,202 @@
+//! Expansion of generic memory references into WM access/execute form.
+//!
+//! The expander is deliberately naive — the paper's Strategy 1 is "generate
+//! naive but correct code and rely on the optimizer". Every generic load
+//! becomes an address computation plus a dequeue of FIFO register 0; every
+//! generic store becomes an enqueue onto FIFO register 0 plus an address
+//! computation. The streaming and dual-combining phases of `wm-opt`
+//! pattern-match these *adjacent* pairs, so the expander always emits the
+//! access and the FIFO transfer next to each other and always uses input
+//! FIFO index 0 (streaming retargets dequeues to register 1 itself when it
+//! needs both queues).
+
+use wm_ir::{
+    AutoMode, BinOp, DataFifo, Function, Inst, InstKind, MemRef, Operand, RExpr, Reg, RegClass,
+};
+
+/// Expand every generic memory reference (`GLoad`/`GStore`) in `func` into
+/// WM access/execute pairs.
+///
+/// The pass is idempotent: it only rewrites the generic forms, so running
+/// it on an already-expanded function changes nothing.
+pub fn expand_wm(func: &mut Function) {
+    for bi in 0..func.blocks.len() {
+        let generic = func.blocks[bi]
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::GLoad { .. } | InstKind::GStore { .. }));
+        if !generic {
+            continue;
+        }
+        let insts = std::mem::take(&mut func.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len() + 8);
+        for inst in insts {
+            match inst.kind {
+                InstKind::GLoad { dst, mem } => expand_load(func, &mut out, dst, &mem),
+                InstKind::GStore { src, mem } => expand_store(func, &mut out, src, &mem),
+                kind => out.push(Inst { id: inst.id, kind }),
+            }
+        }
+        func.blocks[bi].insts = out;
+    }
+}
+
+fn emit(func: &mut Function, out: &mut Vec<Inst>, kind: InstKind) {
+    let id = func.new_inst_id();
+    out.push(Inst { id, kind });
+}
+
+/// `dst := mem` becomes `WLoad fifo := addr` followed immediately by the
+/// dequeue `dst := r0/f0`.
+fn expand_load(func: &mut Function, out: &mut Vec<Inst>, dst: Reg, mem: &MemRef) {
+    let addr = address_of(func, out, mem);
+    let fifo = DataFifo::new(dst.class, 0);
+    emit(
+        func,
+        out,
+        InstKind::WLoad {
+            fifo,
+            addr,
+            width: mem.width,
+        },
+    );
+    emit(
+        func,
+        out,
+        InstKind::Assign {
+            dst,
+            src: RExpr::Op(Operand::Reg(fifo.reg())),
+        },
+    );
+    emit_auto_update(func, out, mem);
+}
+
+/// `mem := src` becomes the enqueue `r0/f0 := src` followed immediately by
+/// `WStore unit := addr`, which pairs the address with the enqueued value.
+fn expand_store(func: &mut Function, out: &mut Vec<Inst>, src: Operand, mem: &MemRef) {
+    let unit = match src {
+        Operand::Reg(r) => r.class,
+        Operand::Imm(_) => RegClass::Int,
+        Operand::FImm(_) => RegClass::Flt,
+    };
+    let addr = address_of(func, out, mem);
+    emit(
+        func,
+        out,
+        InstKind::Assign {
+            dst: Reg::phys(unit, 0),
+            src: RExpr::Op(src),
+        },
+    );
+    emit(
+        func,
+        out,
+        InstKind::WStore {
+            unit,
+            addr,
+            width: mem.width,
+        },
+    );
+    emit_auto_update(func, out, mem);
+}
+
+/// Lower a structured reference `[sym + base + (index << scale) + disp]`
+/// to an IEU address expression. Symbol addresses become `lea` temporaries
+/// (loop-invariant, so code motion hoists them); everything else folds
+/// into the access itself, using the WM's dual-operation form
+/// `(index << scale) + base` so a streamed or vectorized loop body carries
+/// no separate addressing instructions.
+fn address_of(func: &mut Function, out: &mut Vec<Inst>, mem: &MemRef) -> RExpr {
+    let mut parts: Vec<Operand> = Vec::new();
+    if let Some(sym) = mem.sym {
+        // the displacement rides along in the lea, keeping it invariant
+        let t = func.new_vreg(RegClass::Int);
+        emit(
+            func,
+            out,
+            InstKind::LoadAddr {
+                dst: t,
+                sym,
+                disp: mem.disp,
+            },
+        );
+        parts.push(Operand::Reg(t));
+    }
+    if let Some(base) = mem.base {
+        parts.push(Operand::Reg(base));
+    }
+    let scaled = match mem.index {
+        Some((idx, 0)) => {
+            parts.push(Operand::Reg(idx));
+            None
+        }
+        other => other,
+    };
+    if mem.sym.is_none() && (mem.disp != 0 || (parts.is_empty() && scaled.is_none())) {
+        parts.push(Operand::Imm(mem.disp));
+    }
+    match (scaled, parts.as_slice()) {
+        (None, &[a]) => RExpr::Op(a),
+        (None, &[a, b]) => RExpr::Bin(BinOp::Add, a, b),
+        (None, &[a, b, c]) => RExpr::Dual {
+            inner: BinOp::Add,
+            a,
+            b,
+            outer: BinOp::Add,
+            c,
+        },
+        (Some((idx, scale)), rest) => {
+            let shift = Operand::Imm(i64::from(scale));
+            match *rest {
+                [] => RExpr::Bin(BinOp::Shl, Operand::Reg(idx), shift),
+                [c] => RExpr::Dual {
+                    inner: BinOp::Shl,
+                    a: Operand::Reg(idx),
+                    b: shift,
+                    outer: BinOp::Add,
+                    c,
+                },
+                [a, b, ..] => {
+                    // sym + base + scaled index: one anchor add, then dual
+                    let t = func.new_vreg(RegClass::Int);
+                    emit(
+                        func,
+                        out,
+                        InstKind::Assign {
+                            dst: t,
+                            src: RExpr::Bin(BinOp::Add, a, b),
+                        },
+                    );
+                    RExpr::Dual {
+                        inner: BinOp::Shl,
+                        a: Operand::Reg(idx),
+                        b: shift,
+                        outer: BinOp::Add,
+                        c: Operand::Reg(t),
+                    }
+                }
+            }
+        }
+        (None, _) => unreachable!("an empty reference lowers to its displacement"),
+    }
+}
+
+/// Auto-modified references should not reach the WM expander (the modes
+/// are selected by the *scalar* back end), but preserve the semantics if
+/// one does: both modes update the base after the access.
+fn emit_auto_update(func: &mut Function, out: &mut Vec<Inst>, mem: &MemRef) {
+    let Some(base) = mem.base else { return };
+    let op = match mem.auto {
+        AutoMode::None => return,
+        AutoMode::PostInc => BinOp::Add,
+        AutoMode::PreDec => BinOp::Sub,
+    };
+    emit(
+        func,
+        out,
+        InstKind::Assign {
+            dst: base,
+            src: RExpr::Bin(op, Operand::Reg(base), Operand::Imm(mem.width.bytes())),
+        },
+    );
+}

@@ -1,0 +1,30 @@
+//! Target-specific code expansion and register allocation.
+//!
+//! This crate is the back end of the reproduction's vpo-style pipeline. It
+//! owns the two phases the paper places *after* the machine-independent
+//! optimizer:
+//!
+//! * **Expansion** — [`expand_wm`] rewrites the generic memory references
+//!   the front end produces into the WM's decoupled access/execute form:
+//!   "a load instruction only computes an address; the destination of the
+//!   load is implicitly the input FIFO of one of the execution units."
+//!   Stores become an enqueue onto the unit's output FIFO paired with an
+//!   address computation.
+//! * **Scalar instruction selection** — [`strength_reduce`] and
+//!   [`select_auto_increment`] reproduce the Figure 6 / Table I treatment
+//!   of the 1990 scalar machines: induction-variable expressions collapse
+//!   into incremented pointers, and base-register increments fold into
+//!   auto-increment addressing modes.
+//! * **Register allocation** — [`allocate_registers`] colors the virtual
+//!   registers of both targets onto the two 32-register files, lowers the
+//!   call convention (arguments in `r2..`/`f2..`, return value in
+//!   `r2`/`f2`), spills what does not fit, and emits the stack-frame
+//!   prologue/epilogue.
+
+mod alloc;
+mod expand;
+mod scalar;
+
+pub use alloc::{allocate_registers, AllocError, TargetKind};
+pub use expand::expand_wm;
+pub use scalar::{select_auto_increment, strength_reduce};

@@ -1,0 +1,314 @@
+//! Scalar-target instruction selection: strength reduction of indexed
+//! references and auto-increment addressing-mode selection.
+//!
+//! These are the two target-specific phases the paper credits for the
+//! baseline quality of the 1990 scalar machines (Figure 6): the indexed
+//! form `a[i]` — base + scaled index, which costs an index penalty on every
+//! 1990 machine — becomes a pointer that advances by the element size, and
+//! the pointer's advance then folds into the access as an auto-increment
+//! addressing mode (`a@+` in the Figure 6 listing), making the bump free.
+
+use wm_ir::{
+    AutoMode, BinOp, Function, Inst, InstKind, MemRef, Operand, RExpr, Reg, RegClass, SymId, Width,
+};
+use wm_opt::affine::{LoopAnalysis, Region};
+use wm_opt::cfg::{ensure_preheader, natural_loops, Dominators};
+use wm_opt::phases::eliminate_dead_code;
+use wm_opt::AliasModel;
+
+/// The loop-invariant part of a strength-reduced address.
+#[derive(Clone, Copy)]
+enum Base {
+    Sym(SymId),
+    Reg(Reg),
+}
+
+/// One indexed reference to rewrite as a strided pointer.
+struct Candidate {
+    bi: usize,
+    ii: usize,
+    width: Width,
+    base: Base,
+    off: i64,
+    iv: Reg,
+    coeff: i64,
+    stride: i64,
+}
+
+/// Replace indexed memory references in innermost loops with pointers that
+/// advance by the reference's byte stride each iteration.
+///
+/// The affine analysis already proves each candidate's base region is
+/// loop-invariant and its stride constant, so the rewrite is sound under
+/// either alias model; `_alias` is accepted for pipeline-signature
+/// symmetry with the streaming passes.
+pub fn strength_reduce(func: &mut Function, _alias: AliasModel) {
+    // Give every innermost loop a preheader to prime pointers in.
+    // `ensure_preheader` appends blocks, so loop indices stay valid.
+    {
+        let dom = Dominators::compute(func);
+        let loops = natural_loops(func, &dom);
+        for lp in &loops {
+            if lp.is_innermost(&loops) {
+                ensure_preheader(func, lp);
+            }
+        }
+    }
+
+    let dom = Dominators::compute(func);
+    let loops = natural_loops(func, &dom);
+    let preds = func.predecessors();
+    // (preheader block, candidates) per loop.
+    let mut plans: Vec<(usize, Vec<Candidate>)> = Vec::new();
+    for lp in &loops {
+        if !lp.is_innermost(&loops) {
+            continue;
+        }
+        let outside: Vec<usize> = preds[lp.header]
+            .iter()
+            .copied()
+            .filter(|p| !lp.contains(*p))
+            .collect();
+        let [preheader] = outside[..] else { continue };
+        let analysis = LoopAnalysis::new(func, lp, &dom);
+        let mut cands = Vec::new();
+        for &bi in &lp.blocks {
+            // Only references that execute exactly once per iteration.
+            if !lp.latches.iter().all(|&l| dom.dominates(bi, l)) {
+                continue;
+            }
+            for (ii, inst) in func.blocks[bi].insts.iter().enumerate() {
+                let mem = match &inst.kind {
+                    InstKind::GLoad { mem, .. } | InstKind::GStore { mem, .. } => mem,
+                    _ => continue,
+                };
+                if mem.index.is_none() || mem.auto != AutoMode::None {
+                    continue;
+                }
+                let Some(aff) = analysis.eval_memref(mem, (bi, ii), 8) else {
+                    continue;
+                };
+                let Some(iv) = aff.iv else { continue };
+                if aff.inv.is_some() {
+                    continue;
+                }
+                let Some(stride) = analysis.stride_of(&aff) else {
+                    continue;
+                };
+                if stride == 0 {
+                    continue;
+                }
+                let base = match aff.region {
+                    Region::Global(s) => Base::Sym(s),
+                    Region::Reg(r) => Base::Reg(r),
+                    Region::Unknown => continue,
+                };
+                cands.push(Candidate {
+                    bi,
+                    ii,
+                    width: mem.width,
+                    base,
+                    off: aff.off,
+                    iv,
+                    coeff: aff.coeff,
+                    stride,
+                });
+            }
+        }
+        if !cands.is_empty() {
+            plans.push((preheader, cands));
+        }
+    }
+
+    let mut changed = false;
+    for (preheader, mut cands) in plans {
+        // Rewrite back-to-front so earlier indices stay valid.
+        cands.sort_by_key(|c| std::cmp::Reverse((c.bi, c.ii)));
+        for c in &cands {
+            let p = prime_pointer(func, preheader, c);
+            let mem = match &mut func.blocks[c.bi].insts[c.ii].kind {
+                InstKind::GLoad { mem, .. } | InstKind::GStore { mem, .. } => mem,
+                _ => unreachable!("candidate instruction changed shape"),
+            };
+            *mem = MemRef::base(p, 0, c.width);
+            let id = func.new_inst_id();
+            func.blocks[c.bi].insts.insert(
+                c.ii + 1,
+                Inst {
+                    id,
+                    kind: InstKind::Assign {
+                        dst: p,
+                        src: RExpr::Bin(BinOp::Add, Operand::Reg(p), Operand::Imm(c.stride)),
+                    },
+                },
+            );
+            changed = true;
+        }
+    }
+
+    if changed {
+        // The index computations feeding the rewritten references are
+        // usually dead now.
+        for _ in 0..8 {
+            if !eliminate_dead_code(func) {
+                break;
+            }
+        }
+    }
+}
+
+/// Emit `p := base + off + coeff*iv` at the end of the preheader (before
+/// its terminator) and return the fresh pointer register.
+fn prime_pointer(func: &mut Function, preheader: usize, c: &Candidate) -> Reg {
+    let mut code: Vec<InstKind> = Vec::new();
+    let base_op = match c.base {
+        Base::Sym(sym) => {
+            let t = func.new_vreg(RegClass::Int);
+            code.push(InstKind::LoadAddr {
+                dst: t,
+                sym,
+                disp: c.off,
+            });
+            Operand::Reg(t)
+        }
+        Base::Reg(r) => {
+            if c.off == 0 {
+                Operand::Reg(r)
+            } else {
+                let t = func.new_vreg(RegClass::Int);
+                code.push(InstKind::Assign {
+                    dst: t,
+                    src: RExpr::Bin(BinOp::Add, Operand::Reg(r), Operand::Imm(c.off)),
+                });
+                Operand::Reg(t)
+            }
+        }
+    };
+    let scaled = if c.coeff == 1 {
+        Operand::Reg(c.iv)
+    } else {
+        let t = func.new_vreg(RegClass::Int);
+        let src = if c.coeff > 1 && c.coeff.count_ones() == 1 {
+            RExpr::Bin(
+                BinOp::Shl,
+                Operand::Reg(c.iv),
+                Operand::Imm(i64::from(c.coeff.trailing_zeros())),
+            )
+        } else {
+            RExpr::Bin(BinOp::Mul, Operand::Reg(c.iv), Operand::Imm(c.coeff))
+        };
+        code.push(InstKind::Assign { dst: t, src });
+        Operand::Reg(t)
+    };
+    let p = func.new_vreg(RegClass::Int);
+    code.push(InstKind::Assign {
+        dst: p,
+        src: RExpr::Bin(BinOp::Add, base_op, scaled),
+    });
+
+    let at = insertion_point(&func.blocks[preheader].insts);
+    for (k, kind) in code.into_iter().enumerate() {
+        let id = func.new_inst_id();
+        func.blocks[preheader]
+            .insts
+            .insert(at + k, Inst { id, kind });
+    }
+    p
+}
+
+/// Index before a block's trailing terminator (or the block's end).
+fn insertion_point(insts: &[Inst]) -> usize {
+    match insts.last() {
+        Some(last)
+            if matches!(
+                last.kind,
+                InstKind::Jump { .. }
+                    | InstKind::Branch { .. }
+                    | InstKind::BranchStream { .. }
+                    | InstKind::BranchVec { .. }
+                    | InstKind::Ret
+            ) =>
+        {
+            insts.len() - 1
+        }
+        _ => insts.len(),
+    }
+}
+
+/// Fold a base-register bump that immediately follows (in execution, not
+/// necessarily adjacency) a reference through that base into the access's
+/// auto-increment/-decrement addressing mode — Figure 6's `a@+`.
+///
+/// Both modes update the base *after* the access on the scalar machines,
+/// matching separate-increment semantics exactly, so the fold is legal
+/// whenever the bump equals the access width and nothing between the
+/// access and the bump touches the base register.
+pub fn select_auto_increment(func: &mut Function) {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        for i in 0..block.insts.len() {
+            let (base, width) = match &block.insts[i].kind {
+                InstKind::GLoad { dst, mem } => {
+                    let Some(b) = mem.base else { continue };
+                    // The loaded value would be clobbered by the update.
+                    if *dst == b || mem.auto != AutoMode::None {
+                        continue;
+                    }
+                    (b, mem.width)
+                }
+                InstKind::GStore { mem, .. } => {
+                    let Some(b) = mem.base else { continue };
+                    if mem.auto != AutoMode::None {
+                        continue;
+                    }
+                    (b, mem.width)
+                }
+                _ => continue,
+            };
+            let Some((j, mode)) = find_bump(&block.insts[i + 1..], base, width.bytes()) else {
+                continue;
+            };
+            let j = i + 1 + j;
+            match &mut block.insts[i].kind {
+                InstKind::GLoad { mem, .. } | InstKind::GStore { mem, .. } => mem.auto = mode,
+                _ => unreachable!(),
+            }
+            block.insts[j].kind = InstKind::Nop;
+            changed = true;
+        }
+    }
+    if changed {
+        func.compact();
+    }
+}
+
+/// Find `base := base ± bytes` in `insts` with no intervening use or
+/// definition of `base`. Returns the offset and the matching mode.
+fn find_bump(insts: &[Inst], base: Reg, bytes: i64) -> Option<(usize, AutoMode)> {
+    for (j, inst) in insts.iter().enumerate() {
+        if let InstKind::Assign { dst, src } = &inst.kind {
+            if *dst == base {
+                let mode = match src {
+                    RExpr::Bin(BinOp::Add, Operand::Reg(r), Operand::Imm(k))
+                    | RExpr::Bin(BinOp::Add, Operand::Imm(k), Operand::Reg(r))
+                        if *r == base && *k == bytes =>
+                    {
+                        AutoMode::PostInc
+                    }
+                    RExpr::Bin(BinOp::Sub, Operand::Reg(r), Operand::Imm(k))
+                        if *r == base && *k == bytes =>
+                    {
+                        AutoMode::PreDec
+                    }
+                    _ => return None,
+                };
+                return Some((j, mode));
+            }
+        }
+        let touches = inst.kind.uses().contains(&base) || inst.kind.defs().contains(&base);
+        if touches {
+            return None;
+        }
+    }
+    None
+}

@@ -30,7 +30,10 @@ fn main() {
         .expect("compiles");
 
     println!("memory-latency sweep (whole program, 10000-element vectors):\n");
-    println!("{:>12} {:>14} {:>14} {:>10}", "latency", "scalar cycles", "streamed", "ratio");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "latency", "scalar cycles", "streamed", "ratio"
+    );
     for latency in [2u64, 6, 12, 24, 48] {
         let cfg = WmConfig::default().with_mem_latency(latency);
         let rs = scalar.run_wm_config("main", &[], &cfg).expect("runs");

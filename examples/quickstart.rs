@@ -37,7 +37,10 @@ fn main() {
 
     // Run it.
     let run = streamed.run_wm("main", &[]).expect("runs");
-    println!("WM (streamed):   {:>8} cycles, result {}", run.cycles, run.ret_int);
+    println!(
+        "WM (streamed):   {:>8} cycles, result {}",
+        run.cycles, run.ret_int
+    );
 
     // Compare against the same program without streaming.
     let scalar = Compiler::new()
@@ -45,7 +48,10 @@ fn main() {
         .compile(PROGRAM)
         .expect("compiles");
     let run2 = scalar.run_wm("main", &[]).expect("runs");
-    println!("WM (no streams): {:>8} cycles, result {}", run2.cycles, run2.ret_int);
+    println!(
+        "WM (no streams): {:>8} cycles, result {}",
+        run2.cycles, run2.ret_int
+    );
 
     // And against a 1990 workstation.
     let sun = Compiler::new()
@@ -55,7 +61,10 @@ fn main() {
     let run3 = sun
         .run_scalar("main", &[], &MachineModel::sun_3_280())
         .expect("runs");
-    println!("Sun 3/280:       {:>8} cycles, result {}", run3.cycles, run3.ret_int);
+    println!(
+        "Sun 3/280:       {:>8} cycles, result {}",
+        run3.cycles, run3.ret_int
+    );
 
     assert_eq!(run.ret_int, run2.ret_int);
     assert_eq!(run.ret_int, run3.ret_int);

@@ -30,9 +30,7 @@ fn main() {
         let stats = c.stats_for(name).unwrap();
         println!(
             "{name}: {} stream(s) in, {} out, {} unbounded",
-            stats.streaming.streams_in,
-            stats.streaming.streams_out,
-            stats.streaming.infinite
+            stats.streaming.streams_in, stats.streaming.streams_out, stats.streaming.infinite
         );
         let listing = c.listing(name).unwrap();
         for line in listing

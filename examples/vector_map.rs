@@ -62,8 +62,11 @@ fn measure(src: &str, label: &str) {
     if v.vector.loops_vectorized > 0 {
         let l = vector.listing("main").unwrap();
         for line in l.lines().filter(|l| {
-            l.contains("SinV") || l.contains("vld") || l.contains("vop")
-                || l.contains("vst") || l.contains("jNIv")
+            l.contains("SinV")
+                || l.contains("vld")
+                || l.contains("vop")
+                || l.contains("vst")
+                || l.contains("jNIv")
         }) {
             println!("    {}", line.trim_end());
         }

@@ -14,7 +14,11 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
         // accumulate with an array read at a nearby offset
         (0..3usize, -2i64..=2).prop_map(|(arr, off)| {
             let a = ["u", "v", "w"][arr];
-            format!("s = s + {a}[i{}{}];", if off >= 0 { "+" } else { "-" }, off.abs())
+            format!(
+                "s = s + {a}[i{}{}];",
+                if off >= 0 { "+" } else { "-" },
+                off.abs()
+            )
         }),
         // array write from the accumulator
         (0..3usize).prop_map(|arr| {

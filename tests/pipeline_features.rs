@@ -142,7 +142,11 @@ fn symbolic_stride_loops_stream() {
     let r = c.run_wm("main", &[]).expect("runs");
     assert_eq!(r.ret_int, 8191 - (8191 - 17 + 16) / 17);
     let s = c.stats_for("main").unwrap();
-    assert!(s.streaming.streams_out >= 2, "init and marking: {:?}", s.streaming);
+    assert!(
+        s.streaming.streams_out >= 2,
+        "init and marking: {:?}",
+        s.streaming
+    );
 }
 
 #[test]
@@ -156,7 +160,11 @@ fn scalar_and_wm_targets_agree_everywhere() {
             return fib[29];
         }
     ";
-    let wm = Compiler::new().compile(src).unwrap().run_wm("main", &[]).unwrap();
+    let wm = Compiler::new()
+        .compile(src)
+        .unwrap()
+        .run_wm("main", &[])
+        .unwrap();
     for model in MachineModel::table1_machines() {
         let sc = Compiler::new()
             .target(Target::Scalar)
@@ -202,10 +210,7 @@ fn single_scu_serializes_but_stays_correct() {
         Ok(r) => assert_eq!(r.ret_int, wm_stream::workloads::livermore5_expected()),
         Err(e) => {
             let msg = e.to_string();
-            assert!(
-                msg.contains("deadlock"),
-                "unexpected failure mode: {msg}"
-            );
+            assert!(msg.contains("deadlock"), "unexpected failure mode: {msg}");
         }
     }
 }

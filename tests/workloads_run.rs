@@ -7,7 +7,10 @@ use wm_stream::{Compiler, MachineModel, OptOptions, Target};
 fn opt_levels() -> Vec<(&'static str, OptOptions)> {
     vec![
         ("none", OptOptions::none()),
-        ("classical", OptOptions::all().without_recurrence().without_streaming()),
+        (
+            "classical",
+            OptOptions::all().without_recurrence().without_streaming(),
+        ),
         ("recurrence", OptOptions::all().without_streaming()),
         ("full", OptOptions::all()),
         ("full+noalias", OptOptions::all().assume_noalias()),

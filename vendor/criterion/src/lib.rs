@@ -1,0 +1,68 @@
+//! A minimal offline stand-in for the `criterion` benchmark harness,
+//! vendored so `cargo build --all-targets` succeeds with no network
+//! access. It runs each benchmark body a handful of times through
+//! `black_box` and reports nothing — enough to type-check and smoke-run
+//! the benches, not to produce statistics.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Stand-in for criterion's benchmark manager.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Run `f` once with a [`Bencher`]; prints a single timing line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.iters };
+        let start = Instant::now();
+        f(&mut b);
+        eprintln!("bench {id}: {:?} for {} iters", start.elapsed(), self.iters);
+        self
+    }
+}
+
+/// Passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run the measured routine `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -8,10 +8,13 @@
 //! wmcc prog.c --target scalar --machine vax8600
 //! wmcc prog.c --mem-latency 24 --mem-ports 1
 //! wmcc prog.c --entry kernel --args 100,7
+//! wmcc prog.c --inject drop:3,jitter:42:5
+//! wmcc prog.c --speculative-streams
 //! ```
 
 use std::process::ExitCode;
 
+use wm_stream::sim::{FaultPlan, SimError};
 use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 
 struct Options {
@@ -28,13 +31,42 @@ struct Options {
 }
 
 const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
-               [--opt none|classical|recurrence|full] [--noalias] [--vectorize] [--emit]
-               [--stats] [--trace N] [--entry NAME] [--args N,N,...]
-               [--mem-latency N] [--mem-ports N]";
+               [--opt none|classical|recurrence|full] [--noalias] [--vectorize]
+               [--speculative-streams] [--emit] [--stats] [--trace N]
+               [--entry NAME] [--args N,N,...]
+               [--mem-latency N] [--mem-ports N] [--inject SPEC]
+
+  --speculative-streams  keep streams that may fetch past their array,
+                         relying on the WM's deferred (poison) faults
+  --inject SPEC          deterministic fault injection; SPEC is a comma-
+                         separated list of delay:N:C (delay memory request
+                         #N's response by C cycles), drop:N (drop request
+                         #N's response), scu:I:C (disable SCU I at cycle C)
+                         and jitter:SEED:MAX (seeded latency jitter)
+
+exit status: the program's return value (low 8 bits) on success, else
+  1  input or compilation error (including bad programs)
+  2  usage error
+  3  simulation fault, deadlock or cycle-limit timeout";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+/// Report a simulator failure with its machine-state dump and pick the
+/// documented exit code: 1 for unrunnable programs, 3 for runtime faults,
+/// deadlocks and timeouts.
+fn sim_failure(e: &SimError) -> ExitCode {
+    eprintln!("wmcc: simulation failed: {e}");
+    if let Some(state) = e.state() {
+        eprint!("{state}");
+    }
+    if matches!(e, SimError::BadProgram(_)) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::from(3)
+    }
 }
 
 fn parse_args() -> Options {
@@ -89,6 +121,13 @@ fn parse_args() -> Options {
             }
             "--noalias" => o.opts = o.opts.clone().assume_noalias(),
             "--vectorize" => o.opts = o.opts.clone().with_vectorization(),
+            "--speculative-streams" => o.opts = o.opts.clone().with_speculative_streams(),
+            "--inject" => {
+                o.config.fault_plan = FaultPlan::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("wmcc: {e}");
+                    std::process::exit(2);
+                })
+            }
             "--trace" => o.trace = need(&mut i).parse().unwrap_or_else(|_| usage()),
             "--emit" => o.emit = true,
             "--stats" => o.stats = true,
@@ -158,15 +197,11 @@ fn main() -> ExitCode {
             // traced run: print the first N executed instructions
             let mut machine = match wm_stream::WmMachine::new(&compiled.module, &o.config) {
                 Ok(m) => m,
-                Err(e) => {
-                    eprintln!("wmcc: {e}");
-                    return ExitCode::from(1);
-                }
+                Err(e) => return sim_failure(&e),
             };
             machine.set_trace(true);
             if let Err(e) = machine.start(&o.entry, &o.args) {
-                eprintln!("wmcc: {e}");
-                return ExitCode::from(1);
+                return sim_failure(&e);
             }
             let result = machine.run_to_completion();
             for ev in machine.trace().iter().take(o.trace) {
@@ -180,10 +215,7 @@ fn main() -> ExitCode {
                     eprintln!("wmcc: {} cycles, returned {}", r.cycles, r.ret_int);
                     ExitCode::from((r.ret_int & 0xff) as u8)
                 }
-                Err(e) => {
-                    eprintln!("wmcc: simulation failed: {e}");
-                    ExitCode::from(1)
-                }
+                Err(e) => sim_failure(&e),
             }
         }
         Target::Wm => match compiled.run_wm_config(&o.entry, &o.args, &o.config) {
@@ -199,10 +231,7 @@ fn main() -> ExitCode {
                 );
                 ExitCode::from((r.ret_int & 0xff) as u8)
             }
-            Err(e) => {
-                eprintln!("wmcc: simulation failed: {e}");
-                ExitCode::from(1)
-            }
+            Err(e) => sim_failure(&e),
         },
         Target::Scalar => match compiled.run_scalar(&o.entry, &o.args, &o.machine) {
             Ok(r) => {
@@ -217,7 +246,11 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("wmcc: execution failed: {e}");
-                ExitCode::from(1)
+                if matches!(e, wm_stream::machines::ScalarError::BadProgram(_)) {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::from(3)
+                }
             }
         },
     }

@@ -143,13 +143,16 @@ impl Compiler {
 
     fn compile_inner(&self, source: &str, allocate: bool) -> Result<Compiled, Error> {
         let mut module = wm_frontend::compile(source)?;
+        // Global extents feed the streaming pass's over-fetch analysis
+        // (computed up front: the per-function loop borrows mutably).
+        let extents = wm_opt::GlobalExtents::of_module(&module);
         let mut stats = Vec::new();
         for f in module.functions.iter_mut() {
             let mut s = wm_opt::optimize_generic(f, &self.options);
             match self.target {
                 Target::Wm => {
                     wm_target::expand_wm(f);
-                    let s2 = wm_opt::optimize_wm(f, &self.options);
+                    let s2 = wm_opt::optimize_wm_with(f, &self.options, &extents);
                     s.streaming = s2.streaming;
                     s.vector = s2.vector;
                     s.iterations += s2.iterations;
@@ -282,6 +285,71 @@ mod tests {
         let l = c.listing("f").unwrap();
         assert!(l.contains("_f:"));
         assert!(c.listing("missing").is_none());
+    }
+
+    #[test]
+    fn oob_scalar_store_faults_precisely_at_full_opt() {
+        // u[7] lands in the guard red-zone after int u[4]; the fault names
+        // the unit, the address and the instruction, and carries a
+        // machine-state dump — under the default and an injected config
+        let c = Compiler::new()
+            .compile("int u[4]; int main() { u[7] = 5; return 0; }")
+            .unwrap();
+        let configs = [
+            WmConfig::default(),
+            WmConfig::default()
+                .with_fault_plan(wm_sim::FaultPlan::parse("jitter:3:7,delay:1:20").unwrap()),
+        ];
+        for cfg in configs {
+            let err = c.run_wm_config("main", &[], &cfg).unwrap_err();
+            let fault = err.fault().unwrap_or_else(|| panic!("fault, got {err}"));
+            assert_eq!(fault.unit, wm_sim::FaultUnit::Ieu);
+            assert_eq!(fault.addr, Some(wm_sim::DATA_BASE + 28));
+            assert!(fault.inst.is_some(), "instruction attributed");
+            assert!(fault.detail.contains("u"), "global named: {}", fault.detail);
+            let state = err.state().expect("machine-state dump");
+            assert!(state.to_string().contains("machine state at cycle"));
+        }
+    }
+
+    const SENTINEL_SCAN: &str = r"
+        int a[16];
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) a[i] = 1;
+            a[15] = 8;
+            i = 0;
+            while (a[i] != 8) i = i + 1;
+            return i;
+        }";
+
+    #[test]
+    fn sentinel_scan_over_exact_array_runs_at_full_opt() {
+        // The sentinel sits in the last element, so a streamed scan
+        // prefetches past the array. Default full opt degrades the scan to
+        // scalar; --speculative-streams keeps the stream and relies on the
+        // machine's poison semantics. Both must return the right answer —
+        // never a spurious fault.
+        let c = Compiler::new().compile(SENTINEL_SCAN).unwrap();
+        assert_eq!(
+            c.run_wm("main", &[]).expect("degraded scan runs").ret_int,
+            15
+        );
+        let s = c.stats_for("main").unwrap();
+        assert!(s.streaming.overfetch_degraded >= 1, "{:?}", s.streaming);
+
+        let spec = Compiler::new()
+            .options(OptOptions::all().with_speculative_streams())
+            .compile(SENTINEL_SCAN)
+            .unwrap();
+        assert_eq!(
+            spec.run_wm("main", &[])
+                .expect("poisoned scan runs")
+                .ret_int,
+            15
+        );
+        let s = spec.stats_for("main").unwrap();
+        assert!(s.streaming.overfetch_speculated >= 1, "{:?}", s.streaming);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct Global {
     pub name: String,
     /// What the symbol names.
     pub kind: GlobalKind,
+    /// Data symbols only: the loader maps read-only data on write-protected
+    /// pages, so stores through a stray pointer fault instead of silently
+    /// corrupting constants.
+    pub readonly: bool,
 }
 
 /// A compiled module: global symbols and functions.
@@ -65,7 +69,22 @@ impl Module {
         self.globals.push(Global {
             name: name.into(),
             kind: GlobalKind::Data { size, align, init },
+            readonly: false,
         });
+        id
+    }
+
+    /// Add a read-only data global (constant tables, literals). The
+    /// simulator loader places it on write-protected pages.
+    pub fn add_rodata(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+        init: Vec<u8>,
+    ) -> SymId {
+        let id = self.add_data(name, size, align, init);
+        self.globals[id.0 as usize].readonly = true;
         id
     }
 
@@ -82,6 +101,7 @@ impl Module {
         self.globals.push(Global {
             name: name.to_string(),
             kind: GlobalKind::Func(idx),
+            readonly: false,
         });
         id
     }
@@ -104,6 +124,7 @@ impl Module {
         self.globals.push(Global {
             name: func.name.clone(),
             kind: GlobalKind::Func(self.functions.len()),
+            readonly: false,
         });
         self.functions.push(func);
         id
@@ -119,6 +140,7 @@ impl Module {
         self.globals.push(Global {
             name,
             kind: GlobalKind::Builtin,
+            readonly: false,
         });
         id
     }

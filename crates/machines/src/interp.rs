@@ -115,7 +115,8 @@ impl<'m> ScalarMachine<'m> {
                 }
             }
         }
-        let mem = MemoryImage::new(module, 16 << 20);
+        let mem = MemoryImage::new(module, 16 << 20)
+            .map_err(|e| ScalarError::BadProgram(e.to_string()))?;
         let mut m = ScalarMachine {
             module,
             model: model.clone(),
@@ -475,25 +476,21 @@ impl<'m> ScalarMachine<'m> {
             self.mem
                 .read_flt(addr)
                 .map(ScalarVal::F)
-                .ok_or_else(|| ScalarError::Fault(format!("load fault at {addr:#x}")))
+                .map_err(|e| ScalarError::Fault(e.to_string()))
         } else {
             self.mem
                 .read_int(addr, width)
                 .map(ScalarVal::I)
-                .ok_or_else(|| ScalarError::Fault(format!("load fault at {addr:#x}")))
+                .map_err(|e| ScalarError::Fault(e.to_string()))
         }
     }
 
     fn store(&mut self, addr: i64, width: Width, v: ScalarVal) -> Result<(), ScalarError> {
-        let ok = match v {
+        let res = match v {
             ScalarVal::F(x) if width == Width::D8 => self.mem.write_flt(addr, x),
             x => self.mem.write_int(addr, width, x.as_i()),
         };
-        if ok {
-            Ok(())
-        } else {
-            Err(ScalarError::Fault(format!("store fault at {addr:#x}")))
-        }
+        res.map_err(|e| ScalarError::Fault(e.to_string()))
     }
 
     fn builtin(&mut self, name: &str) -> Result<(), ScalarError> {

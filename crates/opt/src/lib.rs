@@ -35,7 +35,7 @@ pub mod streaming;
 pub mod vectorize;
 
 pub use partition::{AliasModel, MemPartition, PartitionSet, RefInfo};
-pub use pipeline::{optimize_generic, optimize_wm, OptOptions, OptStats};
+pub use pipeline::{optimize_generic, optimize_wm, optimize_wm_with, OptOptions, OptStats};
 pub use recurrence::RecurrenceReport;
-pub use streaming::StreamingReport;
+pub use streaming::{GlobalExtents, StreamingReport};
 pub use vectorize::VectorReport;

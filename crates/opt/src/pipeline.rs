@@ -10,7 +10,7 @@ use wm_ir::Function;
 use crate::partition::AliasModel;
 use crate::phases;
 use crate::recurrence::{optimize_recurrences, RecurrenceReport};
-use crate::streaming::{optimize_streams, StreamingReport};
+use crate::streaming::{optimize_streams, GlobalExtents, StreamingReport};
 
 /// Optimizer configuration. The individual switches exist so benchmarks can
 /// compare code generated "with and without" a given optimization, as the
@@ -49,6 +49,11 @@ pub struct OptOptions {
     pub max_recurrence_degree: i64,
     /// Minimum statically-known trip count worth streaming (paper: > 3).
     pub stream_min_count: i64,
+    /// Keep streams the over-fetch analysis flags as able to run past
+    /// their base global, relying on the machine's deferred-fault
+    /// (poison) semantics; off by default, which degrades them to scalar
+    /// references.
+    pub speculative_streams: bool,
 }
 
 impl Default for OptOptions {
@@ -69,6 +74,7 @@ impl Default for OptOptions {
             alias: AliasModel::Conservative,
             max_recurrence_degree: 4,
             stream_min_count: 3,
+            speculative_streams: false,
         }
     }
 }
@@ -118,6 +124,12 @@ impl OptOptions {
     /// Enable VEU vectorization of map loops.
     pub fn with_vectorization(mut self) -> OptOptions {
         self.vectorize = true;
+        self
+    }
+
+    /// Keep over-fetching streams, relying on deferred-fault semantics.
+    pub fn with_speculative_streams(mut self) -> OptOptions {
+        self.speculative_streams = true;
         self
     }
 }
@@ -189,7 +201,20 @@ pub fn optimize_generic(func: &mut Function, opts: &OptOptions) -> OptStats {
 /// Optimize a function after WM target expansion: code motion over the
 /// expanded form (hoisting `llh`/`sll` address formation), the streaming
 /// algorithm, dual-operation combining, and final cleanup.
+///
+/// Without global-extent information the streaming pass skips its
+/// over-fetch analysis; drivers that hold the whole [`wm_ir::Module`]
+/// should call [`optimize_wm_with`] instead.
 pub fn optimize_wm(func: &mut Function, opts: &OptOptions) -> OptStats {
+    optimize_wm_with(func, opts, &GlobalExtents::empty())
+}
+
+/// [`optimize_wm`] with global extents for the over-fetch analysis.
+pub fn optimize_wm_with(
+    func: &mut Function,
+    opts: &OptOptions,
+    extents: &GlobalExtents,
+) -> OptStats {
     let mut stats = OptStats::default();
     if opts.code_motion {
         phases::hoist_invariants(func);
@@ -203,7 +228,13 @@ pub fn optimize_wm(func: &mut Function, opts: &OptOptions) -> OptStats {
         stats.iterations += cleanup(func, opts);
     }
     if opts.streaming {
-        stats.streaming = optimize_streams(func, opts.alias, opts.stream_min_count);
+        stats.streaming = optimize_streams(
+            func,
+            opts.alias,
+            opts.stream_min_count,
+            extents,
+            opts.speculative_streams,
+        );
         stats.iterations += cleanup(func, opts);
     }
     if opts.dual_combine {

@@ -14,14 +14,57 @@
 //!    count is known, insert stream-stop instructions at the exits when it
 //!    is not, and delete the induction variable when it becomes dead.
 
+use std::collections::HashMap;
+
 use wm_ir::{
-    BinOp, CmpOp, DataFifo, Function, Inst, InstKind, Label, Operand, RExpr, Reg, RegClass,
+    BinOp, CmpOp, DataFifo, Function, GlobalKind, Inst, InstKind, Label, Module, Operand, RExpr,
+    Reg, RegClass, SymId,
 };
 
 use crate::affine::{analyze_latch, LatchInfo, LoopAnalysis, Region};
 use crate::cfg::{ensure_preheader, natural_loops, split_edge, Dominators};
 use crate::liveness::Liveness;
 use crate::partition::{build_partitions, AliasModel};
+
+/// Byte extents of a module's data globals, for the over-fetch analysis.
+///
+/// A stream that would touch addresses outside its base global is not a
+/// pure optimization any more: on the simulated machine the loader places
+/// guard red-zones after every global, so a prefetch past the end faults
+/// (eagerly for scalar code, deferred/poisoned for streams). The streaming
+/// pass consults this map to keep such references scalar unless the user
+/// opts into speculation.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalExtents {
+    sizes: HashMap<SymId, i64>,
+}
+
+impl GlobalExtents {
+    /// No extent information: every reference is assumed in bounds (the
+    /// pre-analysis behavior).
+    pub fn empty() -> GlobalExtents {
+        GlobalExtents::default()
+    }
+
+    /// Extents of every data global in `module`.
+    pub fn of_module(module: &Module) -> GlobalExtents {
+        let sizes = module
+            .globals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| match g.kind {
+                GlobalKind::Data { size, .. } => Some((SymId(i as u32), size as i64)),
+                _ => None,
+            })
+            .collect();
+        GlobalExtents { sizes }
+    }
+
+    /// The extent of `sym` in bytes, when known.
+    pub fn get(&self, sym: SymId) -> Option<i64> {
+        self.sizes.get(&sym).copied()
+    }
+}
 
 /// What the pass did, for reporting and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +81,11 @@ pub struct StreamingReport {
     pub tests_replaced: usize,
     /// Induction-variable increments deleted (step j).
     pub ivs_deleted: usize,
+    /// In-streams kept scalar because they could fetch past their global.
+    pub overfetch_degraded: usize,
+    /// Over-fetching in-streams kept anyway under speculative streaming
+    /// (the machine's deferred-fault semantics poison the extra entries).
+    pub overfetch_speculated: usize,
 }
 
 /// A planned stream for one memory reference.
@@ -64,8 +112,17 @@ struct StreamPlan {
 /// Run the streaming optimization on every innermost loop of `func`.
 ///
 /// `min_count` is the paper's Step 1 cutoff: statically-known trip counts
-/// at or below 3 are not worth the stream setup.
-pub fn optimize_streams(func: &mut Function, alias: AliasModel, min_count: i64) -> StreamingReport {
+/// at or below 3 are not worth the stream setup. `extents` feeds the
+/// over-fetch analysis (pass [`GlobalExtents::empty`] to skip it);
+/// `speculative` keeps over-fetching in-streams, relying on the machine's
+/// deferred-fault (poison) semantics instead of degrading to scalar code.
+pub fn optimize_streams(
+    func: &mut Function,
+    alias: AliasModel,
+    min_count: i64,
+    extents: &GlobalExtents,
+    speculative: bool,
+) -> StreamingReport {
     let mut report = StreamingReport::default();
     let mut visited: Vec<Label> = Vec::new();
     loop {
@@ -80,11 +137,22 @@ pub fn optimize_streams(func: &mut Function, alias: AliasModel, min_count: i64) 
             .iter()
             .any(|outer| outer.header != lp.header && outer.contains(lp.header));
         let lp = lp.clone();
-        stream_one_loop(func, &lp, &dom, alias, min_count, nested, &mut report);
+        stream_one_loop(
+            func,
+            &lp,
+            &dom,
+            alias,
+            min_count,
+            nested,
+            extents,
+            speculative,
+            &mut report,
+        );
     }
     report
 }
 
+#[allow(clippy::too_many_arguments)]
 fn stream_one_loop(
     func: &mut Function,
     lp: &crate::cfg::Loop,
@@ -92,6 +160,8 @@ fn stream_one_loop(
     alias: AliasModel,
     min_count: i64,
     nested: bool,
+    extents: &GlobalExtents,
+    speculative: bool,
     report: &mut StreamingReport,
 ) {
     // A called function would compete for the FIFOs and may touch any
@@ -204,6 +274,24 @@ fn stream_one_loop(
         if cands.is_empty() {
             return;
         }
+        // Over-fetch analysis: an in-stream that may touch addresses
+        // outside its base global (the SCU prefetches ahead of
+        // consumption) is kept scalar unless speculation is requested.
+        // This runs before FIFO allocation so a degraded reference counts
+        // as a scalar load there and keeps input FIFO 0 reserved.
+        cands.retain(
+            |p| match overfetch(&la, latch.is_some(), static_count, p, extents) {
+                Fetch::Safe => true,
+                Fetch::Past if speculative => {
+                    report.overfetch_speculated += 1;
+                    true
+                }
+                Fetch::Past => {
+                    report.overfetch_degraded += 1;
+                    false
+                }
+            },
+        );
         // Step 2e: FIFO allocation with resource accounting. Scalar
         // (non-streamed) loads of a class occupy input FIFO 0; scalar
         // stores occupy the output FIFO.
@@ -520,12 +608,71 @@ fn allocate_fifos(
     chosen
 }
 
-/// Statically evaluate the trip count when both the bound and the IV's
-/// initial value are compile-time constants.
-fn static_trip_count(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
-    let bound = l.bound.imm()?;
-    // the IV's initial value: sole definition outside the loop, a constant
-    let sites = la.defs.get(&l.iv.reg)?;
+/// The over-fetch analysis verdict for one planned stream.
+enum Fetch {
+    /// The stream's addresses provably stay inside the base global, or the
+    /// stream only ever touches addresses the scalar program would.
+    Safe,
+    /// The stream may (or provably will) fetch past the global's extent.
+    Past,
+}
+
+/// Compare a planned stream's address range against its base global's
+/// extent.
+///
+/// * Out-streams are always [`Fetch::Safe`]: an SCU writes exactly one
+///   element per value the program enqueues, so it cannot run ahead.
+/// * Counted in-streams read exactly the addresses of the scalar loop, so
+///   a fault is the *program's* fault either way; they are only flagged
+///   when the whole range is statically computable and provably outside
+///   `[0, extent)` — degradation then restores the scalar code's precise
+///   per-access fault attribution.
+/// * Unbounded in-streams genuinely over-fetch: the SCU runs up to a FIFO
+///   depth of prefetch past the last element the program consumes, which
+///   can cross the end of an exactly-sized global.
+///
+/// References whose base region has no known extent (pointers, missing
+/// extent map) are left alone.
+fn overfetch(
+    la: &LoopAnalysis<'_>,
+    countable: bool,
+    static_count: Option<i64>,
+    plan: &StreamPlan,
+    extents: &GlobalExtents,
+) -> Fetch {
+    if !plan.is_load {
+        return Fetch::Safe;
+    }
+    let Region::Global(sym) = plan.region else {
+        return Fetch::Safe;
+    };
+    let Some(extent) = extents.get(sym) else {
+        return Fetch::Safe;
+    };
+    if !countable {
+        return Fetch::Past;
+    }
+    let (Some(n), None, None) = (static_count, plan.inv, plan.sym_step) else {
+        return Fetch::Safe;
+    };
+    let Some(init) = static_iv_init(la, plan.iv) else {
+        return Fetch::Safe;
+    };
+    let first = plan.off + plan.cee * init;
+    let last = first + plan.stride * (n - 1);
+    let lo = first.min(last);
+    let hi = first.max(last) + plan.width.bytes();
+    if lo < 0 || hi > extent {
+        Fetch::Past
+    } else {
+        Fetch::Safe
+    }
+}
+
+/// The IV's statically-known initial value: its sole definition outside
+/// the loop, when that is a constant assignment.
+fn static_iv_init(la: &LoopAnalysis<'_>, iv: Reg) -> Option<i64> {
+    let sites = la.defs.get(&iv)?;
     let outside: Vec<(usize, usize)> = sites
         .iter()
         .copied()
@@ -535,13 +682,20 @@ fn static_trip_count(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
         return None;
     }
     let (bi, ii) = outside[0];
-    let init = match &la.func.blocks[bi].insts[ii].kind {
+    match &la.func.blocks[bi].insts[ii].kind {
         InstKind::Assign {
             src: RExpr::Op(Operand::Imm(v)),
             ..
-        } => *v,
-        _ => return None,
-    };
+        } => Some(*v),
+        _ => None,
+    }
+}
+
+/// Statically evaluate the trip count when both the bound and the IV's
+/// initial value are compile-time constants.
+fn static_trip_count(la: &LoopAnalysis<'_>, l: &LatchInfo) -> Option<i64> {
+    let bound = l.bound.imm()?;
+    let init = static_iv_init(la, l.iv.reg)?;
     if !l.iv.is_const_step() {
         return None;
     }

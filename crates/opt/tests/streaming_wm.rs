@@ -2,7 +2,9 @@
 //! accounting, recurrence blocking, trip-count handling and exit stops.
 
 use wm_ir::{Function, InstKind};
-use wm_opt::{optimize_generic, optimize_wm, OptOptions, StreamingReport};
+use wm_opt::{
+    optimize_generic, optimize_wm, optimize_wm_with, GlobalExtents, OptOptions, StreamingReport,
+};
 
 fn wm_function(src: &str, name: &str, opts: &OptOptions) -> (Function, StreamingReport) {
     let m = wm_frontend::compile(src).expect("compiles");
@@ -10,6 +12,18 @@ fn wm_function(src: &str, name: &str, opts: &OptOptions) -> (Function, Streaming
     optimize_generic(&mut f, opts);
     wm_target::expand_wm(&mut f);
     let stats = optimize_wm(&mut f, opts);
+    (f, stats.streaming)
+}
+
+/// Like [`wm_function`], but with the module's global extents supplied so
+/// the over-fetch analysis runs.
+fn wm_function_checked(src: &str, name: &str, opts: &OptOptions) -> (Function, StreamingReport) {
+    let m = wm_frontend::compile(src).expect("compiles");
+    let extents = GlobalExtents::of_module(&m);
+    let mut f = m.function_named(name).unwrap().clone();
+    optimize_generic(&mut f, opts);
+    wm_target::expand_wm(&mut f);
+    let stats = optimize_wm_with(&mut f, opts, &extents);
     (f, stats.streaming)
 }
 
@@ -199,6 +213,80 @@ fn downward_loops_get_negative_strides() {
         )
     });
     assert!(neg, "stride −8 for the downward walk");
+}
+
+const OOB_COUNTED: &str = r"
+    int u[100]; int out[1];
+    void f() {
+        int i; int acc;
+        acc = 0;
+        for (i = 0; i < 100; i++) acc = acc + u[i + 2];
+        out[0] = acc;
+    }";
+
+#[test]
+fn provably_oob_counted_stream_degrades_to_scalar() {
+    // u[i+2] runs to u[101] over int u[100]: the whole range is static,
+    // so the over-fetch analysis keeps the reference scalar and the fault
+    // (if reached) gets precise per-access attribution
+    let (f, s) = wm_function_checked(OOB_COUNTED, "f", &OptOptions::all());
+    assert_eq!(s.streams_in, 0, "{s:?}");
+    assert!(s.overfetch_degraded >= 1, "{s:?}");
+    assert!(
+        count_kind(&f, |k| matches!(k, InstKind::WLoad { .. })) >= 1,
+        "the load stays scalar"
+    );
+}
+
+#[test]
+fn speculative_streams_keep_oob_counted_streams() {
+    let opts = OptOptions::all().with_speculative_streams();
+    let (_f, s) = wm_function_checked(OOB_COUNTED, "f", &opts);
+    assert_eq!(s.streams_in, 1, "{s:?}");
+    assert!(s.overfetch_speculated >= 1, "{s:?}");
+    assert_eq!(s.overfetch_degraded, 0, "{s:?}");
+}
+
+#[test]
+fn unbounded_stream_over_sized_global_degrades_by_default() {
+    // the SCU would prefetch past the sentinel — over an exactly-sized
+    // global that can cross the extent, so the in-stream degrades; the
+    // out-stream writes only what the program enqueues and may stay
+    const SRC: &str = r"
+        char src[32]; char dst[32];
+        void f() {
+            int i;
+            i = 0;
+            while (src[i]) { dst[i] = src[i]; i = i + 1; }
+            dst[i] = 0;
+        }";
+    let (_f, s) = wm_function_checked(SRC, "f", &OptOptions::all().assume_noalias());
+    assert!(s.overfetch_degraded >= 1, "{s:?}");
+    assert_eq!(s.streams_in, 0, "the sentinel scan stays scalar: {s:?}");
+
+    let spec = OptOptions::all()
+        .assume_noalias()
+        .with_speculative_streams();
+    let (_f, s) = wm_function_checked(SRC, "f", &spec);
+    assert!(s.overfetch_speculated >= 1, "{s:?}");
+    assert!(s.streams_in >= 1, "speculation restores the stream: {s:?}");
+}
+
+#[test]
+fn in_bounds_counted_streams_are_untouched_by_the_analysis() {
+    let (_f, s) = wm_function_checked(
+        r"
+        double a[64]; double b[64];
+        void f() {
+            int i;
+            for (i = 0; i < 64; i++) b[i] = a[i];
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.streams_in, 1, "{s:?}");
+    assert_eq!(s.streams_out, 1, "{s:?}");
+    assert_eq!(s.overfetch_degraded + s.overfetch_speculated, 0, "{s:?}");
 }
 
 #[test]

@@ -1,5 +1,68 @@
 //! Simulator configuration.
 
+/// Deterministic fault-injection plan: degrade the simulated hardware in
+/// reproducible ways to exercise the deadlock detector and the stall
+/// accounting rather than only the happy path.
+///
+/// Memory requests are numbered from 1 in issue order across the whole
+/// run; injected delays keep delivery in order (a delayed response blocks
+/// younger ones behind it, as the memory system delivers in FIFO order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(request #, extra cycles)`: delay the response to a request.
+    pub delays: Vec<(u64, u64)>,
+    /// Request #s whose response is silently dropped (the machine should
+    /// wedge and the deadlock detector should attribute the loss).
+    pub drops: Vec<u64>,
+    /// `(scu index, cycle)`: the SCU stops issuing requests at the cycle.
+    pub disable_scus: Vec<(usize, u64)>,
+    /// Seed for deterministic per-request latency jitter (`None` = off).
+    pub jitter_seed: Option<u64>,
+    /// Maximum extra cycles of jitter per request.
+    pub jitter_max: u64,
+}
+
+impl FaultPlan {
+    /// No injection at all (the default).
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+            && self.drops.is_empty()
+            && self.disable_scus.is_empty()
+            && self.jitter_seed.is_none()
+    }
+
+    /// Parse a comma-separated spec: `delay:N:C` (delay request #N by C
+    /// cycles), `drop:N` (drop request #N's response), `scu:I:C` (disable
+    /// SCU I at cycle C), `jitter:SEED:MAX` (seeded latency jitter up to
+    /// MAX extra cycles).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let num = |s: &str| -> Result<u64, String> {
+                s.parse::<u64>()
+                    .map_err(|_| format!("bad number `{s}` in fault spec `{part}`"))
+            };
+            match fields.as_slice() {
+                ["delay", n, c] => plan.delays.push((num(n)?, num(c)?)),
+                ["drop", n] => plan.drops.push(num(n)?),
+                ["scu", i, c] => plan.disable_scus.push((num(i)? as usize, num(c)?)),
+                ["jitter", seed, max] => {
+                    plan.jitter_seed = Some(num(seed)?);
+                    plan.jitter_max = num(max)?;
+                }
+                _ => {
+                    return Err(format!(
+                        "bad fault directive `{part}` (expected delay:N:C, \
+                         drop:N, scu:I:C or jitter:SEED:MAX)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
 /// Timing and capacity parameters of the simulated WM implementation.
 ///
 /// The defaults model a plausible early-1990s implementation: a handful of
@@ -39,6 +102,8 @@ pub struct WmConfig {
     pub io_latency: u64,
     /// Hard cycle limit (guards against runaway programs).
     pub max_cycles: u64,
+    /// Deterministic fault injection (empty by default).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for WmConfig {
@@ -57,6 +122,7 @@ impl Default for WmConfig {
             memory_size: 16 << 20,
             io_latency: 20,
             max_cycles: 2_000_000_000,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -79,6 +145,18 @@ impl WmConfig {
         self.max_cycles = cycles;
         self
     }
+
+    /// A configuration with a different data-FIFO capacity.
+    pub fn with_fifo_capacity(mut self, capacity: usize) -> WmConfig {
+        self.fifo_capacity = capacity.max(1);
+        self
+    }
+
+    /// A configuration with a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> WmConfig {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -90,9 +168,25 @@ mod tests {
         let c = WmConfig::default()
             .with_mem_latency(12)
             .with_mem_ports(0)
+            .with_fifo_capacity(0)
             .with_max_cycles(10);
         assert_eq!(c.mem_latency, 12);
         assert_eq!(c.mem_ports, 1, "ports clamp to at least one");
+        assert_eq!(c.fifo_capacity, 1, "FIFO capacity clamps to at least one");
         assert_eq!(c.max_cycles, 10);
+    }
+
+    #[test]
+    fn fault_plan_parses() {
+        let p = FaultPlan::parse("delay:3:40,drop:7,scu:1:100,jitter:42:5").unwrap();
+        assert_eq!(p.delays, vec![(3, 40)]);
+        assert_eq!(p.drops, vec![7]);
+        assert_eq!(p.disable_scus, vec![(1, 100)]);
+        assert_eq!(p.jitter_seed, Some(42));
+        assert_eq!(p.jitter_max, 5);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("delay:x:1").is_err());
+        assert!(FaultPlan::parse("explode:now").is_err());
     }
 }

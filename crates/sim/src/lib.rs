@@ -41,9 +41,11 @@
 //! ```
 
 mod config;
+mod fault;
 mod loader;
 mod machine;
 
-pub use config::WmConfig;
-pub use loader::MemoryImage;
+pub use config::{FaultPlan, WmConfig};
+pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
+pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};
 pub use machine::{RunResult, SimError, SimStats, TraceEvent, WmMachine};

@@ -1,11 +1,82 @@
-//! Module loading: lay out global data in simulated memory.
+//! Module loading: lay out global data in simulated memory, together with
+//! a permission map over the layout.
+//!
+//! The map keeps the null page and a red-zone after every global unmapped,
+//! marks read-only globals as such, and leaves a large unmapped gap between
+//! the data segment and the stack, so that wild loads and stores fault at a
+//! precise address instead of silently reading zeros or corrupting a
+//! neighbouring object.
 
 use std::collections::HashMap;
 
-use wm_ir::{GlobalKind, Module, SymId};
+use wm_ir::{GlobalKind, Module, SymId, Width};
 
-/// A loaded memory image: global data placed at fixed addresses, the rest
-/// zero, with the stack at the top.
+use crate::machine::SimError;
+
+/// Base address of the first global (addresses below are kept unmapped so
+/// null-pointer bugs fault).
+pub const DATA_BASE: i64 = 0x1000;
+
+/// Unmapped red-zone after every global, so small out-of-bounds offsets
+/// fault instead of landing in the next object.
+pub const GUARD_SIZE: i64 = 32;
+
+/// A mapped, permission-tagged address range `start..end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRegion {
+    /// First mapped address.
+    pub start: i64,
+    /// One past the last mapped address.
+    pub end: i64,
+    /// Whether stores are allowed.
+    pub writable: bool,
+    /// Human-readable name used in fault reports ("global \`u\`", "stack").
+    pub label: String,
+}
+
+/// Why an access was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// No region maps the accessed range.
+    Unmapped,
+    /// The region is mapped but not writable.
+    ReadOnly,
+}
+
+/// A refused memory access: what was attempted and where the address lies
+/// relative to the mapped regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessError {
+    /// Faulting address.
+    pub addr: i64,
+    /// Access size in bytes.
+    pub len: i64,
+    /// True for stores, false for loads.
+    pub write: bool,
+    /// Protection violation class.
+    pub kind: AccessKind,
+    /// Description of the address relative to the memory map.
+    pub context: String,
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = if self.write { "store" } else { "load" };
+        let kind = match self.kind {
+            AccessKind::Unmapped => "unmapped address",
+            AccessKind::ReadOnly => "read-only memory",
+        };
+        write!(
+            f,
+            "{dir} of {} byte(s) at {:#x}: {kind} ({})",
+            self.len, self.addr, self.context
+        )
+    }
+}
+
+/// A loaded memory image: global data placed at fixed addresses with guard
+/// red-zones between objects, the stack at the top, and everything else
+/// unmapped.
 #[derive(Debug, Clone)]
 pub struct MemoryImage {
     /// The memory bytes.
@@ -14,21 +85,21 @@ pub struct MemoryImage {
     pub addresses: HashMap<SymId, i64>,
     /// Initial stack pointer (top of memory, 16-byte aligned, minus slack).
     pub initial_sp: i64,
+    /// Mapped regions, sorted by start address.
+    regions: Vec<MapRegion>,
 }
-
-/// Base address of the first global (addresses below are kept unmapped so
-/// null-pointer bugs fault).
-pub const DATA_BASE: i64 = 0x1000;
 
 impl MemoryImage {
     /// Lay out `module`'s globals in `size` bytes of memory.
     ///
-    /// # Panics
-    ///
-    /// Panics if the data does not fit in `size`.
-    pub fn new(module: &Module, size: usize) -> MemoryImage {
+    /// Returns [`SimError::BadProgram`] when the data segment would collide
+    /// with the stack region reserved at the top of memory.
+    pub fn new(module: &Module, size: usize) -> Result<MemoryImage, SimError> {
         let mut bytes = vec![0u8; size];
         let mut addresses = HashMap::new();
+        let mut regions: Vec<MapRegion> = Vec::new();
+        let initial_sp = (size as i64 - 64) & !15;
+        let stack_base = (size as i64 - (size as i64 / 4).min(4 << 20)) & !15;
         let mut cursor = DATA_BASE;
         for (i, g) in module.globals.iter().enumerate() {
             if let GlobalKind::Data {
@@ -40,70 +111,152 @@ impl MemoryImage {
                 let align = (*align).max(1) as i64;
                 cursor = (cursor + align - 1) / align * align;
                 let addr = cursor;
-                cursor += *gsize as i64;
-                assert!(
-                    (cursor as usize) < size / 2,
-                    "global data does not fit in simulated memory"
-                );
+                let end = addr + *gsize as i64;
+                if end > stack_base {
+                    return Err(SimError::BadProgram(format!(
+                        "global data does not fit in simulated memory: \
+                         global `{}` would end at {:#x}, past the stack \
+                         region starting at {:#x} (memory_size = {size})",
+                        g.name, end, stack_base
+                    )));
+                }
                 bytes[addr as usize..addr as usize + init.len()].copy_from_slice(init);
                 addresses.insert(SymId(i as u32), addr);
+                regions.push(MapRegion {
+                    start: addr,
+                    end,
+                    writable: !g.readonly,
+                    label: format!("global `{}`", g.name),
+                });
+                cursor = end + GUARD_SIZE;
             }
         }
-        let initial_sp = (size as i64 - 64) & !15;
-        MemoryImage {
+        regions.push(MapRegion {
+            start: stack_base,
+            end: size as i64,
+            writable: true,
+            label: "stack".to_string(),
+        });
+        Ok(MemoryImage {
             bytes,
             addresses,
             initial_sp,
+            regions,
+        })
+    }
+
+    /// The mapped regions, sorted by start address.
+    pub fn regions(&self) -> &[MapRegion] {
+        &self.regions
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_of(&self, addr: i64) -> Option<&MapRegion> {
+        let idx = self.regions.partition_point(|r| r.start <= addr);
+        let r = self.regions.get(idx.checked_sub(1)?)?;
+        (addr < r.end).then_some(r)
+    }
+
+    /// Check that `len` bytes at `addr` may be accessed (written, when
+    /// `write` is set). On refusal, the error names the nearest region.
+    pub fn check(&self, addr: i64, len: i64, write: bool) -> Result<(), AccessError> {
+        if let Some(r) = self.region_of(addr) {
+            if addr + len <= r.end {
+                if write && !r.writable {
+                    return Err(AccessError {
+                        addr,
+                        len,
+                        write,
+                        kind: AccessKind::ReadOnly,
+                        context: format!("{} is read-only", r.label),
+                    });
+                }
+                return Ok(());
+            }
+            return Err(AccessError {
+                addr,
+                len,
+                write,
+                kind: AccessKind::Unmapped,
+                context: format!(
+                    "runs {} byte(s) off the end of {}",
+                    addr + len - r.end,
+                    r.label
+                ),
+            });
+        }
+        Err(AccessError {
+            addr,
+            len,
+            write,
+            kind: AccessKind::Unmapped,
+            context: self.describe_unmapped(addr),
+        })
+    }
+
+    /// Where an unmapped address lies, for fault reports.
+    fn describe_unmapped(&self, addr: i64) -> String {
+        if addr < 0 || addr >= self.bytes.len() as i64 {
+            return "outside simulated memory".to_string();
+        }
+        if addr < DATA_BASE {
+            return "in the null page below the data segment".to_string();
+        }
+        let idx = self.regions.partition_point(|r| r.start <= addr);
+        match idx.checked_sub(1).map(|i| &self.regions[i]) {
+            Some(r) => {
+                let off = addr - r.end;
+                if off < GUARD_SIZE {
+                    format!("{off} byte(s) past {} (guard red-zone)", r.label)
+                } else {
+                    format!(
+                        "{off} byte(s) past {}, in the unmapped gap below the stack",
+                        r.label
+                    )
+                }
+            }
+            None => "in the unmapped gap below the stack".to_string(),
         }
     }
 
     /// Read `width` bytes at `addr` as a sign/zero-extended integer.
-    /// Returns `None` when out of bounds.
-    pub fn read_int(&self, addr: i64, width: wm_ir::Width) -> Option<i64> {
-        let a = usize::try_from(addr).ok()?;
-        let n = width.bytes() as usize;
-        let slice = self.bytes.get(a..a + n)?;
-        Some(match width {
-            wm_ir::Width::B1 => slice[0] as i64,
-            wm_ir::Width::W4 => i32::from_le_bytes(slice.try_into().unwrap()) as i64,
-            wm_ir::Width::D8 => i64::from_le_bytes(slice.try_into().unwrap()),
+    pub fn read_int(&self, addr: i64, width: Width) -> Result<i64, AccessError> {
+        self.check(addr, width.bytes(), false)?;
+        let a = addr as usize;
+        let slice = &self.bytes[a..a + width.bytes() as usize];
+        Ok(match width {
+            Width::B1 => slice[0] as i64,
+            Width::W4 => i32::from_le_bytes(slice.try_into().unwrap()) as i64,
+            Width::D8 => i64::from_le_bytes(slice.try_into().unwrap()),
         })
     }
 
     /// Read a double at `addr`.
-    pub fn read_flt(&self, addr: i64) -> Option<f64> {
-        let a = usize::try_from(addr).ok()?;
-        let slice = self.bytes.get(a..a + 8)?;
-        Some(f64::from_le_bytes(slice.try_into().unwrap()))
+    pub fn read_flt(&self, addr: i64) -> Result<f64, AccessError> {
+        self.check(addr, 8, false)?;
+        let a = addr as usize;
+        Ok(f64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap()))
     }
 
-    /// Write an integer of `width` bytes. Returns false when out of bounds.
-    pub fn write_int(&mut self, addr: i64, width: wm_ir::Width, v: i64) -> bool {
-        let Ok(a) = usize::try_from(addr) else {
-            return false;
-        };
-        let n = width.bytes() as usize;
-        let Some(slice) = self.bytes.get_mut(a..a + n) else {
-            return false;
-        };
+    /// Write an integer of `width` bytes.
+    pub fn write_int(&mut self, addr: i64, width: Width, v: i64) -> Result<(), AccessError> {
+        self.check(addr, width.bytes(), true)?;
+        let a = addr as usize;
+        let slice = &mut self.bytes[a..a + width.bytes() as usize];
         match width {
-            wm_ir::Width::B1 => slice[0] = v as u8,
-            wm_ir::Width::W4 => slice.copy_from_slice(&(v as i32).to_le_bytes()),
-            wm_ir::Width::D8 => slice.copy_from_slice(&v.to_le_bytes()),
+            Width::B1 => slice[0] = v as u8,
+            Width::W4 => slice.copy_from_slice(&(v as i32).to_le_bytes()),
+            Width::D8 => slice.copy_from_slice(&v.to_le_bytes()),
         }
-        true
+        Ok(())
     }
 
-    /// Write a double. Returns false when out of bounds.
-    pub fn write_flt(&mut self, addr: i64, v: f64) -> bool {
-        let Ok(a) = usize::try_from(addr) else {
-            return false;
-        };
-        let Some(slice) = self.bytes.get_mut(a..a + 8) else {
-            return false;
-        };
-        slice.copy_from_slice(&v.to_le_bytes());
-        true
+    /// Write a double.
+    pub fn write_flt(&mut self, addr: i64, v: f64) -> Result<(), AccessError> {
+        self.check(addr, 8, true)?;
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
     }
 }
 
@@ -117,35 +270,82 @@ mod tests {
         let mut m = Module::new();
         let a = m.add_data("a", 3, 1, vec![1, 2, 3]);
         let b = m.add_data("b", 16, 8, vec![]);
-        let img = MemoryImage::new(&m, 1 << 20);
+        let img = MemoryImage::new(&m, 1 << 20).unwrap();
         let aa = img.addresses[&a];
         let ba = img.addresses[&b];
         assert_eq!(aa, DATA_BASE);
         assert_eq!(ba % 8, 0);
-        assert!(ba >= aa + 3);
-        assert_eq!(img.read_int(aa, Width::B1), Some(1));
-        assert_eq!(img.read_int(aa + 2, Width::B1), Some(3));
+        assert!(ba >= aa + 3 + GUARD_SIZE, "guard red-zone between globals");
+        assert_eq!(img.read_int(aa, Width::B1), Ok(1));
+        assert_eq!(img.read_int(aa + 2, Width::B1), Ok(3));
     }
 
     #[test]
     fn read_write_roundtrip() {
-        let m = Module::new();
-        let mut img = MemoryImage::new(&m, 1 << 16);
-        assert!(img.write_int(0x2000, Width::W4, -5));
-        assert_eq!(img.read_int(0x2000, Width::W4), Some(-5));
-        assert!(img.write_flt(0x2008, 2.5));
-        assert_eq!(img.read_flt(0x2008), Some(2.5));
-        // out of bounds
-        assert!(!img.write_int(1 << 20, Width::W4, 0));
-        assert_eq!(img.read_int(-4, Width::W4), None);
-        assert_eq!(img.read_int((1 << 16) - 2, Width::W4), None);
+        let mut m = Module::new();
+        let g = m.add_data("g", 16, 8, vec![]);
+        let mut img = MemoryImage::new(&m, 1 << 16).unwrap();
+        let ga = img.addresses[&g];
+        assert!(img.write_int(ga, Width::W4, -5).is_ok());
+        assert_eq!(img.read_int(ga, Width::W4), Ok(-5));
+        assert!(img.write_flt(ga + 8, 2.5).is_ok());
+        assert_eq!(img.read_flt(ga + 8), Ok(2.5));
+        // out of simulated memory entirely
+        assert!(img.write_int(1 << 20, Width::W4, 0).is_err());
+        assert!(img.read_int(-4, Width::W4).is_err());
+        assert!(img.read_int((1 << 16) - 2, Width::W4).is_err());
     }
 
     #[test]
-    fn stack_pointer_is_aligned() {
+    fn guard_red_zone_and_null_page_fault() {
+        let mut m = Module::new();
+        let g = m.add_data("g", 8, 8, vec![]);
+        let img = MemoryImage::new(&m, 1 << 16).unwrap();
+        let ga = img.addresses[&g];
+        // one past the end: guard red-zone
+        let err = img.read_int(ga + 8, Width::W4).unwrap_err();
+        assert_eq!(err.kind, AccessKind::Unmapped);
+        assert!(err.context.contains("guard red-zone"), "{}", err.context);
+        // straddling the end of the object
+        let err = img.read_int(ga + 6, Width::W4).unwrap_err();
+        assert!(err.context.contains("off the end of global `g`"));
+        // the null page
+        let err = img.read_int(0, Width::D8).unwrap_err();
+        assert!(err.context.contains("null page"), "{}", err.context);
+    }
+
+    #[test]
+    fn readonly_globals_refuse_stores() {
+        let mut m = Module::new();
+        let t = m.add_rodata("tab", 8, 8, vec![7; 8]);
+        let mut img = MemoryImage::new(&m, 1 << 16).unwrap();
+        let ta = img.addresses[&t];
+        assert_eq!(img.read_int(ta, Width::B1), Ok(7));
+        let err = img.write_int(ta, Width::W4, 0).unwrap_err();
+        assert_eq!(err.kind, AccessKind::ReadOnly);
+        assert!(err.context.contains("tab"), "{}", err.context);
+    }
+
+    #[test]
+    fn oversized_data_is_a_bad_program_not_a_panic() {
+        let mut m = Module::new();
+        m.add_data("huge", 1 << 20, 8, vec![]);
+        match MemoryImage::new(&m, 1 << 16) {
+            Err(SimError::BadProgram(msg)) => {
+                assert!(msg.contains("does not fit"), "{msg}")
+            }
+            other => panic!("expected BadProgram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_pointer_is_aligned_and_mapped() {
         let m = Module::new();
-        let img = MemoryImage::new(&m, 1 << 16);
+        let img = MemoryImage::new(&m, 1 << 16).unwrap();
         assert_eq!(img.initial_sp % 16, 0);
         assert!(img.initial_sp < (1 << 16));
+        assert!(img.check(img.initial_sp - 8, 8, true).is_ok());
+        let r = img.region_of(img.initial_sp).unwrap();
+        assert_eq!(r.label, "stack");
     }
 }

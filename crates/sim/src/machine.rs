@@ -8,30 +8,63 @@ use wm_ir::{
 };
 
 use crate::config::WmConfig;
-use crate::loader::MemoryImage;
+use crate::fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
+use crate::loader::{AccessError, AccessKind, MemoryImage};
 
-/// A simulation failure.
+/// A simulation failure. Terminal errors carry a [`MachineState`]
+/// snapshot; faults additionally carry [`FaultInfo`] provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The cycle limit was reached.
-    Timeout { cycles: u64 },
+    Timeout {
+        cycles: u64,
+        state: Box<MachineState>,
+    },
     /// No unit made progress for a long time; the machine state is wedged
     /// (usually a miscompilation — e.g. a FIFO imbalance).
-    Deadlock { cycle: u64, detail: String },
+    Deadlock {
+        cycle: u64,
+        detail: String,
+        state: Box<MachineState>,
+    },
     /// A memory fault or illegal operation.
-    Fault { cycle: u64, detail: String },
+    Fault {
+        cycle: u64,
+        fault: FaultInfo,
+        state: Box<MachineState>,
+    },
     /// The module cannot be executed (missing entry, virtual registers…).
     BadProgram(String),
+}
+
+impl SimError {
+    /// The machine-state snapshot attached to the error, if any.
+    pub fn state(&self) -> Option<&MachineState> {
+        match self {
+            SimError::Timeout { state, .. }
+            | SimError::Deadlock { state, .. }
+            | SimError::Fault { state, .. } => Some(state),
+            SimError::BadProgram(_) => None,
+        }
+    }
+
+    /// The fault provenance, for faults.
+    pub fn fault(&self) -> Option<&FaultInfo> {
+        match self {
+            SimError::Fault { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Timeout { cycles } => write!(f, "cycle limit {cycles} exceeded"),
-            SimError::Deadlock { cycle, detail } => {
+            SimError::Timeout { cycles, .. } => write!(f, "cycle limit {cycles} exceeded"),
+            SimError::Deadlock { cycle, detail, .. } => {
                 write!(f, "deadlock at cycle {cycle}: {detail}")
             }
-            SimError::Fault { cycle, detail } => write!(f, "fault at cycle {cycle}: {detail}"),
+            SimError::Fault { cycle, fault, .. } => write!(f, "fault at cycle {cycle}: {fault}"),
             SimError::BadProgram(d) => write!(f, "bad program: {d}"),
         }
     }
@@ -114,9 +147,25 @@ struct Pc {
     inst: usize,
 }
 
+/// Why a FIFO entry is poisoned: the stream prefetch that produced it
+/// faulted. The fault is deferred — raised only if the entry is consumed.
+#[derive(Debug, Clone, PartialEq)]
+struct Poison {
+    addr: i64,
+    scu: usize,
+    error: String,
+}
+
+/// One FIFO entry: a value, possibly carrying a deferred stream fault.
+#[derive(Debug, Clone, PartialEq)]
+struct Slot {
+    val: Val,
+    poison: Option<Box<Poison>>,
+}
+
 #[derive(Debug, Default)]
 struct InFifo {
-    q: VecDeque<Val>,
+    q: VecDeque<Slot>,
     /// Requests in flight toward this FIFO.
     pending: usize,
     /// Generation: bumped by stream stop so stale arrivals are dropped.
@@ -218,13 +267,25 @@ enum MemOp {
         addr: i64,
         width: Width,
         gen: u32,
-        from_stream: bool,
+        /// A deferred stream fault travelling through the memory system:
+        /// the delivered FIFO entry is poisoned instead of carrying data.
+        poison: Option<Box<Poison>>,
     },
     Write {
         addr: i64,
         width: Width,
         val: Val,
     },
+}
+
+/// A memory request in flight.
+#[derive(Debug)]
+struct Flight {
+    /// Delivery cycle (includes injected delay and jitter).
+    due: u64,
+    op: MemOp,
+    /// Fault injection: the response is discarded at delivery time.
+    dropped: bool,
 }
 
 /// A pending scalar store: the address is known, the data comes from the
@@ -257,7 +318,7 @@ pub struct WmMachine<'m> {
     veu: Veu,
     scus: Vec<Scu>,
     store_q: VecDeque<PendingStore>,
-    in_flight: VecDeque<(u64, MemOp)>,
+    in_flight: VecDeque<Flight>,
     pc: Option<Pc>,
     ret_stack: Vec<Pc>,
     /// IFU-side per-stream dispatch counters for `jNI` jumps.
@@ -273,6 +334,11 @@ pub struct WmMachine<'m> {
     ifu_hold: u64,
     /// Monotonic stream-configuration counter (see `Scu::seq`).
     scu_seq: u64,
+    /// Memory requests issued so far (fault injection numbers requests
+    /// from 1 in issue order).
+    req_counter: u64,
+    /// Responses discarded by fault injection.
+    dropped_responses: u64,
     /// Execution trace (populated only when enabled).
     trace: Vec<TraceEvent>,
     trace_enabled: bool,
@@ -304,7 +370,7 @@ impl<'m> WmMachine<'m> {
                 }
             }
         }
-        let mem = MemoryImage::new(module, config.memory_size);
+        let mem = MemoryImage::new(module, config.memory_size)?;
         let mut ieu = Unit::new(RegClass::Int);
         ieu.regs[30] = Val::I(mem.initial_sp);
         Ok(WmMachine {
@@ -343,6 +409,8 @@ impl<'m> WmMachine<'m> {
             ports_used: 0,
             ifu_hold: 0,
             scu_seq: 0,
+            req_counter: 0,
+            dropped_responses: 0,
             trace: Vec::new(),
             trace_enabled: false,
         })
@@ -420,12 +488,14 @@ impl<'m> WmMachine<'m> {
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::Timeout {
                     cycles: self.config.max_cycles,
+                    state: Box::new(self.snapshot()),
                 });
             }
             if self.cycle - self.last_progress > 10_000 {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
-                    detail: self.wedge_report(),
+                    detail: self.diagnose(),
+                    state: Box::new(self.snapshot()),
                 });
             }
         }
@@ -460,25 +530,205 @@ impl<'m> WmMachine<'m> {
             && !self.scus.iter().any(|s| s.active && !s.dir_in)
     }
 
-    fn wedge_report(&self) -> String {
-        format!(
-            "pc={:?} ieu.iq={} feu.iq={} stores={} inflight={} ieu.head={:?} feu.head={:?}              ieu.in=[{},{}] feu.in=[{},{}] ieu.out={} feu.out={} dispatch={:?} scus={:?}",
-            self.pc,
-            self.ieu.iq.len(),
-            self.feu.iq.len(),
-            self.store_q.len(),
-            self.in_flight.len(),
-            self.ieu.iq.front().map(|k| k.to_string()),
-            self.feu.iq.front().map(|k| k.to_string()),
-            self.ieu.ins[0].q.len(),
-            self.ieu.ins[1].q.len(),
-            self.feu.ins[0].q.len(),
-            self.feu.ins[1].q.len(),
-            self.ieu.out.len(),
-            self.feu.out.len(),
-            self.dispatch,
-            self.scus,
-        )
+    /// A diagnostic snapshot of the machine (attached to terminal errors).
+    pub fn snapshot(&self) -> MachineState {
+        let unit_state = |class: RegClass, name: &'static str| -> UnitState {
+            let u = self.unit(class);
+            UnitState {
+                name,
+                iq: u.iq.len(),
+                head: u.iq.front().map(|k| k.to_string()),
+                ins: [0, 1].map(|i| FifoState {
+                    len: u.ins[i].q.len(),
+                    pending: u.ins[i].pending,
+                    streamed: u.ins[i].streamed,
+                    poisoned: u.ins[i].q.iter().filter(|s| s.poison.is_some()).count(),
+                }),
+                out: u.out.len(),
+                cc: u.cc.len(),
+                stall: self.stall_reason(class),
+            }
+        };
+        MachineState {
+            cycle: self.cycle,
+            pc: self.pc.map(|pc| {
+                format!(
+                    "{}, block {}, instruction {}",
+                    self.module.functions[pc.func].name, pc.block, pc.inst
+                )
+            }),
+            units: vec![
+                unit_state(RegClass::Int, "IEU"),
+                unit_state(RegClass::Flt, "FEU"),
+            ],
+            scus: self
+                .scus
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ScuState {
+                    index: i,
+                    active: s.active,
+                    dir_in: s.dir_in,
+                    target: match s.target {
+                        StreamTarget::Fifo(f) => f.to_string(),
+                        StreamTarget::Veu(p) => format!("VEU port {p}"),
+                    },
+                    addr: s.addr,
+                    remaining: s.remaining,
+                    disabled: self.scu_disabled(i),
+                })
+                .collect(),
+            in_flight: self.in_flight.len(),
+            store_queue: self.store_q.len(),
+            veu_iq: self.veu.iq.len(),
+            dispatch: self
+                .dispatch
+                .iter()
+                .map(|(f, n)| (f.to_string(), *n))
+                .collect(),
+            dropped_responses: self.dropped_responses,
+        }
+    }
+
+    /// Has fault injection disabled SCU `i` by the current cycle?
+    fn scu_disabled(&self, i: usize) -> bool {
+        self.config
+            .fault_plan
+            .disable_scus
+            .iter()
+            .any(|&(idx, c)| idx == i && self.cycle >= c)
+    }
+
+    /// Why the unit's head instruction cannot retire, if it cannot.
+    fn stall_reason(&self, class: RegClass) -> Option<String> {
+        let u = self.unit(class);
+        let head = u.iq.front()?;
+        if u.busy > 0 {
+            return Some(format!("busy for {} more cycle(s)", u.busy));
+        }
+        let need = fifo_need(class, head);
+        for (i, &needed) in need.iter().enumerate() {
+            if needed > u.ins[i].q.len() {
+                let f = &u.ins[i];
+                let fifo = DataFifo::new(class, i as u8);
+                let why = if let Some(k) = self
+                    .scus
+                    .iter()
+                    .position(|s| s.active && s.dir_in && s.target == StreamTarget::Fifo(fifo))
+                {
+                    if self.scu_disabled(k) {
+                        format!("fed by SCU {k}, which fault injection disabled")
+                    } else {
+                        format!("fed by SCU {k}")
+                    }
+                } else if f.pending > 0 {
+                    if self.dropped_responses > 0 {
+                        format!(
+                            "{} request(s) outstanding, {} response(s) dropped by fault injection",
+                            f.pending, self.dropped_responses
+                        )
+                    } else {
+                        format!("{} request(s) in flight", f.pending)
+                    }
+                } else if self.dropped_responses > 0 {
+                    format!(
+                        "no stream feeding it; {} memory response(s) dropped by fault injection",
+                        self.dropped_responses
+                    )
+                } else {
+                    "no stream feeding it and no requests in flight".to_string()
+                };
+                return Some(format!("head `{head}` waits on empty FIFO {fifo} ({why})"));
+            }
+        }
+        Some(format!(
+            "head `{head}` cannot issue (ports, capacity or memory ordering)"
+        ))
+    }
+
+    /// Attribute a wedge: name the stalled units and what starves them.
+    fn diagnose(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (class, name) in [(RegClass::Int, "IEU"), (RegClass::Flt, "FEU")] {
+            if let Some(s) = self.stall_reason(class) {
+                parts.push(format!("{name}: {s}"));
+            }
+        }
+        if let Some(st) = self.store_q.front() {
+            if self.unit(st.class).out.is_empty() {
+                let name = match st.class {
+                    RegClass::Int => "IEU",
+                    RegClass::Flt => "FEU",
+                };
+                parts.push(format!(
+                    "a store to {:#x} waits for data in the empty {name} output FIFO",
+                    st.addr
+                ));
+            }
+        }
+        if let Some(pc) = self.pc {
+            let func = &self.module.functions[pc.func];
+            if let Some(inst) = func.blocks.get(pc.block).and_then(|b| b.insts.get(pc.inst)) {
+                match &inst.kind {
+                    InstKind::Branch { class, .. } if self.unit(*class).cc.is_empty() => {
+                        parts.push(format!(
+                            "IFU: `{}` waits on an empty condition-code FIFO",
+                            inst.kind
+                        ));
+                    }
+                    InstKind::BranchStream { fifo, .. } if !self.dispatch.contains_key(fifo) => {
+                        parts.push(format!(
+                            "IFU: `{}` waits for a stream on {fifo} that was never configured",
+                            inst.kind
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for i in 0..self.scus.len() {
+            if self.scus[i].active && self.scu_disabled(i) {
+                parts.push(format!(
+                    "SCU {i} was disabled by fault injection with its stream unfinished"
+                ));
+            }
+        }
+        if parts.is_empty() {
+            parts.push("no unit can make progress".to_string());
+        }
+        parts.join("; ")
+    }
+
+    /// Build a fault error with the current snapshot attached.
+    fn fault(
+        &self,
+        unit: FaultUnit,
+        kind: FaultKind,
+        addr: Option<i64>,
+        stream: Option<DataFifo>,
+        detail: String,
+    ) -> SimError {
+        SimError::Fault {
+            cycle: self.cycle,
+            fault: FaultInfo {
+                unit,
+                kind,
+                addr,
+                stream,
+                inst: None,
+                detail,
+            },
+            state: Box::new(self.snapshot()),
+        }
+    }
+
+    /// Build a fault from a refused memory access.
+    fn access_fault(&self, unit: FaultUnit, stream: Option<DataFifo>, e: &AccessError) -> SimError {
+        let kind = match e.kind {
+            AccessKind::Unmapped => FaultKind::Unmapped,
+            AccessKind::ReadOnly => FaultKind::ReadOnly,
+        };
+        self.fault(unit, kind, Some(e.addr), stream, e.to_string())
     }
 
     /// Advance one cycle.
@@ -498,11 +748,18 @@ impl<'m> WmMachine<'m> {
     // ---- memory ----
 
     fn deliver_memory(&mut self) -> Result<(), SimError> {
-        while let Some((t, _)) = self.in_flight.front() {
-            if *t > self.cycle {
+        while let Some(f) = self.in_flight.front() {
+            if f.due > self.cycle {
                 break;
             }
-            let (_, op) = self.in_flight.pop_front().unwrap();
+            let Flight { op, dropped, .. } = self.in_flight.pop_front().unwrap();
+            if dropped {
+                // Fault injection: the response vanishes. Whoever waits for
+                // it (pending counters, the deadlock detector's progress
+                // clock) stays starved; the wedge diagnosis names the loss.
+                self.dropped_responses += 1;
+                continue;
+            }
             self.last_progress = self.cycle;
             match op {
                 MemOp::ReadFifo {
@@ -510,44 +767,40 @@ impl<'m> WmMachine<'m> {
                     addr,
                     width,
                     gen,
-                    from_stream,
+                    poison,
                 } => {
                     let is_flt = match target {
                         StreamTarget::Fifo(f) => f.class == RegClass::Flt,
                         StreamTarget::Veu(_) => true,
                     };
-                    let val = match (is_flt, width) {
-                        (true, Width::D8) => self.mem.read_flt(addr).map(Val::F),
-                        _ => self.mem.read_int(addr, width).map(Val::I),
-                    };
-                    let val = match val {
-                        Some(v) => v,
-                        None if from_stream => {
-                            // prefetch past the end of data: harmless zeros
-                            if is_flt {
-                                Val::F(0.0)
-                            } else {
-                                Val::I(0)
-                            }
+                    // Accesses are permission-checked at issue time; a
+                    // poisoned request carries no data.
+                    let val = if poison.is_some() {
+                        if is_flt {
+                            Val::F(0.0)
+                        } else {
+                            Val::I(0)
                         }
-                        None => {
-                            return Err(SimError::Fault {
-                                cycle: self.cycle,
-                                detail: format!("load fault at address {addr:#x}"),
-                            })
+                    } else {
+                        match (is_flt, width) {
+                            (true, Width::D8) => self.mem.read_flt(addr).map(Val::F),
+                            _ => self.mem.read_int(addr, width).map(Val::I),
                         }
+                        .map_err(|e| self.access_fault(FaultUnit::Ieu, None, &e))?
                     };
                     match target {
                         StreamTarget::Fifo(fifo) => {
                             let unit = self.unit_mut(fifo.class);
                             let f = &mut unit.ins[fifo.index as usize];
                             if f.gen == gen {
-                                f.q.push_back(val);
+                                f.q.push_back(Slot { val, poison });
                                 f.pending = f.pending.saturating_sub(1);
                             }
                             // stale data (stopped stream) is dropped
                         }
                         StreamTarget::Veu(port) => {
+                            // VEU streams fault eagerly at issue, so a
+                            // poisoned read never targets a VEU port.
                             let p = port as usize;
                             self.veu.ports[p].push_back(val.as_f());
                             self.veu.pending[p] = self.veu.pending[p].saturating_sub(1);
@@ -555,15 +808,12 @@ impl<'m> WmMachine<'m> {
                     }
                 }
                 MemOp::Write { addr, width, val } => {
-                    let ok = match val {
+                    let res = match val {
                         Val::F(v) if width == Width::D8 => self.mem.write_flt(addr, v),
                         v => self.mem.write_int(addr, width, v.as_i()),
                     };
-                    if !ok {
-                        return Err(SimError::Fault {
-                            cycle: self.cycle,
-                            detail: format!("store fault at address {addr:#x}"),
-                        });
+                    if let Err(e) = res {
+                        return Err(self.access_fault(FaultUnit::Ieu, None, &e));
                     }
                 }
             }
@@ -572,8 +822,27 @@ impl<'m> WmMachine<'m> {
     }
 
     fn issue_mem(&mut self, op: MemOp) {
-        let t = self.cycle + self.config.mem_latency;
-        self.in_flight.push_back((t, op));
+        self.req_counter += 1;
+        let n = self.req_counter;
+        let plan = &self.config.fault_plan;
+        let mut latency = self.config.mem_latency;
+        if let Some(seed) = plan.jitter_seed {
+            if plan.jitter_max > 0 {
+                latency += jitter(seed, n) % (plan.jitter_max + 1);
+            }
+        }
+        latency += plan
+            .delays
+            .iter()
+            .filter(|&&(r, _)| r == n)
+            .map(|&(_, c)| c)
+            .sum::<u64>();
+        let dropped = plan.drops.contains(&n);
+        self.in_flight.push_back(Flight {
+            due: self.cycle + latency,
+            op,
+            dropped,
+        });
         self.ports_used += 1;
         self.last_progress = self.cycle;
     }
@@ -590,7 +859,7 @@ impl<'m> WmMachine<'m> {
         let end = addr + width.bytes();
         let overlap = |a: i64, w: Width| a < end && addr < a + w.bytes();
         self.store_q.iter().any(|s| overlap(s.addr, s.width))
-            || self.in_flight.iter().any(|(_, op)| match op {
+            || self.in_flight.iter().any(|f| match &f.op {
                 MemOp::Write {
                     addr: a, width: w, ..
                 } => overlap(*a, *w),
@@ -695,13 +964,48 @@ impl<'m> WmMachine<'m> {
         if !self.fifo_ready(class, &head) {
             return Ok(());
         }
+        let executed_dst = match self.exec_unit_head(class, &head) {
+            Ok(Some(dst)) => dst,
+            Ok(None) => return Ok(()), // structural stall; retry next cycle
+            Err(e) => return Err(attach_inst(e, &head)),
+        };
+        self.record(
+            match class {
+                RegClass::Int => "IEU",
+                RegClass::Flt => "FEU",
+            },
+            &head,
+        );
+        let now = self.cycle;
+        let u = self.unit_mut(class);
+        u.iq.pop_front();
+        u.prev_dst = executed_dst;
+        u.prev_cycle = now;
+        match class {
+            RegClass::Int => self.stats.insts_ieu += 1,
+            RegClass::Flt => self.stats.insts_feu += 1,
+        }
+        self.last_progress = self.cycle;
+        Ok(())
+    }
+
+    /// Execute the unit's head instruction if it can issue this cycle.
+    ///
+    /// `Ok(None)` is a structural stall (full queue, busy port, memory
+    /// ordering); `Ok(Some(dst))` means the instruction retired, with
+    /// `dst` the register the paired-ALU interlock must delay.
+    fn exec_unit_head(
+        &mut self,
+        class: RegClass,
+        head: &InstKind,
+    ) -> Result<Option<Option<u8>>, SimError> {
         let mut executed_dst: Option<u8> = None;
-        match &head {
+        match head {
             InstKind::Assign { dst, src } => {
                 if dst.phys_num() == Some(0)
                     && self.unit(class).out.len() >= self.config.fifo_capacity
                 {
-                    return Ok(()); // output FIFO full
+                    return Ok(None); // output FIFO full
                 }
                 let v = self.eval_expr(class, src)?;
                 self.write_reg(class, *dst, v)?;
@@ -718,7 +1022,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::Compare { op, a, b, .. } => {
                 if self.unit(class).cc.len() >= self.config.cc_capacity {
-                    return Ok(());
+                    return Ok(None);
                 }
                 let va = self.read_operand(class, *a)?;
                 let vb = self.read_operand(class, *b)?;
@@ -730,7 +1034,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::WLoad { fifo, addr, width } => {
                 if !self.ports_free() {
-                    return Ok(());
+                    return Ok(None);
                 }
                 {
                     let tf = &self.unit(fifo.class).ins[fifo.index as usize];
@@ -738,10 +1042,10 @@ impl<'m> WmMachine<'m> {
                     // active stream's: stall until the stream's last
                     // request has been issued (the hardware interlock).
                     if tf.streamed {
-                        return Ok(());
+                        return Ok(None);
                     }
                     if tf.q.len() + tf.pending >= self.config.fifo_capacity {
-                        return Ok(());
+                        return Ok(None);
                     }
                 }
                 let a = self.eval_expr_pure(class, addr);
@@ -750,19 +1054,23 @@ impl<'m> WmMachine<'m> {
                         if self.conflicts_with_pending_writes(a, *width)
                             || self.conflicts_with_out_streams(a, *width) =>
                     {
-                        return Ok(()); // wait for the conflicting store
+                        return Ok(None); // wait for the conflicting store
                     }
                     None if !self.store_q.is_empty()
                         || self
                             .in_flight
                             .iter()
-                            .any(|(_, op)| matches!(op, MemOp::Write { .. })) =>
+                            .any(|f| matches!(f.op, MemOp::Write { .. })) =>
                     {
-                        return Ok(()); // unanalyzable address: drain stores first
+                        return Ok(None); // unanalyzable address: drain stores first
                     }
                     _ => {}
                 }
                 let a = self.eval_expr(class, addr)?.as_i();
+                // scalar loads fault eagerly, with precise attribution
+                if let Err(e) = self.mem.check(a, width.bytes(), false) {
+                    return Err(self.access_fault(FaultUnit::Ieu, None, &e));
+                }
                 let gen = self.unit(fifo.class).ins[fifo.index as usize].gen;
                 self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
                 self.issue_mem(MemOp::ReadFifo {
@@ -770,15 +1078,20 @@ impl<'m> WmMachine<'m> {
                     addr: a,
                     width: *width,
                     gen,
-                    from_stream: false,
+                    poison: None,
                 });
                 self.stats.mem_reads += 1;
             }
             InstKind::WStore { unit, addr, width } => {
                 if self.store_q.len() >= self.config.store_queue {
-                    return Ok(());
+                    return Ok(None);
                 }
                 let a = self.eval_expr(class, addr)?.as_i();
+                // stores fault at issue time, before entering the store
+                // queue, so the report names the faulting instruction
+                if let Err(e) = self.mem.check(a, width.bytes(), true) {
+                    return Err(self.access_fault(FaultUnit::Ieu, None, &e));
+                }
                 self.store_q.push_back(PendingStore {
                     addr: a,
                     width: *width,
@@ -794,7 +1107,7 @@ impl<'m> WmMachine<'m> {
                 tested,
             } => {
                 if !self.configure_scu(true, *fifo, *base, *count, *stride, *width, *tested)? {
-                    return Ok(()); // no free SCU
+                    return Ok(None); // no free SCU
                 }
             }
             InstKind::StreamOut {
@@ -805,7 +1118,7 @@ impl<'m> WmMachine<'m> {
                 width,
             } => {
                 if !self.configure_scu(false, *fifo, *base, *count, *stride, *width, false)? {
-                    return Ok(());
+                    return Ok(None);
                 }
             }
             InstKind::VStreamIn {
@@ -816,17 +1129,20 @@ impl<'m> WmMachine<'m> {
                 vectors,
             } => {
                 let Some(slot) = self.scus.iter().position(|u| !u.active) else {
-                    return Ok(());
+                    return Ok(None);
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
                 let n = self.read_operand(RegClass::Int, *count)?.as_i();
                 let st = self.read_operand(RegClass::Int, *stride)?.as_i();
                 let v = self.read_operand(RegClass::Int, *vectors)?.as_i();
                 if n < 0 || v < 0 {
-                    return Err(SimError::Fault {
-                        cycle: self.cycle,
-                        detail: format!("vector stream configured with count {n}/{v}"),
-                    });
+                    return Err(self.fault(
+                        FaultUnit::Ieu,
+                        FaultKind::BadStreamCount(n.min(v)),
+                        None,
+                        None,
+                        format!("vector stream configured with count {n}/{v}"),
+                    ));
                 }
                 // a previous vector loop's stream into this port must
                 // drain before the port is reused
@@ -835,7 +1151,7 @@ impl<'m> WmMachine<'m> {
                     .iter()
                     .any(|u| u.active && u.dir_in && u.target == StreamTarget::Veu(*port))
                 {
-                    return Ok(());
+                    return Ok(None);
                 }
                 self.scu_seq += 1;
                 self.scus[slot] = Scu {
@@ -865,7 +1181,7 @@ impl<'m> WmMachine<'m> {
                 stride,
             } => {
                 let Some(slot) = self.scus.iter().position(|u| !u.active) else {
-                    return Ok(());
+                    return Ok(None);
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
                 let n = self.read_operand(RegClass::Int, *count)?.as_i();
@@ -875,7 +1191,7 @@ impl<'m> WmMachine<'m> {
                     .iter()
                     .any(|u| u.active && !u.dir_in && u.target == StreamTarget::Veu(0))
                 {
-                    return Ok(());
+                    return Ok(None);
                 }
                 self.scu_seq += 1;
                 self.scus[slot] = Scu {
@@ -901,7 +1217,7 @@ impl<'m> WmMachine<'m> {
                     .any(|s| s.active && !s.dir_in && s.fifo == *fifo)
                     && !self.unit(fifo.class).out.is_empty();
                 if draining {
-                    return Ok(());
+                    return Ok(None);
                 }
                 self.stop_stream(*fifo);
             }
@@ -911,51 +1227,12 @@ impl<'m> WmMachine<'m> {
                 )))
             }
         }
-        self.record(
-            match class {
-                RegClass::Int => "IEU",
-                RegClass::Flt => "FEU",
-            },
-            &head,
-        );
-        let now = self.cycle;
-        let u = self.unit_mut(class);
-        u.iq.pop_front();
-        u.prev_dst = executed_dst;
-        u.prev_cycle = now;
-        match class {
-            RegClass::Int => self.stats.insts_ieu += 1,
-            RegClass::Flt => self.stats.insts_feu += 1,
-        }
-        self.last_progress = self.cycle;
-        Ok(())
+        Ok(Some(executed_dst))
     }
 
     /// Do the FIFO reads of `kind` have data available?
     fn fifo_ready(&self, class: RegClass, kind: &InstKind) -> bool {
-        let mut need = [0usize; 2];
-        let exprs: Vec<&RExpr> = match kind {
-            InstKind::Assign { src, .. } => vec![src],
-            InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => vec![addr],
-            _ => Vec::new(),
-        };
-        for e in exprs {
-            for r in e.regs() {
-                if r.class == class && r.is_fifo() {
-                    need[r.phys_num().unwrap() as usize] += 1;
-                }
-            }
-        }
-        // operands of Compare may also dequeue
-        if let InstKind::Compare { a, b, .. } = kind {
-            for op in [a, b] {
-                if let Operand::Reg(r) = op {
-                    if r.class == class && r.is_fifo() {
-                        need[r.phys_num().unwrap() as usize] += 1;
-                    }
-                }
-            }
-        }
+        let need = fifo_need(class, kind);
         let u = self.unit(class);
         need[0] <= u.ins[0].q.len() && need[1] <= u.ins[1].q.len()
     }
@@ -980,10 +1257,13 @@ impl<'m> WmMachine<'m> {
             Some(c) => {
                 let n = self.read_operand(RegClass::Int, c)?.as_i();
                 if n <= 0 {
-                    return Err(SimError::Fault {
-                        cycle: self.cycle,
-                        detail: format!("stream configured with count {n}"),
-                    });
+                    return Err(self.fault(
+                        FaultUnit::Ieu,
+                        FaultKind::BadStreamCount(n),
+                        None,
+                        Some(fifo),
+                        format!("stream configured with count {n}"),
+                    ));
                 }
                 Some(n)
             }
@@ -1069,10 +1349,17 @@ impl<'m> WmMachine<'m> {
                 .any(|s| s.active && !s.dir_in && s.fifo.class == class)
                 && !self.unit(class).out.is_empty()
             {
-                return Err(SimError::Fault {
-                    cycle: self.cycle,
-                    detail: "scalar store and stream-out compete for output FIFO".into(),
-                });
+                let unit = match class {
+                    RegClass::Int => FaultUnit::Ieu,
+                    RegClass::Flt => FaultUnit::Feu,
+                };
+                return Err(self.fault(
+                    unit,
+                    FaultKind::OutputConflict,
+                    Some(addr),
+                    None,
+                    "scalar store and stream-out compete for output FIFO".into(),
+                ));
             }
             let Some(val) = self.unit_mut(class).out.pop_front() else {
                 break; // data not produced yet
@@ -1090,7 +1377,7 @@ impl<'m> WmMachine<'m> {
                 break;
             }
             let scu = self.scus[i];
-            if !scu.active || self.cycle < scu.ready_at {
+            if !scu.active || self.cycle < scu.ready_at || self.scu_disabled(i) {
                 continue;
             }
             if scu.dir_in {
@@ -1128,6 +1415,25 @@ impl<'m> WmMachine<'m> {
                 if self.older_out_stream_overlaps(scu.seq, scu.addr, scu.width) {
                     continue;
                 }
+                // Permission check at issue. A refused prefetch into a
+                // scalar FIFO *poisons* the entry instead of faulting: the
+                // SCU runs ahead of the consumer, and an over-fetch that is
+                // never consumed must be harmless (deferred-speculation
+                // semantics). The VEU consumes whole vectors
+                // unconditionally, so its refused prefetches fault eagerly.
+                let poison = match self.mem.check(scu.addr, scu.width.bytes(), false) {
+                    Ok(()) => None,
+                    Err(e) => match scu.target {
+                        StreamTarget::Fifo(_) => Some(Box::new(Poison {
+                            addr: scu.addr,
+                            scu: i,
+                            error: e.to_string(),
+                        })),
+                        StreamTarget::Veu(_) => {
+                            return Err(self.access_fault(FaultUnit::Scu(i), None, &e))
+                        }
+                    },
+                };
                 match scu.target {
                     StreamTarget::Fifo(fifo) => {
                         self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1
@@ -1139,7 +1445,7 @@ impl<'m> WmMachine<'m> {
                     addr: scu.addr,
                     width: scu.width,
                     gen: scu.gen,
-                    from_stream: true,
+                    poison,
                 });
                 self.stats.stream_reads += 1;
                 let s = &mut self.scus[i];
@@ -1168,6 +1474,15 @@ impl<'m> WmMachine<'m> {
                 let Some(val) = popped else {
                     continue;
                 };
+                // out-stream writes fault eagerly at issue: the datum was
+                // produced, so the store is architecturally committed
+                if let Err(e) = self.mem.check(scu.addr, scu.width.bytes(), true) {
+                    let stream = match scu.target {
+                        StreamTarget::Fifo(f) => Some(f),
+                        StreamTarget::Veu(_) => None,
+                    };
+                    return Err(self.access_fault(FaultUnit::Scu(i), stream, &e));
+                }
                 self.issue_mem(MemOp::Write {
                     addr: scu.addr,
                     width: scu.width,
@@ -1288,11 +1603,32 @@ impl<'m> WmMachine<'m> {
                 }
                 if n <= 1 {
                     // dequeue (availability pre-checked by fifo_ready)
-                    let f = &mut self.unit_mut(class).ins[n];
-                    return f.q.pop_front().ok_or(SimError::Deadlock {
-                        cycle: self.cycle,
-                        detail: format!("dequeue from empty FIFO {}{n}", class.prefix()),
-                    });
+                    let Some(slot) = self.unit_mut(class).ins[n].q.pop_front() else {
+                        return Err(SimError::Deadlock {
+                            cycle: self.cycle,
+                            detail: format!("dequeue from empty FIFO {}{n}", class.prefix()),
+                            state: Box::new(self.snapshot()),
+                        });
+                    };
+                    if let Some(p) = slot.poison {
+                        // the deferred stream fault surfaces only here, at
+                        // consumption — an unconsumed over-fetch is harmless
+                        let unit = match class {
+                            RegClass::Int => FaultUnit::Ieu,
+                            RegClass::Flt => FaultUnit::Feu,
+                        };
+                        return Err(self.fault(
+                            unit,
+                            FaultKind::PoisonConsumed,
+                            Some(p.addr),
+                            Some(DataFifo::new(class, n as u8)),
+                            format!(
+                                "consumed a poisoned stream datum prefetched by SCU {}: {}",
+                                p.scu, p.error
+                            ),
+                        ));
+                    }
+                    return Ok(slot.val);
                 }
                 Ok(self.unit(class).regs[n])
             }
@@ -1369,7 +1705,7 @@ impl<'m> WmMachine<'m> {
             RExpr::Bin(op, a, b) => {
                 let va = self.read_operand(class, *a)?;
                 let vb = self.read_operand(class, *b)?;
-                self.eval_bin(*op, va, vb)
+                self.eval_bin(class, *op, va, vb)
             }
             RExpr::Dual {
                 inner,
@@ -1380,9 +1716,9 @@ impl<'m> WmMachine<'m> {
             } => {
                 let va = self.read_operand(class, *a)?;
                 let vb = self.read_operand(class, *b)?;
-                let vab = self.eval_bin(*inner, va, vb)?;
+                let vab = self.eval_bin(class, *inner, va, vb)?;
                 let vc = self.read_operand(class, *c)?;
-                self.eval_bin(*outer, vab, vc)
+                self.eval_bin(class, *outer, vab, vc)
             }
         }
     }
@@ -1397,7 +1733,7 @@ impl<'m> WmMachine<'m> {
         })
     }
 
-    fn eval_bin(&self, op: BinOp, a: Val, b: Val) -> Result<Val, SimError> {
+    fn eval_bin(&self, class: RegClass, op: BinOp, a: Val, b: Val) -> Result<Val, SimError> {
         if op.is_float() {
             let (x, y) = (a.as_f(), b.as_f());
             return Ok(Val::F(match op {
@@ -1410,10 +1746,17 @@ impl<'m> WmMachine<'m> {
         }
         let (x, y) = (a.as_i(), b.as_i());
         if matches!(op, BinOp::Div | BinOp::Rem) && y == 0 {
-            return Err(SimError::Fault {
-                cycle: self.cycle,
-                detail: "integer division by zero".into(),
-            });
+            let unit = match class {
+                RegClass::Int => FaultUnit::Ieu,
+                RegClass::Flt => FaultUnit::Feu,
+            };
+            return Err(self.fault(
+                unit,
+                FaultKind::DivideByZero,
+                None,
+                None,
+                "integer division by zero".into(),
+            ));
         }
         Ok(Val::I(op.fold_int(x, y).expect("integer operator")))
     }
@@ -1676,6 +2019,57 @@ impl<'m> WmMachine<'m> {
             other => Err(SimError::BadProgram(format!("unknown builtin {other}"))),
         }
     }
+}
+
+/// How many entries `kind` dequeues from each input FIFO of `class`.
+fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
+    let mut need = [0usize; 2];
+    let exprs: Vec<&RExpr> = match kind {
+        InstKind::Assign { src, .. } => vec![src],
+        InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => vec![addr],
+        _ => Vec::new(),
+    };
+    for e in exprs {
+        for r in e.regs() {
+            if r.class == class && r.is_fifo() {
+                need[r.phys_num().unwrap() as usize] += 1;
+            }
+        }
+    }
+    // operands of Compare may also dequeue
+    if let InstKind::Compare { a, b, .. } = kind {
+        for op in [a, b] {
+            if let Operand::Reg(r) = op {
+                if r.class == class && r.is_fifo() {
+                    need[r.phys_num().unwrap() as usize] += 1;
+                }
+            }
+        }
+    }
+    need
+}
+
+/// Fill in the faulting instruction's listing text when the fault lacks it.
+fn attach_inst(mut e: SimError, head: &InstKind) -> SimError {
+    if let SimError::Fault { fault, .. } = &mut e {
+        if fault.inst.is_none() {
+            fault.inst = Some(head.to_string());
+        }
+    }
+    e
+}
+
+/// Deterministic per-request latency jitter: xorshift64* over the seed
+/// mixed with the request number, so runs with equal seeds are identical.
+fn jitter(seed: u64, n: u64) -> u64 {
+    let mut x = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if x == 0 {
+        x = 0x9E37_79B9_7F4A_7C15;
+    }
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
 /// Which unit executes a dispatched (non-control) instruction.

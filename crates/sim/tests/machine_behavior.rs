@@ -142,24 +142,31 @@ fn paired_alu_interlock_costs_one_bubble() {
 
 #[test]
 fn store_then_load_same_address_is_ordered() {
-    // enqueue 99 → store to addr; immediately load it back; the load must
-    // wait for the store (store-queue interlock) and see 99.
+    // enqueue 99 → store to a global; immediately load it back; the load
+    // must wait for the store (store-queue interlock) and see 99.
+    let mut m = Module::new();
+    let sym = m.add_data("buf", 16, 8, vec![]);
     let mut b = FuncBuilder::new("main", 0, 0);
-    let addr = 0x4000i64;
+    let base = Reg::int(3);
+    b.emit(InstKind::LoadAddr {
+        dst: base,
+        sym,
+        disp: 0,
+    });
     b.assign(Reg::int(0), RExpr::Op(Operand::Imm(99)));
     b.emit(InstKind::WStore {
         unit: RegClass::Int,
-        addr: RExpr::Op(Operand::Imm(addr)),
+        addr: RExpr::Op(base.into()),
         width: Width::W4,
     });
     b.emit(InstKind::WLoad {
         fifo: DataFifo::new(RegClass::Int, 0),
-        addr: RExpr::Op(Operand::Imm(addr)),
+        addr: RExpr::Op(base.into()),
         width: Width::W4,
     });
     b.copy(Reg::int(2), Reg::int(0).into());
     b.emit(InstKind::Ret);
-    let m = module_of(b.finish());
+    m.add_function(b.finish());
     let r = run(&m, &WmConfig::default());
     assert_eq!(r.ret_int, 99, "load must observe the store");
     // and it must have cost at least two memory latencies (serialized)
@@ -169,28 +176,32 @@ fn store_then_load_same_address_is_ordered() {
 #[test]
 fn loads_to_different_addresses_pipeline() {
     // two independent loads complete in ~one latency, not two
-    let mut one = FuncBuilder::new("main", 0, 0);
-    one.emit(InstKind::WLoad {
-        fifo: DataFifo::new(RegClass::Int, 0),
-        addr: RExpr::Op(Operand::Imm(0x4000)),
-        width: Width::W4,
-    });
-    one.copy(Reg::int(2), Reg::int(0).into());
-    one.emit(InstKind::Ret);
-    let one_m = module_of(one.finish());
-
-    let mut two = FuncBuilder::new("main", 0, 0);
-    for k in 0..2 {
-        two.emit(InstKind::WLoad {
-            fifo: DataFifo::new(RegClass::Int, 0),
-            addr: RExpr::Op(Operand::Imm(0x4000 + 8 * k)),
-            width: Width::W4,
+    let build = |loads: i64| {
+        let mut m = Module::new();
+        let sym = m.add_data("buf", 16, 8, vec![]);
+        let mut b = FuncBuilder::new("main", 0, 0);
+        let base = Reg::int(3);
+        b.emit(InstKind::LoadAddr {
+            dst: base,
+            sym,
+            disp: 0,
         });
-    }
-    two.copy(Reg::int(2), Reg::int(0).into());
-    two.copy(Reg::int(3), Reg::int(0).into());
-    two.emit(InstKind::Ret);
-    let two_m = module_of(two.finish());
+        for k in 0..loads {
+            b.emit(InstKind::WLoad {
+                fifo: DataFifo::new(RegClass::Int, 0),
+                addr: RExpr::Bin(BinOp::Add, base.into(), Operand::Imm(8 * k)),
+                width: Width::W4,
+            });
+        }
+        for k in 0..loads {
+            b.copy(Reg::int(2 + k as u8), Reg::int(0).into());
+        }
+        b.emit(InstKind::Ret);
+        m.add_function(b.finish());
+        m
+    };
+    let one_m = build(1);
+    let two_m = build(2);
 
     let cfg = WmConfig::default();
     let r1 = run(&one_m, &cfg);
@@ -388,7 +399,15 @@ fn fifo_imbalance_is_detected_as_deadlock() {
     b.emit(InstKind::Ret);
     let m = module_of(b.finish());
     let err = WmMachine::run(&m, "main", &[], &WmConfig::default()).unwrap_err();
-    assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    let SimError::Deadlock { detail, state, .. } = err else {
+        panic!("expected deadlock, got {err}");
+    };
+    assert!(detail.contains("IEU"), "culprit unit named: {detail}");
+    assert!(detail.contains("r0"), "starved FIFO named: {detail}");
+    assert!(
+        state.units[0].stall.is_some(),
+        "snapshot records the IEU stall"
+    );
 }
 
 #[test]

@@ -2,13 +2,27 @@
 //! the same results at every optimization level and on both machines.
 //! This is the broadest guard against miscompilation by the recurrence,
 //! streaming and combining passes.
+//!
+//! The generated loop's upper bound ranges up to the arrays' exact size,
+//! so reads at `i+2` can run just past the end: every configuration must
+//! then agree on *fault-or-value* — a build that faults where another
+//! returns a result is a miscompilation, and so is a spurious fault.
 
 use proptest::prelude::*;
 use wm_stream::{Compiler, MachineModel, OptOptions, Target};
 
+/// Case count, overridable for deeper CI sweeps.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
 /// A random arithmetic/array program, built from a small grammar that
 /// exercises loops, arrays (with in-loop offsets ±2), conditionals and
-/// accumulators.
+/// accumulators. `hi` is the middle loop's bound: at 299/300 the `+2`
+/// reads touch `u[300..302)` over `int u[300]` — out of bounds.
 fn arbitrary_program() -> impl Strategy<Value = String> {
     let stmt = prop_oneof![
         // accumulate with an array read at a nearby offset
@@ -35,8 +49,8 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
         // scalar churn
         (1i64..50).prop_map(|k| format!("t = t * 3 + {k}; s = s + t % 100;")),
     ];
-    // 1..5 statements in the loop body
-    proptest::collection::vec(stmt, 1..5).prop_map(|body| {
+    // 1..5 statements in the loop body; bound up to the exact array size
+    (proptest::collection::vec(stmt, 1..5), 296i64..=300).prop_map(|(body, hi)| {
         format!(
             r"
             int u[300]; int v[300]; int w[300];
@@ -44,7 +58,7 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
                 int i; int s; int t;
                 s = 1; t = 2;
                 for (i = 0; i < 300; i++) {{ u[i] = i; v[i] = 2 * i; w[i] = 3000 - i; }}
-                for (i = 2; i < 298; i++) {{
+                for (i = 2; i < {hi}; i++) {{
                     {}
                 }}
                 for (i = 0; i < 300; i++) s = s + u[i] + v[i] + w[i];
@@ -55,42 +69,70 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
     })
 }
 
+/// Run on the WM at one opt level; a memory fault is a legitimate outcome
+/// (`Err`), anything else non-Ok (deadlock, timeout) is a test failure.
+fn run_wm_level(src: &str, opts: &OptOptions) -> Result<i64, String> {
+    let c = Compiler::new()
+        .options(opts.clone())
+        .compile(src)
+        .expect("compiles");
+    match c.run_wm("main", &[]) {
+        Ok(r) => Ok(r.ret_int),
+        Err(e @ wm_stream::sim::SimError::Fault { .. }) => Err(e.to_string()),
+        Err(e) => panic!("non-fault failure under {opts:?}: {e}\n{src}"),
+    }
+}
+
+fn run_scalar(src: &str) -> Result<i64, String> {
+    let c = Compiler::new()
+        .target(Target::Scalar)
+        .compile(src)
+        .expect("compiles");
+    match c.run_scalar("main", &[], &MachineModel::m88100()) {
+        Ok(r) => Ok(r.ret_int),
+        Err(e @ wm_stream::machines::ScalarError::Fault(_)) => Err(e.to_string()),
+        Err(e) => panic!("non-fault scalar failure: {e}\n{src}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 24, // each case compiles 4 ways and simulates; keep it bounded
+        cases: cases(), // each case compiles 6 ways and simulates; keep it bounded
         .. ProptestConfig::default()
     })]
 
     #[test]
     fn random_programs_agree_across_opt_levels_and_machines(src in arbitrary_program()) {
-        let reference = Compiler::new()
-            .options(OptOptions::none())
-            .compile(&src)
-            .expect("compiles")
-            .run_wm("main", &[])
-            .expect("baseline runs");
+        let reference = run_wm_level(&src, &OptOptions::none());
 
         for opts in [
             OptOptions::all().without_recurrence().without_streaming(),
             OptOptions::all().without_streaming(),
             OptOptions::all(),
+            OptOptions::all().with_speculative_streams(),
             OptOptions::all().with_vectorization(),
         ] {
-            let r = Compiler::new()
-                .options(opts.clone())
-                .compile(&src)
-                .expect("compiles")
-                .run_wm("main", &[])
-                .expect("runs");
-            prop_assert_eq!(r.ret_int, reference.ret_int, "options {:?}\n{}", opts, src);
+            let r = run_wm_level(&src, &opts);
+            match (&reference, &r) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "options {:?}\n{}", opts, src),
+                (Err(_), Err(_)) => {} // both fault: agreement
+                _ => prop_assert!(
+                    false,
+                    "fault-or-value disagreement under {:?}: reference {:?} vs {:?}\n{}",
+                    opts, reference, r, src
+                ),
+            }
         }
 
-        let r = Compiler::new()
-            .target(Target::Scalar)
-            .compile(&src)
-            .expect("compiles")
-            .run_scalar("main", &[], &MachineModel::m88100())
-            .expect("runs");
-        prop_assert_eq!(r.ret_int, reference.ret_int, "scalar target\n{}", src);
+        let r = run_scalar(&src);
+        match (&reference, &r) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "scalar target\n{}", src),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "fault-or-value disagreement on the scalar machine: {:?} vs {:?}\n{}",
+                reference, r, src
+            ),
+        }
     }
 }

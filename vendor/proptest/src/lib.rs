@@ -25,8 +25,15 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Config {
+            // like real proptest, a PROPTEST_CASES environment variable
+            // overrides the default case count (CI uses this to deepen
+            // sweeps without editing the suites)
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(32);
             Config {
-                cases: 32,
+                cases,
                 max_shrink_iters: 0,
             }
         }

@@ -1,0 +1,237 @@
+//! `perf` — simulator benchmark runner and regression gate.
+//!
+//! Runs the workload suite on the WM simulator under three optimizer
+//! configurations (scalar = classical optimizations only, recurrence,
+//! streaming) and writes `BENCH_sim.json`: per run, the simulated cycle
+//! count, the simulator's own wall-clock time, and the full performance
+//! counters from the [`wm_stream::sim::Stats`] layer.
+//!
+//! ```text
+//! perf                             run the full suite, write BENCH_sim.json
+//! perf --fast                      fast subset (the CI bench job's set)
+//! perf --out FILE                  write results to FILE instead
+//! perf --check bench/baseline.json fail (exit 1) if any workload's cycles
+//!                                  regressed >2% against the baseline
+//! perf --write-baseline FILE       write the cycle baseline for --check
+//! ```
+//!
+//! To re-baseline intentionally after a simulator change:
+//!
+//! ```text
+//! cargo run --release -p wm-bench --bin perf -- --fast --write-baseline bench/baseline.json
+//! ```
+
+use std::time::Instant;
+
+use wm_bench::json::{self, Value};
+use wm_stream::{Compiler, OptOptions, WmConfig, Workload};
+
+/// Allowed cycle-count growth before `--check` fails, as a fraction.
+const TOLERANCE: f64 = 0.02;
+
+struct RunRecord {
+    workload: String,
+    config: &'static str,
+    cycles: u64,
+    wall_ms: f64,
+    counters: String,
+}
+
+fn configs() -> [(&'static str, OptOptions); 3] {
+    // Match Table II's compilation model (no-alias on both sides) so the
+    // streaming config actually streams the pointer-based programs.
+    [
+        (
+            "scalar",
+            OptOptions::all()
+                .without_recurrence()
+                .without_streaming()
+                .assume_noalias(),
+        ),
+        (
+            "recurrence",
+            OptOptions::all().without_streaming().assume_noalias(),
+        ),
+        ("streaming", OptOptions::all().assume_noalias()),
+    ]
+}
+
+fn suite(fast: bool) -> Vec<Workload> {
+    let mut v = vec![wm_stream::workloads::livermore5()];
+    if fast {
+        // The CI subset: the Table I headline plus the quick Table II
+        // programs; together they finish in seconds in release.
+        let keep = ["dot-product", "sieve", "iir", "dhrystone"];
+        v.extend(
+            wm_stream::workloads::table2()
+                .into_iter()
+                .filter(|w| keep.contains(&w.name)),
+        );
+    } else {
+        v.extend(wm_stream::workloads::table2());
+    }
+    v
+}
+
+fn run_suite(fast: bool) -> Vec<RunRecord> {
+    let cfg = WmConfig::default();
+    let mut records = Vec::new();
+    for w in suite(fast) {
+        for (config, opts) in configs() {
+            let compiled = Compiler::new()
+                .options(opts.clone())
+                .compile(w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let start = Instant::now();
+            let r = compiled
+                .run_wm_config("main", &[], &cfg)
+                .unwrap_or_else(|e| panic!("{} ({config}): {e}", w.name));
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            w.check(r.ret_int);
+            eprintln!(
+                "perf: {:<12} {:<10} {:>10} cycles  {:>8.1} ms",
+                w.name, config, r.cycles, wall_ms
+            );
+            records.push(RunRecord {
+                workload: w.name.to_string(),
+                config,
+                cycles: r.cycles,
+                wall_ms,
+                counters: r.perf.to_json(),
+            });
+        }
+    }
+    records
+}
+
+fn results_json(records: &[RunRecord], with_counters: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": \"wm-bench-perf-v1\",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}",
+            r.workload, r.config, r.cycles, r.wall_ms
+        ));
+        if with_counters {
+            // The counters are themselves a JSON document; inline them.
+            out.push_str(", \"counters\": ");
+            out.push_str(r.counters.trim_end());
+        }
+        out.push('}');
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compare against a baseline document; returns the regression report
+/// lines (empty means the gate passes).
+fn check(records: &[RunRecord], baseline_src: &str) -> Result<Vec<String>, String> {
+    let doc = json::parse(baseline_src)?;
+    let base = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("baseline has no \"results\" array")?;
+    let lookup = |workload: &str, config: &str| -> Option<u64> {
+        base.iter().find_map(|e| {
+            (e.get("workload")?.as_str()? == workload && e.get("config")?.as_str()? == config)
+                .then(|| e.get("cycles")?.as_u64())?
+        })
+    };
+    let mut failures = Vec::new();
+    for r in records {
+        match lookup(&r.workload, r.config) {
+            None => eprintln!(
+                "perf: note: {}/{} not in baseline (new entry)",
+                r.workload, r.config
+            ),
+            Some(base_cycles) => {
+                let limit = (base_cycles as f64 * (1.0 + TOLERANCE)).floor() as u64;
+                if r.cycles > limit {
+                    failures.push(format!(
+                        "{}/{}: {} cycles vs baseline {} (+{:.2}%, tolerance {:.0}%)",
+                        r.workload,
+                        r.config,
+                        r.cycles,
+                        base_cycles,
+                        100.0 * (r.cycles as f64 / base_cycles as f64 - 1.0),
+                        100.0 * TOLERANCE,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let mut fast = false;
+    let mut out = "BENCH_sim.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut baseline_out: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("perf: missing argument value");
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--fast" => fast = true,
+            "--out" => out = need(&mut i),
+            "--check" => check_path = Some(need(&mut i)),
+            "--write-baseline" => baseline_out = Some(need(&mut i)),
+            other => {
+                eprintln!(
+                    "perf: unknown option {other}\n\
+                     usage: perf [--fast] [--out FILE] [--check BASELINE] [--write-baseline FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let records = run_suite(fast);
+
+    if let Err(e) = std::fs::write(&out, results_json(&records, true)) {
+        eprintln!("perf: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("perf: wrote {} results to {out}", records.len());
+
+    if let Some(path) = baseline_out {
+        if let Err(e) = std::fs::write(&path, results_json(&records, false)) {
+            eprintln!("perf: cannot write baseline {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("perf: wrote baseline to {path}");
+    }
+
+    if let Some(path) = check_path {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match check(&records, &src) {
+            Err(e) => {
+                eprintln!("perf: bad baseline {path}: {e}");
+                std::process::exit(2);
+            }
+            Ok(failures) if !failures.is_empty() => {
+                for f in &failures {
+                    eprintln!("perf: REGRESSION {f}");
+                }
+                eprintln!(
+                    "perf: {} regression(s); to accept intentionally, re-baseline with:\n\
+                     perf:   cargo run --release -p wm-bench --bin perf -- --fast --write-baseline bench/baseline.json",
+                    failures.len()
+                );
+                std::process::exit(1);
+            }
+            Ok(_) => eprintln!("perf: baseline check passed ({path})"),
+        }
+    }
+}

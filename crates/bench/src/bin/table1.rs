@@ -1,11 +1,32 @@
 //! Regenerate Table I: effect of recurrence optimization on execution time
 //! of the fifth Livermore loop (array size 100 000) on five machines.
+//!
+//! With `--check`, also assert the paper-shape invariant the CI `tables`
+//! job gates on: the recurrence optimization never hurts (≥ 0%
+//! improvement) on any of the five machines.
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let rows = wm_bench::table1();
     wm_bench::print_rows(
         "Table I. Effect of Recurrence Optimization on Execution Time",
         "%",
         &rows,
     );
+    if check {
+        let bad: Vec<&wm_bench::Row> = rows.iter().filter(|r| r.percent() < 0.0).collect();
+        for r in &bad {
+            eprintln!(
+                "table1: SHAPE VIOLATION {}: recurrence made it slower ({} -> {} cycles)",
+                r.name, r.base_cycles, r.opt_cycles
+            );
+        }
+        if !bad.is_empty() {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "table1: shape check passed (recurrence >= 0% on all {} machines)",
+            rows.len()
+        );
+    }
 }

@@ -1,11 +1,34 @@
 //! Regenerate Table II: execution performance improvements by streaming
 //! (percent reduction in cycles executed) on the WM simulator.
+//!
+//! With `--check`, also assert the paper-shape invariant the CI `tables`
+//! job gates on: streaming strictly wins on every Table II program.
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let rows = wm_bench::table2();
     wm_bench::print_rows(
         "Table II. Execution Performance Improvements by Streaming",
         "%",
         &rows,
     );
+    if check {
+        let bad: Vec<&wm_bench::Row> = rows
+            .iter()
+            .filter(|r| r.opt_cycles >= r.base_cycles)
+            .collect();
+        for r in &bad {
+            eprintln!(
+                "table2: SHAPE VIOLATION {}: streaming did not win ({} -> {} cycles)",
+                r.name, r.base_cycles, r.opt_cycles
+            );
+        }
+        if !bad.is_empty() {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "table2: shape check passed (streaming wins on all {} programs)",
+            rows.len()
+        );
+    }
 }

@@ -11,6 +11,8 @@
 //! * `cargo run --release -p wm-bench --bin table34` — the SPEC-tables
 //!   substitute (optimizer-quality ratio; see DESIGN.md).
 
+pub mod json;
+
 use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 
 /// A row of a percent-improvement table.
@@ -27,8 +29,13 @@ pub struct Row {
 }
 
 impl Row {
-    /// Measured percent improvement.
+    /// Measured percent improvement. An empty baseline (zero cycles, as
+    /// produced by a workload whose kernel subtraction cancels out) has
+    /// no meaningful improvement and reports 0.0 rather than NaN.
     pub fn percent(&self) -> f64 {
+        if self.base_cycles == 0 {
+            return 0.0;
+        }
         100.0 * (self.base_cycles.saturating_sub(self.opt_cycles)) as f64 / self.base_cycles as f64
     }
 }
@@ -220,5 +227,17 @@ mod tests {
             paper_percent: None,
         };
         assert!((r.percent() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_percent_of_empty_baseline_is_zero() {
+        let r = Row {
+            name: "empty".into(),
+            base_cycles: 0,
+            opt_cycles: 0,
+            paper_percent: None,
+        };
+        assert_eq!(r.percent(), 0.0);
+        assert!(r.percent().is_finite());
     }
 }

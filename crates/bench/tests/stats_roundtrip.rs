@@ -1,0 +1,109 @@
+//! The counters `wmcc --stats-json` emits must round-trip through the
+//! hand-rolled JSON parser the perf binary uses — the two sides share no
+//! code beyond the JSON grammar, so this is the contract test between
+//! the simulator's writer (`Stats::to_json`) and `wm_bench::json`.
+
+use wm_bench::json::{self, Value};
+use wm_stream::{Compiler, OptOptions, WmConfig};
+
+fn run_dot_product() -> wm_stream::RunResult {
+    let w = wm_stream::workloads::table2()
+        .into_iter()
+        .find(|w| w.name == "dot-product")
+        .expect("dot-product is a Table II program");
+    Compiler::new()
+        .options(OptOptions::all().assume_noalias())
+        .compile(w.source)
+        .expect("compiles")
+        .run_wm_config("main", &[], &WmConfig::default())
+        .expect("runs")
+}
+
+#[test]
+fn stats_json_round_trips_through_the_hand_parser() {
+    let r = run_dot_product();
+    let stats = &r.perf;
+    let doc = json::parse(&stats.to_json()).expect("stats JSON parses");
+
+    assert_eq!(doc.get("cycles").unwrap().as_u64(), Some(stats.cycles));
+
+    // Every unit's counters survive the trip, including the stall
+    // breakdown (only nonzero reasons are written).
+    for (name, u) in stats.units() {
+        let j = doc.get("units").unwrap().get(name).unwrap();
+        assert_eq!(
+            j.get("retired").unwrap().as_u64(),
+            Some(u.retired),
+            "{name}"
+        );
+        assert_eq!(j.get("active").unwrap().as_u64(), Some(u.active), "{name}");
+        assert_eq!(j.get("idle").unwrap().as_u64(), Some(u.idle), "{name}");
+        let stalls = j.get("stalls").unwrap();
+        let mut total = 0;
+        if let Value::Obj(m) = stalls {
+            for v in m.values() {
+                total += v.as_u64().expect("stall counts are integers");
+            }
+        } else {
+            panic!("{name}: stalls is not an object");
+        }
+        assert_eq!(total, u.stalled(), "{name}: stall breakdown sum");
+        // Attribution exactness is visible through the JSON alone.
+        let attributed = j.get("active").unwrap().as_u64().unwrap()
+            + j.get("idle").unwrap().as_u64().unwrap()
+            + total;
+        assert_eq!(attributed, stats.cycles, "{name}: attribution via JSON");
+    }
+
+    // Streams: per-SCU element counts.
+    let scus = doc.get("scus").unwrap().as_arr().unwrap();
+    assert_eq!(scus.len(), stats.scus.len());
+    for (j, s) in scus.iter().zip(&stats.scus) {
+        assert_eq!(j.get("elements_in").unwrap().as_u64(), Some(s.elements_in));
+        assert_eq!(
+            j.get("elements_out").unwrap().as_u64(),
+            Some(s.elements_out)
+        );
+        assert_eq!(j.get("poisoned").unwrap().as_u64(), Some(s.poisoned));
+    }
+
+    // FIFO occupancy histograms sample every cycle.
+    for f in &stats.fifos {
+        let hist = doc.get("fifos").unwrap().get(f.name).unwrap();
+        let parsed: Vec<u64> = hist
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(parsed, f.depth, "fifo {}", f.name);
+        assert_eq!(parsed.iter().sum::<u64>(), stats.cycles, "fifo {}", f.name);
+    }
+
+    // Memory-port utilization histogram also covers every cycle.
+    let ports: Vec<u64> = doc
+        .get("ports")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(ports, stats.ports);
+    assert_eq!(ports.iter().sum::<u64>(), stats.cycles);
+}
+
+#[test]
+fn perf_baseline_document_shape_parses() {
+    // The same parser reads bench/baseline.json in CI; keep the checked-in
+    // file parseable and structurally sound.
+    let src = include_str!("../../../bench/baseline.json");
+    let doc = json::parse(src).expect("baseline parses");
+    let results = doc.get("results").unwrap().as_arr().unwrap();
+    assert!(!results.is_empty());
+    for e in results {
+        assert!(e.get("workload").unwrap().as_str().is_some());
+        assert!(e.get("config").unwrap().as_str().is_some());
+        assert!(e.get("cycles").unwrap().as_u64().unwrap() > 0);
+    }
+}

@@ -27,15 +27,28 @@ struct Options {
     args: Vec<i64>,
     config: WmConfig,
     stats: bool,
-    trace: usize,
+    stats_json: Option<String>,
+    trace_head: usize,
+    trace_chrome: Option<String>,
 }
 
 const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
                [--opt none|classical|recurrence|full] [--noalias] [--vectorize]
-               [--speculative-streams] [--emit] [--stats] [--trace N]
+               [--speculative-streams] [--emit] [--stats] [--stats-json FILE]
+               [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--inject SPEC]
 
+  --stats                print per-unit performance counters (instructions
+                         retired, active/idle/stall cycles with stall-reason
+                         attribution, FIFO occupancy, memory-port usage) on
+                         stderr after the run
+  --stats-json FILE      write the same counters as JSON to FILE ('-' for
+                         stdout)
+  --trace N              print the first N executed instructions on stderr
+  --trace chrome:FILE    write a Chrome trace_event timeline of unit
+                         activity and FIFO depth to FILE (open in
+                         chrome://tracing or ui.perfetto.dev)
   --speculative-streams  keep streams that may fetch past their array,
                          relying on the WM's deferred (poison) faults
   --inject SPEC          deterministic fault injection; SPEC is a comma-
@@ -80,7 +93,9 @@ fn parse_args() -> Options {
         args: Vec::new(),
         config: WmConfig::default(),
         stats: false,
-        trace: 0,
+        stats_json: None,
+        trace_head: 0,
+        trace_chrome: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -128,9 +143,20 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 })
             }
-            "--trace" => o.trace = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--trace" => {
+                let spec = need(&mut i);
+                if let Some(path) = spec.strip_prefix("chrome:") {
+                    if path.is_empty() {
+                        usage();
+                    }
+                    o.trace_chrome = Some(path.to_string());
+                } else {
+                    o.trace_head = spec.parse().unwrap_or_else(|_| usage());
+                }
+            }
             "--emit" => o.emit = true,
             "--stats" => o.stats = true,
+            "--stats-json" => o.stats_json = Some(need(&mut i)),
             "--entry" => o.entry = need(&mut i),
             "--args" => {
                 o.args = need(&mut i)
@@ -193,46 +219,62 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match o.target {
-        Target::Wm if o.trace > 0 => {
-            // traced run: print the first N executed instructions
+        Target::Wm => {
             let mut machine = match wm_stream::WmMachine::new(&compiled.module, &o.config) {
                 Ok(m) => m,
                 Err(e) => return sim_failure(&e),
             };
-            machine.set_trace(true);
+            if o.trace_head > 0 || o.trace_chrome.is_some() {
+                machine.set_trace(true);
+            }
+            if o.trace_chrome.is_some() {
+                machine.set_timeline(true);
+            }
             if let Err(e) = machine.start(&o.entry, &o.args) {
                 return sim_failure(&e);
             }
             let result = machine.run_to_completion();
-            for ev in machine.trace().iter().take(o.trace) {
-                eprintln!("{:>8}  {:<3}  {}", ev.cycle, ev.unit, ev.text);
+            if o.trace_head > 0 {
+                for ev in machine.trace().iter().take(o.trace_head) {
+                    eprintln!("{:>8}  {:<3}  {}", ev.cycle, ev.unit, ev.text);
+                }
+            }
+            if let Some(path) = &o.trace_chrome {
+                // Written even when the run faults: the partial timeline
+                // is exactly what you want when debugging a deadlock.
+                let json = wm_stream::trace::chrome_trace(machine.trace(), machine.timeline());
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("wmcc: cannot write trace {path}: {e}");
+                    return ExitCode::from(1);
+                }
             }
             match result {
                 Ok(r) => {
                     if !r.output.is_empty() {
                         print!("{}", String::from_utf8_lossy(&r.output));
                     }
-                    eprintln!("wmcc: {} cycles, returned {}", r.cycles, r.ret_int);
+                    if o.stats {
+                        eprint!("{}", r.perf);
+                    }
+                    if let Some(path) = &o.stats_json {
+                        if path == "-" {
+                            print!("{}", r.perf.to_json());
+                        } else if let Err(e) = std::fs::write(path, r.perf.to_json()) {
+                            eprintln!("wmcc: cannot write stats {path}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                    eprintln!(
+                        "wmcc: {} cycles, {} instructions, returned {}",
+                        r.cycles,
+                        r.stats.instructions(),
+                        r.ret_int
+                    );
                     ExitCode::from((r.ret_int & 0xff) as u8)
                 }
                 Err(e) => sim_failure(&e),
             }
         }
-        Target::Wm => match compiled.run_wm_config(&o.entry, &o.args, &o.config) {
-            Ok(r) => {
-                if !r.output.is_empty() {
-                    print!("{}", String::from_utf8_lossy(&r.output));
-                }
-                eprintln!(
-                    "wmcc: {} cycles, {} instructions, returned {}",
-                    r.cycles,
-                    r.stats.instructions(),
-                    r.ret_int
-                );
-                ExitCode::from((r.ret_int & 0xff) as u8)
-            }
-            Err(e) => sim_failure(&e),
-        },
         Target::Scalar => match compiled.run_scalar(&o.entry, &o.args, &o.machine) {
             Ok(r) => {
                 if !r.output.is_empty() {

@@ -22,6 +22,8 @@
 //! assert_eq!(run.ret_int, 42);
 //! ```
 
+pub mod trace;
+
 pub use wm_frontend as frontend;
 pub use wm_ir as ir;
 pub use wm_machines as machines;

@@ -1,0 +1,157 @@
+//! Chrome `trace_event` export of a simulated run.
+//!
+//! Converts the simulator's instruction trace ([`wm_sim::TraceEvent`])
+//! and FIFO-depth timeline ([`wm_sim::DepthSample`]) into the JSON
+//! format understood by `chrome://tracing` and [Perfetto]. Each unit
+//! (IFU, IEU, FEU, VEU, SCU *n*) becomes a named track of 1-cycle
+//! duration events; each tracked FIFO becomes a counter track showing
+//! its occupancy over time. Timestamps are simulated cycles, reported
+//! in the trace's microsecond field so one cycle renders as 1 µs.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+
+use wm_sim::{DepthSample, TraceEvent};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a run as a Chrome `trace_event` JSON document.
+///
+/// `events` come from [`wm_sim::WmMachine::trace`] (instruction-level
+/// tracing) and `timeline` from [`wm_sim::WmMachine::timeline`]
+/// (FIFO-depth change points). Either may be empty; the result is
+/// always a valid trace.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent], timeline: &[DepthSample]) -> String {
+    // Stable unit → track-id mapping, in order of first appearance.
+    let mut units: Vec<&'static str> = Vec::new();
+    for ev in events {
+        if !units.contains(&ev.unit) {
+            units.push(ev.unit);
+        }
+    }
+    let tid = |unit: &str| units.iter().position(|u| *u == unit).unwrap_or(0);
+
+    let mut out = String::with_capacity(events.len() * 96 + timeline.len() * 64 + 256);
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    // Track names (metadata events) so the viewer labels each unit row.
+    for (k, unit) in units.iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {k}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                escape(unit)
+            ),
+        );
+    }
+
+    // One 1-cycle duration event per executed instruction.
+    for ev in events {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"{}\", \"cat\": \"instr\", \"ph\": \"X\", \"ts\": {}, \
+                 \"dur\": 1, \"pid\": 0, \"tid\": {}}}",
+                escape(&ev.text),
+                ev.cycle,
+                tid(ev.unit)
+            ),
+        );
+    }
+
+    // FIFO occupancy as counter tracks: one sample per change point.
+    for s in timeline {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 0, \"ts\": {}, \
+                 \"args\": {{\"depth\": {}}}}}",
+                escape(s.fifo),
+                s.cycle,
+                s.depth
+            ),
+        );
+    }
+
+    out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = chrome_trace(&[], &[]);
+        assert!(t.starts_with("{\"traceEvents\": ["));
+        assert!(t.contains("\"displayTimeUnit\""));
+    }
+
+    #[test]
+    fn events_and_counters_are_emitted() {
+        let events = vec![
+            TraceEvent {
+                cycle: 3,
+                unit: "IEU",
+                text: "add r1, r2, r3".to_string(),
+            },
+            TraceEvent {
+                cycle: 4,
+                unit: "FEU",
+                text: "fmul f0, f1, f2".to_string(),
+            },
+        ];
+        let timeline = vec![DepthSample {
+            cycle: 5,
+            fifo: "ieu.in0",
+            depth: 2,
+        }];
+        let t = chrome_trace(&events, &timeline);
+        assert!(t.contains("\"add r1, r2, r3\""));
+        assert!(t.contains("\"ph\": \"X\""));
+        assert!(t.contains("\"ph\": \"C\""));
+        assert!(t.contains("\"ieu.in0\""));
+        // IEU appeared first so it owns tid 0 and FEU tid 1.
+        assert!(t.contains("\"tid\": 0"));
+        assert!(t.contains("\"tid\": 1"));
+        // Metadata names both tracks.
+        assert!(t.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn instruction_text_is_json_escaped() {
+        let events = vec![TraceEvent {
+            cycle: 0,
+            unit: "IFU",
+            text: "jump \"label\"\n".to_string(),
+        }];
+        let t = chrome_trace(&events, &[]);
+        assert!(t.contains("jump \\\"label\\\"\\n"));
+    }
+}

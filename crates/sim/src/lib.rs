@@ -44,8 +44,12 @@ mod config;
 mod fault;
 mod loader;
 mod machine;
+mod stats;
 
 pub use config::{FaultPlan, WmConfig};
 pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};
 pub use machine::{RunResult, SimError, SimStats, TraceEvent, WmMachine};
+pub use stats::{
+    DepthSample, FifoHist, Outcome, ScuCounters, Stall, Stats, UnitCounters, FIFO_NAMES,
+};

@@ -10,6 +10,7 @@ use wm_ir::{
 use crate::config::WmConfig;
 use crate::fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 use crate::loader::{AccessError, AccessKind, MemoryImage};
+use crate::stats::{DepthSample, Outcome, Stall, Stats, FIFO_NAMES};
 
 /// A simulation failure. Terminal errors carry a [`MachineState`]
 /// snapshot; faults additionally carry [`FaultInfo`] provenance.
@@ -117,6 +118,10 @@ pub struct RunResult {
     pub output: Vec<u8>,
     /// Detailed statistics.
     pub stats: SimStats,
+    /// Cycle-accounted performance counters: per-unit stall attribution
+    /// (exact by construction), FIFO occupancy histograms, memory-port
+    /// utilization and per-SCU element counts.
+    pub perf: Stats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +150,16 @@ struct Pc {
     func: usize,
     block: usize,
     inst: usize,
+}
+
+/// Result of attempting to issue a unit's head instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exec {
+    /// The instruction retired; the payload is the destination register
+    /// the paired-ALU interlock must delay, if any.
+    Retired(Option<u8>),
+    /// A structural stall, with its attributed reason.
+    Stall(Stall),
 }
 
 /// Why a FIFO entry is poisoned: the stream prefetch that produced it
@@ -342,6 +357,13 @@ pub struct WmMachine<'m> {
     /// Execution trace (populated only when enabled).
     trace: Vec<TraceEvent>,
     trace_enabled: bool,
+    /// Performance counters (always on; cheap enough to keep hot).
+    perf: Stats,
+    /// FIFO-depth change points (populated only when enabled).
+    timeline: Vec<DepthSample>,
+    timeline_enabled: bool,
+    /// Last recorded depth per tracked FIFO (timeline compression).
+    last_depths: [usize; FIFO_NAMES.len()],
 }
 
 impl<'m> WmMachine<'m> {
@@ -413,6 +435,15 @@ impl<'m> WmMachine<'m> {
             dropped_responses: 0,
             trace: Vec::new(),
             trace_enabled: false,
+            perf: Stats::new(
+                config.num_scus,
+                config.fifo_capacity,
+                config.cc_capacity,
+                config.mem_ports,
+            ),
+            timeline: Vec::new(),
+            timeline_enabled: false,
+            last_depths: [0; FIFO_NAMES.len()],
         })
     }
 
@@ -444,6 +475,24 @@ impl<'m> WmMachine<'m> {
     /// enabled with [`WmMachine::set_trace`]).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Enable FIFO-depth timeline recording: every change of a tracked
+    /// FIFO's occupancy is recorded as a [`DepthSample`]. Used by the
+    /// Chrome trace export.
+    pub fn set_timeline(&mut self, enabled: bool) {
+        self.timeline_enabled = enabled;
+    }
+
+    /// The FIFO-depth change points collected so far (empty unless enabled
+    /// with [`WmMachine::set_timeline`]).
+    pub fn timeline(&self) -> &[DepthSample] {
+        &self.timeline
+    }
+
+    /// The performance counters accumulated so far (always collected).
+    pub fn perf(&self) -> &Stats {
+        &self.perf
     }
 
     fn record(&mut self, unit: &'static str, kind: &InstKind) {
@@ -500,12 +549,14 @@ impl<'m> WmMachine<'m> {
             }
         }
         self.stats.cycles = self.cycle;
+        self.perf.cycles = self.cycle;
         Ok(RunResult {
             cycles: self.cycle,
             ret_int: self.ieu.regs[2].as_i(),
             ret_flt: self.feu.regs[2].as_f(),
             output: self.output.clone(),
             stats: self.stats,
+            perf: self.perf.clone(),
         })
     }
 
@@ -742,7 +793,41 @@ impl<'m> WmMachine<'m> {
         self.drain_stores()?;
         self.scu_step()?;
         self.ifu_step()?;
+        self.sample_perf();
         Ok(())
+    }
+
+    /// End-of-cycle bookkeeping: FIFO occupancy histograms, memory-port
+    /// utilization and (when enabled) the FIFO-depth timeline.
+    fn sample_perf(&mut self) {
+        self.perf.cycles = self.cycle;
+        let depths = [
+            self.ieu.ins[0].q.len(),
+            self.ieu.ins[1].q.len(),
+            self.ieu.out.len(),
+            self.ieu.cc.len(),
+            self.feu.ins[0].q.len(),
+            self.feu.ins[1].q.len(),
+            self.feu.out.len(),
+            self.feu.cc.len(),
+        ];
+        for (h, &d) in self.perf.fifos.iter_mut().zip(depths.iter()) {
+            h.sample(d);
+        }
+        let p = (self.ports_used as usize).min(self.perf.ports.len() - 1);
+        self.perf.ports[p] += 1;
+        if self.timeline_enabled {
+            for (k, &d) in depths.iter().enumerate() {
+                if self.last_depths[k] != d {
+                    self.last_depths[k] = d;
+                    self.timeline.push(DepthSample {
+                        cycle: self.cycle,
+                        fifo: FIFO_NAMES[k],
+                        depth: d,
+                    });
+                }
+            }
+        }
     }
 
     // ---- memory ----
@@ -938,35 +1023,44 @@ impl<'m> WmMachine<'m> {
     }
 
     fn unit_step(&mut self, class: RegClass) -> Result<(), SimError> {
+        let outcome = self.unit_step_inner(class)?;
+        match class {
+            RegClass::Int => self.perf.ieu.record(outcome),
+            RegClass::Flt => self.perf.feu.record(outcome),
+        }
+        Ok(())
+    }
+
+    fn unit_step_inner(&mut self, class: RegClass) -> Result<Outcome, SimError> {
         if self.unit(class).busy > 0 {
             self.unit_mut(class).busy -= 1;
-            return Ok(());
+            return Ok(Outcome::Active);
         }
-        let Some(head) = self.unit(class).iq.front().cloned() else {
-            return Ok(());
-        };
-        // paired-ALU dependency interlock: the previous instruction's result
-        // is not available to the immediately following instruction
+        // Peek without cloning: stall cycles (interlock, FIFO-empty) are
+        // the common case under queue pressure, and cloning the head every
+        // cycle just to discard it dominated the interpreter's profile.
         {
             let u = self.unit(class);
+            let Some(head) = u.iq.front() else {
+                return Ok(Outcome::Idle);
+            };
+            // paired-ALU dependency interlock: the previous instruction's
+            // result is not available to the immediately following
+            // instruction
             if let Some(prev) = u.prev_dst {
-                if u.prev_cycle + 1 == self.cycle
-                    && head
-                        .uses()
-                        .iter()
-                        .any(|r| r.class == class && r.phys_num() == Some(prev))
-                {
-                    return Ok(()); // one-cycle bubble
+                if u.prev_cycle + 1 == self.cycle && reads_phys(head, class, prev) {
+                    return Ok(Outcome::Stall(Stall::Interlock)); // one-cycle bubble
                 }
             }
+            // FIFO data availability for every dequeue in the instruction
+            if !self.fifo_ready(class, head) {
+                return Ok(Outcome::Stall(Stall::FifoEmpty));
+            }
         }
-        // FIFO data availability for every dequeue in the instruction
-        if !self.fifo_ready(class, &head) {
-            return Ok(());
-        }
+        let head = self.unit(class).iq.front().expect("peeked above").clone();
         let executed_dst = match self.exec_unit_head(class, &head) {
-            Ok(Some(dst)) => dst,
-            Ok(None) => return Ok(()), // structural stall; retry next cycle
+            Ok(Exec::Retired(dst)) => dst,
+            Ok(Exec::Stall(s)) => return Ok(Outcome::Stall(s)), // retry next cycle
             Err(e) => return Err(attach_inst(e, &head)),
         };
         self.record(
@@ -982,30 +1076,33 @@ impl<'m> WmMachine<'m> {
         u.prev_dst = executed_dst;
         u.prev_cycle = now;
         match class {
-            RegClass::Int => self.stats.insts_ieu += 1,
-            RegClass::Flt => self.stats.insts_feu += 1,
+            RegClass::Int => {
+                self.stats.insts_ieu += 1;
+                self.perf.ieu.retired += 1;
+            }
+            RegClass::Flt => {
+                self.stats.insts_feu += 1;
+                self.perf.feu.retired += 1;
+            }
         }
         self.last_progress = self.cycle;
-        Ok(())
+        Ok(Outcome::Active)
     }
 
     /// Execute the unit's head instruction if it can issue this cycle.
     ///
-    /// `Ok(None)` is a structural stall (full queue, busy port, memory
-    /// ordering); `Ok(Some(dst))` means the instruction retired, with
-    /// `dst` the register the paired-ALU interlock must delay.
-    fn exec_unit_head(
-        &mut self,
-        class: RegClass,
-        head: &InstKind,
-    ) -> Result<Option<Option<u8>>, SimError> {
+    /// [`Exec::Stall`] is a structural stall (full queue, busy port, memory
+    /// ordering) with its attributed reason; [`Exec::Retired`] means the
+    /// instruction retired, carrying the register the paired-ALU interlock
+    /// must delay.
+    fn exec_unit_head(&mut self, class: RegClass, head: &InstKind) -> Result<Exec, SimError> {
         let mut executed_dst: Option<u8> = None;
         match head {
             InstKind::Assign { dst, src } => {
                 if dst.phys_num() == Some(0)
                     && self.unit(class).out.len() >= self.config.fifo_capacity
                 {
-                    return Ok(None); // output FIFO full
+                    return Ok(Exec::Stall(Stall::OutFull)); // output FIFO full
                 }
                 let v = self.eval_expr(class, src)?;
                 self.write_reg(class, *dst, v)?;
@@ -1022,7 +1119,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::Compare { op, a, b, .. } => {
                 if self.unit(class).cc.len() >= self.config.cc_capacity {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::CcFull));
                 }
                 let va = self.read_operand(class, *a)?;
                 let vb = self.read_operand(class, *b)?;
@@ -1034,7 +1131,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::WLoad { fifo, addr, width } => {
                 if !self.ports_free() {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::PortBusy));
                 }
                 {
                     let tf = &self.unit(fifo.class).ins[fifo.index as usize];
@@ -1042,10 +1139,10 @@ impl<'m> WmMachine<'m> {
                     // active stream's: stall until the stream's last
                     // request has been issued (the hardware interlock).
                     if tf.streamed {
-                        return Ok(None);
+                        return Ok(Exec::Stall(Stall::ScuBusy));
                     }
                     if tf.q.len() + tf.pending >= self.config.fifo_capacity {
-                        return Ok(None);
+                        return Ok(Exec::Stall(Stall::FifoFull));
                     }
                 }
                 let a = self.eval_expr_pure(class, addr);
@@ -1054,7 +1151,8 @@ impl<'m> WmMachine<'m> {
                         if self.conflicts_with_pending_writes(a, *width)
                             || self.conflicts_with_out_streams(a, *width) =>
                     {
-                        return Ok(None); // wait for the conflicting store
+                        // wait for the conflicting store
+                        return Ok(Exec::Stall(Stall::MemOrder));
                     }
                     None if !self.store_q.is_empty()
                         || self
@@ -1062,7 +1160,8 @@ impl<'m> WmMachine<'m> {
                             .iter()
                             .any(|f| matches!(f.op, MemOp::Write { .. })) =>
                     {
-                        return Ok(None); // unanalyzable address: drain stores first
+                        // unanalyzable address: drain stores first
+                        return Ok(Exec::Stall(Stall::MemOrder));
                     }
                     _ => {}
                 }
@@ -1084,7 +1183,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::WStore { unit, addr, width } => {
                 if self.store_q.len() >= self.config.store_queue {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::StoreQFull));
                 }
                 let a = self.eval_expr(class, addr)?.as_i();
                 // stores fault at issue time, before entering the store
@@ -1107,7 +1206,7 @@ impl<'m> WmMachine<'m> {
                 tested,
             } => {
                 if !self.configure_scu(true, *fifo, *base, *count, *stride, *width, *tested)? {
-                    return Ok(None); // no free SCU
+                    return Ok(Exec::Stall(Stall::ScuBusy)); // no free SCU
                 }
             }
             InstKind::StreamOut {
@@ -1118,7 +1217,7 @@ impl<'m> WmMachine<'m> {
                 width,
             } => {
                 if !self.configure_scu(false, *fifo, *base, *count, *stride, *width, false)? {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 }
             }
             InstKind::VStreamIn {
@@ -1129,7 +1228,7 @@ impl<'m> WmMachine<'m> {
                 vectors,
             } => {
                 let Some(slot) = self.scus.iter().position(|u| !u.active) else {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
                 let n = self.read_operand(RegClass::Int, *count)?.as_i();
@@ -1151,7 +1250,7 @@ impl<'m> WmMachine<'m> {
                     .iter()
                     .any(|u| u.active && u.dir_in && u.target == StreamTarget::Veu(*port))
                 {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 }
                 self.scu_seq += 1;
                 self.scus[slot] = Scu {
@@ -1181,7 +1280,7 @@ impl<'m> WmMachine<'m> {
                 stride,
             } => {
                 let Some(slot) = self.scus.iter().position(|u| !u.active) else {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
                 let n = self.read_operand(RegClass::Int, *count)?.as_i();
@@ -1191,7 +1290,7 @@ impl<'m> WmMachine<'m> {
                     .iter()
                     .any(|u| u.active && !u.dir_in && u.target == StreamTarget::Veu(0))
                 {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 }
                 self.scu_seq += 1;
                 self.scus[slot] = Scu {
@@ -1217,7 +1316,7 @@ impl<'m> WmMachine<'m> {
                     .any(|s| s.active && !s.dir_in && s.fifo == *fifo)
                     && !self.unit(fifo.class).out.is_empty();
                 if draining {
-                    return Ok(None);
+                    return Ok(Exec::Stall(Stall::ScuBusy));
                 }
                 self.stop_stream(*fifo);
             }
@@ -1227,7 +1326,7 @@ impl<'m> WmMachine<'m> {
                 )))
             }
         }
-        Ok(Some(executed_dst))
+        Ok(Exec::Retired(executed_dst))
     }
 
     /// Do the FIFO reads of `kind` have data available?
@@ -1373,143 +1472,182 @@ impl<'m> WmMachine<'m> {
 
     fn scu_step(&mut self) -> Result<(), SimError> {
         for i in 0..self.scus.len() {
-            if !self.ports_free() {
-                break;
-            }
-            let scu = self.scus[i];
-            if !scu.active || self.cycle < scu.ready_at || self.scu_disabled(i) {
-                continue;
-            }
-            if scu.dir_in {
-                if scu.remaining == Some(0) {
-                    self.scus[i].active = false;
-                    if let StreamTarget::Fifo(fifo) = scu.target {
-                        let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
-                        f.streamed = false;
-                    }
-                    continue;
-                }
-                // back-pressure: respect the destination's capacity
-                match scu.target {
-                    StreamTarget::Fifo(fifo) => {
-                        let f = &self.unit(fifo.class).ins[fifo.index as usize];
-                        if f.q.len() + f.pending >= self.config.fifo_capacity {
-                            continue;
-                        }
-                    }
-                    StreamTarget::Veu(port) => {
-                        let p = port as usize;
-                        if self.veu.ports[p].len() + self.veu.pending[p]
-                            >= 2 * self.config.veu_length
-                        {
-                            continue;
-                        }
-                    }
-                }
-                if self.conflicts_with_pending_writes(scu.addr, scu.width) {
-                    continue; // hold the prefetch until the store lands
-                }
-                // an out-stream configured earlier (program order) may
-                // still owe a write to this address: wait until its cursor
-                // passes
-                if self.older_out_stream_overlaps(scu.seq, scu.addr, scu.width) {
-                    continue;
-                }
-                // Permission check at issue. A refused prefetch into a
-                // scalar FIFO *poisons* the entry instead of faulting: the
-                // SCU runs ahead of the consumer, and an over-fetch that is
-                // never consumed must be harmless (deferred-speculation
-                // semantics). The VEU consumes whole vectors
-                // unconditionally, so its refused prefetches fault eagerly.
-                let poison = match self.mem.check(scu.addr, scu.width.bytes(), false) {
-                    Ok(()) => None,
-                    Err(e) => match scu.target {
-                        StreamTarget::Fifo(_) => Some(Box::new(Poison {
-                            addr: scu.addr,
-                            scu: i,
-                            error: e.to_string(),
-                        })),
-                        StreamTarget::Veu(_) => {
-                            return Err(self.access_fault(FaultUnit::Scu(i), None, &e))
-                        }
-                    },
-                };
-                match scu.target {
-                    StreamTarget::Fifo(fifo) => {
-                        self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1
-                    }
-                    StreamTarget::Veu(port) => self.veu.pending[port as usize] += 1,
-                }
-                self.issue_mem(MemOp::ReadFifo {
-                    target: scu.target,
-                    addr: scu.addr,
-                    width: scu.width,
-                    gen: scu.gen,
-                    poison,
-                });
-                self.stats.stream_reads += 1;
-                let s = &mut self.scus[i];
-                s.addr += s.stride;
-                if let Some(r) = s.remaining.as_mut() {
-                    *r -= 1;
-                    if *r == 0 {
-                        // the last request is out: release the FIFO so
-                        // scalar loads may follow immediately (ordering is
-                        // preserved by the memory system's FIFO delivery)
-                        s.active = false;
-                        if let StreamTarget::Fifo(fifo) = s.target {
-                            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
-                        }
-                    }
-                }
-            } else {
-                if scu.remaining == Some(0) {
-                    self.scus[i].active = false;
-                    continue;
-                }
-                let popped = match scu.target {
-                    StreamTarget::Fifo(fifo) => self.unit_mut(fifo.class).out.pop_front(),
-                    StreamTarget::Veu(_) => self.veu.out.pop_front().map(Val::F),
-                };
-                let Some(val) = popped else {
-                    continue;
-                };
-                // out-stream writes fault eagerly at issue: the datum was
-                // produced, so the store is architecturally committed
-                if let Err(e) = self.mem.check(scu.addr, scu.width.bytes(), true) {
-                    let stream = match scu.target {
-                        StreamTarget::Fifo(f) => Some(f),
-                        StreamTarget::Veu(_) => None,
-                    };
-                    return Err(self.access_fault(FaultUnit::Scu(i), stream, &e));
-                }
-                self.issue_mem(MemOp::Write {
-                    addr: scu.addr,
-                    width: scu.width,
-                    val,
-                });
-                self.stats.stream_writes += 1;
-                self.stats.mem_writes += 1;
-                let s = &mut self.scus[i];
-                s.addr += s.stride;
-                if let Some(r) = s.remaining.as_mut() {
-                    *r -= 1;
-                }
-            }
+            let outcome = self.scu_step_one(i)?;
+            self.perf.scus[i].unit.record(outcome);
         }
         Ok(())
+    }
+
+    /// Advance SCU `i` by one cycle and attribute what it did. The checks
+    /// run in the same order as the pre-instrumentation loop (ports first,
+    /// then activity/setup/injection, then back-pressure and ordering), so
+    /// issue behavior is cycle-identical; only the attribution is new.
+    fn scu_step_one(&mut self, i: usize) -> Result<Outcome, SimError> {
+        let scu = self.scus[i];
+        if !self.ports_free() {
+            // No port: even stream termination waits (as the original
+            // arbitration loop broke out before deactivating).
+            return Ok(if !scu.active {
+                Outcome::Idle
+            } else if self.scu_disabled(i) {
+                Outcome::Stall(Stall::Disabled)
+            } else if self.cycle < scu.ready_at {
+                Outcome::Stall(Stall::Setup)
+            } else {
+                Outcome::Stall(Stall::PortBusy)
+            });
+        }
+        if !scu.active {
+            return Ok(Outcome::Idle);
+        }
+        if self.scu_disabled(i) {
+            return Ok(Outcome::Stall(Stall::Disabled));
+        }
+        if self.cycle < scu.ready_at {
+            return Ok(Outcome::Stall(Stall::Setup));
+        }
+        if scu.dir_in {
+            if scu.remaining == Some(0) {
+                self.scus[i].active = false;
+                if let StreamTarget::Fifo(fifo) = scu.target {
+                    let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+                    f.streamed = false;
+                }
+                return Ok(Outcome::Idle);
+            }
+            // back-pressure: respect the destination's capacity
+            match scu.target {
+                StreamTarget::Fifo(fifo) => {
+                    let f = &self.unit(fifo.class).ins[fifo.index as usize];
+                    if f.q.len() + f.pending >= self.config.fifo_capacity {
+                        return Ok(Outcome::Stall(Stall::FifoFull));
+                    }
+                }
+                StreamTarget::Veu(port) => {
+                    let p = port as usize;
+                    if self.veu.ports[p].len() + self.veu.pending[p] >= 2 * self.config.veu_length {
+                        return Ok(Outcome::Stall(Stall::FifoFull));
+                    }
+                }
+            }
+            if self.conflicts_with_pending_writes(scu.addr, scu.width) {
+                return Ok(Outcome::Stall(Stall::MemOrder)); // hold until the store lands
+            }
+            // an out-stream configured earlier (program order) may
+            // still owe a write to this address: wait until its cursor
+            // passes
+            if self.older_out_stream_overlaps(scu.seq, scu.addr, scu.width) {
+                return Ok(Outcome::Stall(Stall::MemOrder));
+            }
+            // Permission check at issue. A refused prefetch into a scalar
+            // FIFO *poisons* the entry instead of faulting: the SCU runs
+            // ahead of the consumer, and an over-fetch that is never
+            // consumed must be harmless (deferred-speculation semantics).
+            // The VEU consumes whole vectors unconditionally, so its
+            // refused prefetches fault eagerly.
+            let poison = match self.mem.check(scu.addr, scu.width.bytes(), false) {
+                Ok(()) => None,
+                Err(e) => match scu.target {
+                    StreamTarget::Fifo(_) => Some(Box::new(Poison {
+                        addr: scu.addr,
+                        scu: i,
+                        error: e.to_string(),
+                    })),
+                    StreamTarget::Veu(_) => {
+                        return Err(self.access_fault(FaultUnit::Scu(i), None, &e))
+                    }
+                },
+            };
+            if poison.is_some() {
+                self.perf.scus[i].poisoned += 1;
+            }
+            match scu.target {
+                StreamTarget::Fifo(fifo) => {
+                    self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1
+                }
+                StreamTarget::Veu(port) => self.veu.pending[port as usize] += 1,
+            }
+            self.issue_mem(MemOp::ReadFifo {
+                target: scu.target,
+                addr: scu.addr,
+                width: scu.width,
+                gen: scu.gen,
+                poison,
+            });
+            self.stats.stream_reads += 1;
+            self.perf.scus[i].elements_in += 1;
+            self.perf.scus[i].unit.retired += 1;
+            let s = &mut self.scus[i];
+            s.addr += s.stride;
+            if let Some(r) = s.remaining.as_mut() {
+                *r -= 1;
+                if *r == 0 {
+                    // the last request is out: release the FIFO so
+                    // scalar loads may follow immediately (ordering is
+                    // preserved by the memory system's FIFO delivery)
+                    s.active = false;
+                    if let StreamTarget::Fifo(fifo) = s.target {
+                        self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
+                    }
+                }
+            }
+            Ok(Outcome::Active)
+        } else {
+            if scu.remaining == Some(0) {
+                self.scus[i].active = false;
+                return Ok(Outcome::Idle);
+            }
+            let popped = match scu.target {
+                StreamTarget::Fifo(fifo) => self.unit_mut(fifo.class).out.pop_front(),
+                StreamTarget::Veu(_) => self.veu.out.pop_front().map(Val::F),
+            };
+            let Some(val) = popped else {
+                // the producing unit has not filled the output FIFO yet
+                return Ok(Outcome::Stall(Stall::FifoEmpty));
+            };
+            // out-stream writes fault eagerly at issue: the datum was
+            // produced, so the store is architecturally committed
+            if let Err(e) = self.mem.check(scu.addr, scu.width.bytes(), true) {
+                let stream = match scu.target {
+                    StreamTarget::Fifo(f) => Some(f),
+                    StreamTarget::Veu(_) => None,
+                };
+                return Err(self.access_fault(FaultUnit::Scu(i), stream, &e));
+            }
+            self.issue_mem(MemOp::Write {
+                addr: scu.addr,
+                width: scu.width,
+                val,
+            });
+            self.stats.stream_writes += 1;
+            self.stats.mem_writes += 1;
+            self.perf.scus[i].elements_out += 1;
+            self.perf.scus[i].unit.retired += 1;
+            let s = &mut self.scus[i];
+            s.addr += s.stride;
+            if let Some(r) = s.remaining.as_mut() {
+                *r -= 1;
+            }
+            Ok(Outcome::Active)
+        }
     }
 
     // ---- vector execution unit ----
 
     fn veu_step(&mut self) -> Result<(), SimError> {
+        let outcome = self.veu_step_inner()?;
+        self.perf.veu.record(outcome);
+        Ok(())
+    }
+
+    fn veu_step_inner(&mut self) -> Result<Outcome, SimError> {
         if self.veu.busy > 0 {
             self.veu.busy -= 1;
             self.last_progress = self.cycle;
-            return Ok(());
+            return Ok(Outcome::Active);
         }
         let Some(head) = self.veu.iq.front().cloned() else {
-            return Ok(());
+            return Ok(Outcome::Idle);
         };
         let n = self.config.veu_length;
         let lanes = self.config.veu_lanes.max(1);
@@ -1518,7 +1656,7 @@ impl<'m> WmMachine<'m> {
             InstKind::VLoad { vreg, port } => {
                 let p = port as usize;
                 if self.veu.ports[p].len() < n {
-                    return Ok(()); // wait for a full group
+                    return Ok(Outcome::Stall(Stall::FifoEmpty)); // wait for a full group
                 }
                 for k in 0..n {
                     let v = self.veu.ports[p].pop_front().expect("checked length");
@@ -1528,7 +1666,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::VStore { vreg } => {
                 if self.veu.out.len() + n > 4 * n {
-                    return Ok(()); // output FIFO full
+                    return Ok(Outcome::Stall(Stall::OutFull)); // output FIFO full
                 }
                 for k in 0..n {
                     let v = self.veu.vregs[vreg as usize][k];
@@ -1569,8 +1707,9 @@ impl<'m> WmMachine<'m> {
         self.record("VEU", &head);
         self.veu.iq.pop_front();
         self.stats.insts_feu += 1; // counted with the FP work
+        self.perf.veu.retired += 1;
         self.last_progress = self.cycle;
-        Ok(())
+        Ok(Outcome::Active)
     }
 
     // ---- operand evaluation ----
@@ -1766,16 +1905,41 @@ impl<'m> WmMachine<'m> {
     /// Fetch and dispatch. Control transfers are free (bounded per cycle);
     /// one instruction is dispatched to a unit queue per cycle.
     fn ifu_step(&mut self) -> Result<(), SimError> {
+        let before = self.stats.insts_ifu;
+        let outcome = self.ifu_step_inner()?;
+        // control instructions the IFU itself executed this cycle
+        self.perf.ifu.retired += self.stats.insts_ifu - before;
+        self.perf.ifu.record(outcome);
+        Ok(())
+    }
+
+    /// One IFU cycle, attributing it: a cycle that performed any transfer,
+    /// dispatch or IFU-executed instruction is active; otherwise the
+    /// reason the fetch could not proceed is named.
+    fn ifu_step_inner(&mut self) -> Result<Outcome, SimError> {
         if self.cycle < self.ifu_hold {
             self.stats.ifu_stalls += 1;
-            return Ok(());
+            return Ok(Outcome::Stall(Stall::Sync));
         }
+        let module = self.module;
         let mut transfers = 0;
+        // a stall after free transfers still did useful work this cycle
+        let stall_after = |transfers: i32, s: Stall| {
+            if transfers > 0 {
+                Outcome::Active
+            } else {
+                Outcome::Stall(s)
+            }
+        };
         loop {
             let Some(pc) = self.pc else {
-                return Ok(());
+                return Ok(if transfers > 0 {
+                    Outcome::Active
+                } else {
+                    Outcome::Idle
+                });
             };
-            let func = &self.module.functions[pc.func];
+            let func = &module.functions[pc.func];
             if pc.block >= func.blocks.len() {
                 return Err(SimError::BadProgram(format!(
                     "control fell off the end of function {}",
@@ -1792,13 +1956,17 @@ impl<'m> WmMachine<'m> {
                 });
                 continue;
             }
-            let kind = block.insts[pc.inst].kind.clone();
+            // `self.module` outlives `self`, so the head can be inspected
+            // by reference; only the dispatch arms clone (the clone used
+            // to happen every fetch attempt, including every stall).
+            let kind: &'m InstKind = &block.insts[pc.inst].kind;
             let label_of = |l: wm_ir::Label| -> usize { func.block_index(l) };
             match kind {
                 InstKind::Nop => {
                     self.advance();
                 }
                 InstKind::Jump { target } => {
+                    let target = *target;
                     self.record("IFU", &InstKind::Jump { target });
                     let b = label_of(target);
                     self.pc = Some(Pc {
@@ -1810,7 +1978,7 @@ impl<'m> WmMachine<'m> {
                     self.last_progress = self.cycle;
                     transfers += 1;
                     if transfers > 16 {
-                        return Ok(()); // runaway control; consume the cycle
+                        return Ok(Outcome::Active); // runaway control; consume the cycle
                     }
                 }
                 InstKind::Branch {
@@ -1819,11 +1987,12 @@ impl<'m> WmMachine<'m> {
                     target,
                     els,
                 } => {
-                    let Some(cond) = self.unit_mut(class).cc.pop_front() else {
+                    let Some(cond) = self.unit_mut(*class).cc.pop_front() else {
                         self.stats.ifu_stalls += 1;
-                        return Ok(()); // stall until the compare executes
+                        // stall until the compare executes
+                        return Ok(stall_after(transfers, Stall::CcEmpty));
                     };
-                    let b = label_of(if cond == when { target } else { els });
+                    let b = label_of(if cond == *when { *target } else { *els });
                     self.pc = Some(Pc {
                         func: pc.func,
                         block: b,
@@ -1833,21 +2002,21 @@ impl<'m> WmMachine<'m> {
                     self.last_progress = self.cycle;
                     transfers += 1;
                     if transfers > 16 {
-                        return Ok(());
+                        return Ok(Outcome::Active);
                     }
                 }
                 InstKind::BranchStream { fifo, target, els } => {
-                    let Some(count) = self.dispatch.get_mut(&fifo) else {
+                    let Some(count) = self.dispatch.get_mut(fifo) else {
                         // the stream instruction has not executed yet
                         self.stats.ifu_stalls += 1;
-                        return Ok(());
+                        return Ok(stall_after(transfers, Stall::StreamWait));
                     };
                     *count -= 1;
                     let taken = *count > 0;
                     if !taken {
-                        self.dispatch.remove(&fifo);
+                        self.dispatch.remove(fifo);
                     }
-                    let b = label_of(if taken { target } else { els });
+                    let b = label_of(if taken { *target } else { *els });
                     self.pc = Some(Pc {
                         func: pc.func,
                         block: b,
@@ -1857,10 +2026,11 @@ impl<'m> WmMachine<'m> {
                     self.last_progress = self.cycle;
                     transfers += 1;
                     if transfers > 16 {
-                        return Ok(());
+                        return Ok(Outcome::Active);
                     }
                 }
                 InstKind::Call { callee, .. } => {
+                    let callee = *callee;
                     match &self.module.global(callee).kind {
                         GlobalKind::Func(fi) => {
                             let fi = *fi;
@@ -1877,14 +2047,14 @@ impl<'m> WmMachine<'m> {
                             self.stats.insts_ifu += 1;
                             self.stats.calls += 1;
                             self.last_progress = self.cycle;
-                            return Ok(()); // calls consume the fetch slot
+                            return Ok(Outcome::Active); // calls consume the fetch slot
                         }
                         GlobalKind::Builtin => {
                             // builtins read register state directly: the
                             // units must be synchronized first
                             if !self.quiescent() {
                                 self.stats.ifu_stalls += 1;
-                                return Ok(());
+                                return Ok(stall_after(transfers, Stall::Sync));
                             }
                             let name = self.module.sym_name(callee).to_string();
                             self.exec_builtin(&name)?;
@@ -1893,7 +2063,7 @@ impl<'m> WmMachine<'m> {
                             self.stats.insts_ifu += 1;
                             self.stats.calls += 1;
                             self.last_progress = self.cycle;
-                            return Ok(());
+                            return Ok(Outcome::Active);
                         }
                         GlobalKind::Data { .. } => {
                             return Err(SimError::BadProgram(format!(
@@ -1907,7 +2077,7 @@ impl<'m> WmMachine<'m> {
                     self.pc = self.ret_stack.pop();
                     self.stats.insts_ifu += 1;
                     self.last_progress = self.cycle;
-                    return Ok(());
+                    return Ok(Outcome::Active);
                 }
                 // cross-unit conversions are executed by the IFU after
                 // synchronizing the execution units
@@ -1917,8 +2087,9 @@ impl<'m> WmMachine<'m> {
                 } => {
                     if !self.quiescent() {
                         self.stats.ifu_stalls += 1;
-                        return Ok(());
+                        return Ok(stall_after(transfers, Stall::Sync));
                     }
+                    let (op, a, dst) = (*op, *a, *dst);
                     let src_class = if op == UnOp::IntToFlt {
                         RegClass::Int
                     } else {
@@ -1932,7 +2103,7 @@ impl<'m> WmMachine<'m> {
                                 .is_empty()
                         {
                             self.stats.ifu_stalls += 1;
-                            return Ok(());
+                            return Ok(stall_after(transfers, Stall::FifoEmpty));
                         }
                     }
                     let v = self.read_operand(src_class, a)?;
@@ -1941,19 +2112,19 @@ impl<'m> WmMachine<'m> {
                     self.advance();
                     self.stats.insts_ifu += 1;
                     self.last_progress = self.cycle;
-                    return Ok(());
+                    return Ok(Outcome::Active);
                 }
                 InstKind::BranchVec { target, els } => {
                     let Some(count) = self.dispatch_vec.as_mut() else {
                         self.stats.ifu_stalls += 1;
-                        return Ok(());
+                        return Ok(stall_after(transfers, Stall::StreamWait));
                     };
                     *count -= 1;
                     let taken = *count > 0;
                     if !taken {
                         self.dispatch_vec = None;
                     }
-                    let b = label_of(if taken { target } else { els });
+                    let b = label_of(if taken { *target } else { *els });
                     self.pc = Some(Pc {
                         func: pc.func,
                         block: b,
@@ -1963,7 +2134,7 @@ impl<'m> WmMachine<'m> {
                     self.last_progress = self.cycle;
                     transfers += 1;
                     if transfers > 16 {
-                        return Ok(());
+                        return Ok(Outcome::Active);
                     }
                 }
                 k @ (InstKind::VLoad { .. }
@@ -1972,24 +2143,24 @@ impl<'m> WmMachine<'m> {
                 | InstKind::VecBroadcast { .. }) => {
                     if self.veu.iq.len() >= self.config.iq_capacity {
                         self.stats.ifu_stalls += 1;
-                        return Ok(());
+                        return Ok(stall_after(transfers, Stall::IqFull));
                     }
-                    self.veu.iq.push_back(k);
+                    self.veu.iq.push_back(k.clone());
                     self.advance();
                     self.last_progress = self.cycle;
-                    return Ok(());
+                    return Ok(Outcome::Active);
                 }
                 // everything else is dispatched to an execution unit
                 other => {
-                    let class = dispatch_class(&other);
+                    let class = dispatch_class(other);
                     if self.unit(class).iq.len() >= self.config.iq_capacity {
                         self.stats.ifu_stalls += 1;
-                        return Ok(());
+                        return Ok(stall_after(transfers, Stall::IqFull));
                     }
-                    self.unit_mut(class).iq.push_back(other);
+                    self.unit_mut(class).iq.push_back(other.clone());
                     self.advance();
                     self.last_progress = self.cycle;
-                    return Ok(());
+                    return Ok(Outcome::Active);
                 }
             }
         }
@@ -2022,14 +2193,31 @@ impl<'m> WmMachine<'m> {
 }
 
 /// How many entries `kind` dequeues from each input FIFO of `class`.
+/// Does `kind` read physical register `phys` of `class`?
+///
+/// Allocation-free equivalent of `kind.uses().contains(..)` for the
+/// per-cycle interlock check: the common instruction kinds are matched
+/// directly so no `Vec` of registers is built on the hot path.
+fn reads_phys(kind: &InstKind, class: RegClass, phys: u8) -> bool {
+    let hit = |r: Reg| r.class == class && r.phys_num() == Some(phys);
+    match kind {
+        InstKind::Assign { src, .. } => src.regs().any(hit),
+        InstKind::Compare { a, b, .. } => a.reg().is_some_and(hit) || b.reg().is_some_and(hit),
+        InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => addr.regs().any(hit),
+        other => other.uses().into_iter().any(hit),
+    }
+}
+
 fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
     let mut need = [0usize; 2];
-    let exprs: Vec<&RExpr> = match kind {
-        InstKind::Assign { src, .. } => vec![src],
-        InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => vec![addr],
-        _ => Vec::new(),
+    // This runs for every queued instruction every cycle: keep it
+    // allocation-free (a `Vec` of expressions here shows up in profiles).
+    let expr: Option<&RExpr> = match kind {
+        InstKind::Assign { src, .. } => Some(src),
+        InstKind::WLoad { addr, .. } | InstKind::WStore { addr, .. } => Some(addr),
+        _ => None,
     };
-    for e in exprs {
+    if let Some(e) = expr {
         for r in e.regs() {
             if r.class == class && r.is_fifo() {
                 need[r.phys_num().unwrap() as usize] += 1;

@@ -1,0 +1,191 @@
+//! Invariant tests for the performance-counter (`Stats`) layer.
+//!
+//! The attribution rule is structural: every unit records exactly one
+//! outcome — active, idle, or a named stall — per simulated cycle, so
+//! `active + idle + Σ stalls == cycles` must hold for every unit on
+//! every run, including degraded configurations. These tests pin that
+//! invariant on the paper's Table I workload (Livermore loop 5) and
+//! check that the counters are deterministic across runs.
+
+use wm_ir::Module;
+use wm_opt::{optimize_generic, optimize_wm, OptOptions};
+use wm_sim::{Stall, WmConfig, WmMachine};
+use wm_target::{allocate_registers, expand_wm, TargetKind};
+
+fn compile(src: &str, opts: &OptOptions) -> Module {
+    let mut module = wm_frontend::compile(src).expect("compiles");
+    for f in module.functions.iter_mut() {
+        optimize_generic(f, opts);
+        expand_wm(f);
+        optimize_wm(f, opts);
+        allocate_registers(f, TargetKind::Wm).expect("allocates");
+    }
+    module
+}
+
+fn run(module: &Module, config: &WmConfig) -> wm_sim::RunResult {
+    WmMachine::run(module, "main", &[], config).expect("runs")
+}
+
+fn livermore5_streamed() -> Module {
+    compile(wm_workloads::livermore5().source, &OptOptions::all())
+}
+
+/// Every unit's counters must sum exactly to the total cycle count, and
+/// every stall cycle must carry a reason.
+fn assert_attribution(r: &wm_sim::RunResult, label: &str) {
+    assert_eq!(r.perf.cycles, r.cycles, "{label}: perf.cycles mismatch");
+    r.perf
+        .check_attribution()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    for (name, u) in r.perf.units() {
+        assert_eq!(
+            u.active + u.idle + u.stalled(),
+            r.cycles,
+            "{label}: {name} attribution does not sum to total cycles"
+        );
+    }
+    for (i, scu) in r.perf.scus.iter().enumerate() {
+        assert_eq!(
+            scu.unit.attributed(),
+            r.cycles,
+            "{label}: scu{i} attribution does not sum to total cycles"
+        );
+    }
+}
+
+#[test]
+fn attribution_sums_to_cycles_on_livermore5_default_config() {
+    let module = livermore5_streamed();
+    let r = run(&module, &WmConfig::default());
+    assert_eq!(r.ret_int, wm_workloads::livermore5_expected());
+    assert_attribution(&r, "default");
+
+    // The streamed kernel must actually exercise the counters: the IEU
+    // and FEU retire work, the SCUs move stream elements, and the FIFO
+    // occupancy histograms observe every cycle.
+    assert!(r.perf.ieu.retired > 0, "IEU retired nothing");
+    assert!(r.perf.feu.retired > 0, "FEU retired nothing");
+    assert!(r.perf.ifu.retired > 0, "IFU retired no control transfers");
+    let elements: u64 = r
+        .perf
+        .scus
+        .iter()
+        .map(|s| s.elements_in + s.elements_out)
+        .sum();
+    assert_eq!(
+        elements,
+        r.stats.stream_reads + r.stats.stream_writes,
+        "per-SCU element counts must agree with the legacy stream totals"
+    );
+    assert!(elements > 0, "streamed run moved no stream elements");
+    for hist in &r.perf.fifos {
+        let samples: u64 = hist.depth.iter().sum();
+        assert_eq!(
+            samples, r.cycles,
+            "fifo {} histogram must sample every cycle",
+            hist.name
+        );
+    }
+}
+
+#[test]
+fn attribution_sums_to_cycles_on_livermore5_degraded_configs() {
+    let module = livermore5_streamed();
+    for (label, config) in [
+        ("fifo=1", WmConfig::default().with_fifo_capacity(1)),
+        ("ports=1", WmConfig::default().with_mem_ports(1)),
+        (
+            "fifo=1,ports=1",
+            WmConfig::default().with_fifo_capacity(1).with_mem_ports(1),
+        ),
+    ] {
+        let r = run(&module, &config);
+        assert_eq!(r.ret_int, wm_workloads::livermore5_expected(), "{label}");
+        assert_attribution(&r, label);
+    }
+}
+
+#[test]
+fn counters_are_deterministic_across_runs() {
+    let module = livermore5_streamed();
+    let a = run(&module, &WmConfig::default());
+    let b = run(&module, &WmConfig::default());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(
+        a.perf, b.perf,
+        "two identical runs must produce identical counters"
+    );
+}
+
+#[test]
+fn degraded_fifo_shows_backpressure_stalls() {
+    let module = livermore5_streamed();
+    let healthy = run(&module, &WmConfig::default());
+    let degraded = run(&module, &WmConfig::default().with_fifo_capacity(1));
+    assert!(degraded.cycles > healthy.cycles, "fifo=1 must cost cycles");
+
+    // With single-entry FIFOs the SCUs cannot run ahead: time they spend
+    // blocked on a full input FIFO must grow.
+    let full = |r: &wm_sim::RunResult| -> u64 {
+        r.perf
+            .scus
+            .iter()
+            .map(|s| s.unit.stalled_on(Stall::FifoFull))
+            .sum()
+    };
+    assert!(
+        full(&degraded) > full(&healthy),
+        "fifo=1 must increase SCU fifo-full stalls ({} vs {})",
+        full(&degraded),
+        full(&healthy)
+    );
+}
+
+#[test]
+fn degraded_ports_shift_stalls_to_port_contention() {
+    let module = livermore5_streamed();
+    let healthy = run(&module, &WmConfig::default());
+    let degraded = run(&module, &WmConfig::default().with_mem_ports(1));
+    assert!(degraded.cycles > healthy.cycles, "ports=1 must cost cycles");
+    let contention = |r: &wm_sim::RunResult| -> u64 {
+        r.perf
+            .scus
+            .iter()
+            .map(|s| s.unit.stalled_on(Stall::PortBusy))
+            .sum::<u64>()
+    };
+    assert!(
+        contention(&degraded) > contention(&healthy),
+        "ports=1 must increase SCU port-busy stalls"
+    );
+}
+
+#[test]
+fn stats_json_is_emitted_and_attribution_named() {
+    // A tiny non-streamed program still yields a complete JSON document;
+    // the full round-trip through the hand parser is covered in the
+    // wm-bench crate, which owns the parser.
+    let module = compile(
+        "int main() { int i; int s; s = 0; for (i = 0; i < 32; i++) s = s + i; return s; }",
+        &OptOptions::all(),
+    );
+    let r = run(&module, &WmConfig::default());
+    assert_attribution(&r, "scalar");
+    let json = r.perf.to_json();
+    for key in [
+        "\"cycles\"",
+        "\"units\"",
+        "\"IEU\"",
+        "\"FEU\"",
+        "\"VEU\"",
+        "\"IFU\"",
+        "\"scus\"",
+        "\"fifos\"",
+        "\"ports\"",
+        "\"retired\"",
+        "\"stalls\"",
+    ] {
+        assert!(json.contains(key), "stats JSON missing {key}: {json}");
+    }
+}

@@ -3,27 +3,43 @@
 //! Runs the workload suite on the WM simulator under three optimizer
 //! configurations (scalar = classical optimizations only, recurrence,
 //! streaming) and writes `BENCH_sim.json`: per run, the simulated cycle
-//! count, the simulator's own wall-clock time, and the full performance
-//! counters from the [`wm_stream::sim::Stats`] layer.
+//! count, the simulator's own wall-clock time (median of `--reps`
+//! measured runs after one warmup), and the full performance counters
+//! from the [`wm_stream::sim::Stats`] layer.
 //!
 //! ```text
 //! perf                             run the full suite, write BENCH_sim.json
 //! perf --fast                      fast subset (the CI bench job's set)
+//! perf --jobs N                    run workload×config pairs on N threads
+//! perf --reps N                    median wall-time of N runs (default 3)
+//! perf --engine cycle|event        simulation engine (default event)
+//! perf --hw default|latency24      hardware model (latency24 = 24-cycle
+//!                                  memory, one port: the degraded config)
 //! perf --out FILE                  write results to FILE instead
 //! perf --check bench/baseline.json fail (exit 1) if any workload's cycles
 //!                                  regressed >2% against the baseline
+//! perf --compare FILE              fail (exit 1) unless every cycle count
+//!                                  matches FILE exactly (the engine-
+//!                                  equivalence gate); records the wall-
+//!                                  time speedup vs FILE in the output
 //! perf --write-baseline FILE       write the cycle baseline for --check
 //! ```
 //!
-//! To re-baseline intentionally after a simulator change:
+//! Cycle counts are engine-independent by design, so `--check` works
+//! under either engine; it is refused under `--hw latency24` because the
+//! baseline holds default-hardware cycles. To re-baseline intentionally
+//! after a simulator change:
 //!
 //! ```text
 //! cargo run --release -p wm-bench --bin perf -- --fast --write-baseline bench/baseline.json
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use wm_bench::json::{self, Value};
+use wm_stream::sim::Engine;
 use wm_stream::{Compiler, OptOptions, WmConfig, Workload};
 
 /// Allowed cycle-count growth before `--check` fails, as a fraction.
@@ -35,6 +51,39 @@ struct RunRecord {
     cycles: u64,
     wall_ms: f64,
     counters: String,
+}
+
+/// Everything recorded at the top level of the results document.
+struct Meta {
+    engine: Engine,
+    hw: Hw,
+    reps: usize,
+    jobs: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Hw {
+    /// The default WM implementation parameters.
+    Default,
+    /// The latency-dominated degraded configuration: 24-cycle memory,
+    /// a single memory port.
+    Latency24,
+}
+
+impl Hw {
+    fn name(self) -> &'static str {
+        match self {
+            Hw::Default => "default",
+            Hw::Latency24 => "latency24",
+        }
+    }
+
+    fn config(self) -> WmConfig {
+        match self {
+            Hw::Default => WmConfig::default(),
+            Hw::Latency24 => WmConfig::default().with_mem_latency(24).with_mem_ports(1),
+        }
+    }
 }
 
 fn configs() -> [(&'static str, OptOptions); 3] {
@@ -73,39 +122,116 @@ fn suite(fast: bool) -> Vec<Workload> {
     v
 }
 
-fn run_suite(fast: bool) -> Vec<RunRecord> {
-    let cfg = WmConfig::default();
-    let mut records = Vec::new();
-    for w in suite(fast) {
-        for (config, opts) in configs() {
-            let compiled = Compiler::new()
-                .options(opts.clone())
-                .compile(w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let start = Instant::now();
-            let r = compiled
-                .run_wm_config("main", &[], &cfg)
-                .unwrap_or_else(|e| panic!("{} ({config}): {e}", w.name));
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            w.check(r.ret_int);
-            eprintln!(
-                "perf: {:<12} {:<10} {:>10} cycles  {:>8.1} ms",
-                w.name, config, r.cycles, wall_ms
-            );
-            records.push(RunRecord {
-                workload: w.name.to_string(),
-                config,
-                cycles: r.cycles,
-                wall_ms,
-                counters: r.perf.to_json(),
-            });
-        }
+/// Compile and run one workload×config pair: one warmup run, then `reps`
+/// measured runs whose median wall time is reported. Every run must
+/// reproduce the warmup's cycle count (the simulator is deterministic;
+/// anything else is a bug worth failing loudly on).
+fn run_pair(
+    w: &Workload,
+    config: &'static str,
+    opts: &OptOptions,
+    cfg: &WmConfig,
+    reps: usize,
+) -> (RunRecord, String) {
+    let compiled = Compiler::new()
+        .options(opts.clone())
+        .compile(w.source)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let run = || {
+        let start = Instant::now();
+        let r = compiled
+            .run_wm_config("main", &[], cfg)
+            .unwrap_or_else(|e| panic!("{} ({config}): {e}", w.name));
+        (r, start.elapsed().as_secs_f64() * 1e3)
+    };
+    let (warm, _) = run();
+    w.check(warm.ret_int);
+    let mut walls = Vec::with_capacity(reps);
+    let mut result = warm;
+    for _ in 0..reps.max(1) {
+        let (r, wall) = run();
+        assert_eq!(
+            r.cycles, result.cycles,
+            "{}/{config}: nondeterministic cycle count",
+            w.name
+        );
+        walls.push(wall);
+        result = r;
     }
-    records
+    walls.sort_by(f64::total_cmp);
+    let wall_ms = walls[walls.len() / 2];
+    let line = format!(
+        "perf: {:<12} {:<10} {:>10} cycles  {:>8.1} ms\n",
+        w.name, config, result.cycles, wall_ms
+    );
+    let record = RunRecord {
+        workload: w.name.to_string(),
+        config,
+        cycles: result.cycles,
+        wall_ms,
+        counters: result.perf.to_json(),
+    };
+    (record, line)
 }
 
-fn results_json(records: &[RunRecord], with_counters: bool) -> String {
-    let mut out = String::from("{\n  \"schema\": \"wm-bench-perf-v1\",\n  \"results\": [\n");
+/// Run every workload×config pair on up to `jobs` worker threads. Work is
+/// claimed from a shared index; results and log lines are re-sorted into
+/// pair order afterwards so the output is deterministic regardless of
+/// which thread finished first.
+fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
+    let mut cfg = meta.hw.config();
+    cfg.engine = meta.engine;
+    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(fast)
+        .into_iter()
+        .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, RunRecord, String)>> = Mutex::new(Vec::new());
+    let workers = meta.jobs.clamp(1, pairs.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((w, config, opts)) = pairs.get(i) else {
+                    break;
+                };
+                let (record, line) = run_pair(w, config, opts, &cfg, meta.reps);
+                done.lock().unwrap().push((i, record, line));
+            });
+        }
+    });
+    let mut finished = done.into_inner().unwrap();
+    finished.sort_by_key(|(i, _, _)| *i);
+    finished
+        .into_iter()
+        .map(|(_, record, line)| {
+            eprint!("{line}");
+            record
+        })
+        .collect()
+}
+
+fn results_json(
+    records: &[RunRecord],
+    with_counters: bool,
+    meta: Option<(&Meta, Option<f64>)>,
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"wm-bench-perf-v1\",\n");
+    if let Some((m, speedup)) = meta {
+        out.push_str(&format!(
+            "  \"engine\": \"{}\",\n  \"hw\": \"{}\",\n  \"reps\": {},\n  \"jobs\": {},\n",
+            m.engine,
+            m.hw.name(),
+            m.reps,
+            m.jobs
+        ));
+        let total: f64 = records.iter().map(|r| r.wall_ms).sum();
+        out.push_str(&format!("  \"total_wall_ms\": {total:.3},\n"));
+        if let Some(s) = speedup {
+            out.push_str(&format!("  \"speedup_vs_compare\": {s:.3},\n"));
+        }
+    }
+    out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}",
@@ -163,11 +289,61 @@ fn check(records: &[RunRecord], baseline_src: &str) -> Result<Vec<String>, Strin
     Ok(failures)
 }
 
+/// Compare against another results document run by a different engine:
+/// every pair must exist there with the exact same cycle count. Returns
+/// the mismatch report and the wall-time speedup (their total / ours).
+fn compare(records: &[RunRecord], other_src: &str) -> Result<(Vec<String>, f64), String> {
+    let doc = json::parse(other_src)?;
+    let other = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("comparison file has no \"results\" array")?;
+    let lookup = |workload: &str, config: &str| -> Option<(u64, f64)> {
+        other.iter().find_map(|e| {
+            (e.get("workload")?.as_str()? == workload && e.get("config")?.as_str()? == config)
+                .then(|| Some((e.get("cycles")?.as_u64()?, e.get("wall_ms")?.as_f64()?)))?
+        })
+    };
+    let mut mismatches = Vec::new();
+    let (mut ours_ms, mut theirs_ms) = (0.0, 0.0);
+    for r in records {
+        match lookup(&r.workload, r.config) {
+            None => mismatches.push(format!(
+                "{}/{}: missing from comparison",
+                r.workload, r.config
+            )),
+            Some((cycles, wall_ms)) => {
+                if cycles != r.cycles {
+                    mismatches.push(format!(
+                        "{}/{}: {} cycles here vs {} there",
+                        r.workload, r.config, r.cycles, cycles
+                    ));
+                }
+                ours_ms += r.wall_ms;
+                theirs_ms += wall_ms;
+            }
+        }
+    }
+    let speedup = if ours_ms > 0.0 {
+        theirs_ms / ours_ms
+    } else {
+        1.0
+    };
+    Ok((mismatches, speedup))
+}
+
 fn main() {
     let mut fast = false;
     let mut out = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
     let mut baseline_out: Option<String> = None;
+    let mut meta = Meta {
+        engine: Engine::default(),
+        hw: Hw::Default,
+        reps: 3,
+        jobs: 1,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -182,28 +358,91 @@ fn main() {
             "--fast" => fast = true,
             "--out" => out = need(&mut i),
             "--check" => check_path = Some(need(&mut i)),
+            "--compare" => compare_path = Some(need(&mut i)),
             "--write-baseline" => baseline_out = Some(need(&mut i)),
+            "--engine" => {
+                meta.engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("perf: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--hw" => {
+                meta.hw = match need(&mut i).as_str() {
+                    "default" => Hw::Default,
+                    "latency24" => Hw::Latency24,
+                    other => {
+                        eprintln!(
+                            "perf: unknown hw model `{other}` (expected default or latency24)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--reps" => {
+                meta.reps = need(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("perf: --reps takes a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--jobs" => {
+                meta.jobs = need(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("perf: --jobs takes a positive integer");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!(
                     "perf: unknown option {other}\n\
-                     usage: perf [--fast] [--out FILE] [--check BASELINE] [--write-baseline FILE]"
+                     usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event]\n\
+                     [--hw default|latency24] [--out FILE] [--check BASELINE]\n\
+                     [--compare RESULTS] [--write-baseline FILE]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+    if check_path.is_some() && meta.hw != Hw::Default {
+        eprintln!("perf: --check requires --hw default (the baseline holds default-hw cycles)");
+        std::process::exit(2);
+    }
+    if meta.reps == 0 || meta.jobs == 0 {
+        eprintln!("perf: --reps and --jobs must be at least 1");
+        std::process::exit(2);
+    }
 
-    let records = run_suite(fast);
+    let records = run_suite(fast, &meta);
 
-    if let Err(e) = std::fs::write(&out, results_json(&records, true)) {
+    // Resolve the engine-equivalence comparison before writing results so
+    // the measured speedup lands in the output document.
+    let compared = compare_path.map(|path| {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read comparison {path}: {e}");
+            std::process::exit(2);
+        });
+        let (mismatches, speedup) = compare(&records, &src).unwrap_or_else(|e| {
+            eprintln!("perf: bad comparison {path}: {e}");
+            std::process::exit(2);
+        });
+        (path, mismatches, speedup)
+    });
+    let speedup = compared.as_ref().map(|(_, _, s)| *s);
+
+    if let Err(e) = std::fs::write(&out, results_json(&records, true, Some((&meta, speedup)))) {
         eprintln!("perf: cannot write {out}: {e}");
         std::process::exit(2);
     }
-    eprintln!("perf: wrote {} results to {out}", records.len());
+    eprintln!(
+        "perf: wrote {} results to {out} (engine {}, hw {}, {} reps, {} jobs)",
+        records.len(),
+        meta.engine,
+        meta.hw.name(),
+        meta.reps,
+        meta.jobs
+    );
 
     if let Some(path) = baseline_out {
-        if let Err(e) = std::fs::write(&path, results_json(&records, false)) {
+        if let Err(e) = std::fs::write(&path, results_json(&records, false, None)) {
             eprintln!("perf: cannot write baseline {path}: {e}");
             std::process::exit(2);
         }
@@ -232,6 +471,21 @@ fn main() {
                 std::process::exit(1);
             }
             Ok(_) => eprintln!("perf: baseline check passed ({path})"),
+        }
+    }
+
+    if let Some((path, mismatches, speedup)) = compared {
+        if mismatches.is_empty() {
+            eprintln!("perf: engines agree with {path} on every cycle count ({speedup:.2}x wall-time speedup)");
+        } else {
+            for m in &mismatches {
+                eprintln!("perf: ENGINE MISMATCH {m}");
+            }
+            eprintln!(
+                "perf: {} cycle-count mismatch(es) vs {path}",
+                mismatches.len()
+            );
+            std::process::exit(1);
         }
     }
 }

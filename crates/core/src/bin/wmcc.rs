@@ -7,6 +7,7 @@
 //! wmcc prog.c --noalias               assume distinct pointer bases are disjoint
 //! wmcc prog.c --target scalar --machine vax8600
 //! wmcc prog.c --mem-latency 24 --mem-ports 1
+//! wmcc prog.c --engine cycle          step every cycle instead of fast-forwarding
 //! wmcc prog.c --entry kernel --args 100,7
 //! wmcc prog.c --inject drop:3,jitter:42:5
 //! wmcc prog.c --speculative-streams
@@ -14,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use wm_stream::sim::{FaultPlan, SimError};
+use wm_stream::sim::{Engine, FaultPlan, SimError};
 use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 
 struct Options {
@@ -38,6 +39,7 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--inject SPEC]
+               [--engine cycle|event]
 
   --stats                print per-unit performance counters (instructions
                          retired, active/idle/stall cycles with stall-reason
@@ -51,6 +53,10 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          chrome://tracing or ui.perfetto.dev)
   --speculative-streams  keep streams that may fetch past their array,
                          relying on the WM's deferred (poison) faults
+  --engine cycle|event   simulation engine (default event): `event` fast-
+                         forwards over spans where every unit is stalled or
+                         idle, `cycle` steps every unit every cycle; both
+                         produce bit-identical cycle counts and statistics
   --inject SPEC          deterministic fault injection; SPEC is a comma-
                          separated list of delay:N:C (delay memory request
                          #N's response by C cycles), drop:N (drop request
@@ -165,6 +171,12 @@ fn parse_args() -> Options {
                     .map(|s| s.parse().unwrap_or_else(|_| usage()))
                     .collect()
             }
+            "--engine" => {
+                o.config.engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("wmcc: {e}");
+                    std::process::exit(2);
+                })
+            }
             "--mem-latency" => {
                 o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -242,7 +254,11 @@ fn main() -> ExitCode {
             if let Some(path) = &o.trace_chrome {
                 // Written even when the run faults: the partial timeline
                 // is exactly what you want when debugging a deadlock.
-                let json = wm_stream::trace::chrome_trace(machine.trace(), machine.timeline());
+                let json = wm_stream::trace::chrome_trace(
+                    machine.trace(),
+                    machine.timeline(),
+                    machine.ff_spans(),
+                );
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("wmcc: cannot write trace {path}: {e}");
                     return ExitCode::from(1);

@@ -1,16 +1,22 @@
 //! Chrome `trace_event` export of a simulated run.
 //!
-//! Converts the simulator's instruction trace ([`wm_sim::TraceEvent`])
-//! and FIFO-depth timeline ([`wm_sim::DepthSample`]) into the JSON
-//! format understood by `chrome://tracing` and [Perfetto]. Each unit
-//! (IFU, IEU, FEU, VEU, SCU *n*) becomes a named track of 1-cycle
-//! duration events; each tracked FIFO becomes a counter track showing
-//! its occupancy over time. Timestamps are simulated cycles, reported
-//! in the trace's microsecond field so one cycle renders as 1 µs.
+//! Converts the simulator's instruction trace ([`wm_sim::TraceEvent`]),
+//! FIFO-depth timeline ([`wm_sim::DepthSample`]) and fast-forwarded
+//! stall spans ([`wm_sim::FfSpan`]) into the JSON format understood by
+//! `chrome://tracing` and [Perfetto]. Each unit (IFU, IEU, FEU, VEU,
+//! SCU *n*) becomes a named track of duration events; each tracked FIFO
+//! becomes a counter track showing its occupancy over time. Timestamps
+//! are simulated cycles, reported in the trace's microsecond field so
+//! one cycle renders as 1 µs.
+//!
+//! Under the event-driven engine, spans the simulator fast-forwarded
+//! over appear as one coalesced `stall:<reason>` (or `idle`) event per
+//! stalled unit instead of thousands of per-cycle events, so a
+//! latency-dominated trace stays small and readable.
 //!
 //! [Perfetto]: https://ui.perfetto.dev
 
-use wm_sim::{DepthSample, TraceEvent};
+use wm_sim::{DepthSample, FfSpan, Outcome, TraceEvent};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -29,22 +35,48 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// The track label of a fast-forwarded outcome, or `None` for `Active`
+/// (an active unit never fast-forwards, but be defensive).
+fn outcome_label(o: Outcome) -> Option<String> {
+    match o {
+        Outcome::Active => None,
+        Outcome::Idle => Some("idle".to_string()),
+        Outcome::Stall(s) => Some(format!("stall:{}", s.name())),
+    }
+}
+
 /// Render a run as a Chrome `trace_event` JSON document.
 ///
 /// `events` come from [`wm_sim::WmMachine::trace`] (instruction-level
-/// tracing) and `timeline` from [`wm_sim::WmMachine::timeline`]
-/// (FIFO-depth change points). Either may be empty; the result is
+/// tracing), `timeline` from [`wm_sim::WmMachine::timeline`]
+/// (FIFO-depth change points) and `spans` from
+/// [`wm_sim::WmMachine::ff_spans`] (stall spans the event engine
+/// fast-forwarded over). Any of them may be empty; the result is
 /// always a valid trace.
 #[must_use]
-pub fn chrome_trace(events: &[TraceEvent], timeline: &[DepthSample]) -> String {
+pub fn chrome_trace(events: &[TraceEvent], timeline: &[DepthSample], spans: &[FfSpan]) -> String {
     // Stable unit → track-id mapping, in order of first appearance.
-    let mut units: Vec<&'static str> = Vec::new();
+    // Fast-forward spans cover every unit, so register their tracks
+    // too (SCU track names are owned strings; instruction events only
+    // ever carry static names).
+    let mut units: Vec<String> = Vec::new();
+    let intern = |name: &str, units: &mut Vec<String>| {
+        if !units.iter().any(|u| u == name) {
+            units.push(name.to_string());
+        }
+    };
     for ev in events {
-        if !units.contains(&ev.unit) {
-            units.push(ev.unit);
+        intern(ev.unit, &mut units);
+    }
+    if let Some(s) = spans.first() {
+        for unit in ["IEU", "FEU", "VEU", "IFU"] {
+            intern(unit, &mut units);
+        }
+        for i in 0..s.scus.len() {
+            intern(&format!("SCU{i}"), &mut units);
         }
     }
-    let tid = |unit: &str| units.iter().position(|u| *u == unit).unwrap_or(0);
+    let tid = |unit: &str| units.iter().position(|u| u == unit).unwrap_or(0);
 
     let mut out = String::with_capacity(events.len() * 96 + timeline.len() * 64 + 256);
     out.push_str("{\"traceEvents\": [\n");
@@ -84,6 +116,33 @@ pub fn chrome_trace(events: &[TraceEvent], timeline: &[DepthSample]) -> String {
         );
     }
 
+    // Coalesced stall spans: one duration event per unit per
+    // fast-forwarded span, covering all skipped cycles at once.
+    for span in spans {
+        let mut emit = |out: &mut String, unit: &str, o: Outcome| {
+            if let Some(label) = outcome_label(o) {
+                push(
+                    out,
+                    format!(
+                        "{{\"name\": \"{}\", \"cat\": \"stall\", \"ph\": \"X\", \
+                         \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}}}",
+                        label,
+                        span.start,
+                        span.len,
+                        tid(unit)
+                    ),
+                );
+            }
+        };
+        emit(&mut out, "IEU", span.ieu);
+        emit(&mut out, "FEU", span.feu);
+        emit(&mut out, "VEU", span.veu);
+        emit(&mut out, "IFU", span.ifu);
+        for (i, &o) in span.scus.iter().enumerate() {
+            emit(&mut out, &format!("SCU{i}"), o);
+        }
+    }
+
     // FIFO occupancy as counter tracks: one sample per change point.
     for s in timeline {
         push(
@@ -105,10 +164,11 @@ pub fn chrome_trace(events: &[TraceEvent], timeline: &[DepthSample]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wm_sim::Stall;
 
     #[test]
     fn empty_trace_is_valid() {
-        let t = chrome_trace(&[], &[]);
+        let t = chrome_trace(&[], &[], &[]);
         assert!(t.starts_with("{\"traceEvents\": ["));
         assert!(t.contains("\"displayTimeUnit\""));
     }
@@ -132,7 +192,7 @@ mod tests {
             fifo: "ieu.in0",
             depth: 2,
         }];
-        let t = chrome_trace(&events, &timeline);
+        let t = chrome_trace(&events, &timeline, &[]);
         assert!(t.contains("\"add r1, r2, r3\""));
         assert!(t.contains("\"ph\": \"X\""));
         assert!(t.contains("\"ph\": \"C\""));
@@ -151,7 +211,32 @@ mod tests {
             unit: "IFU",
             text: "jump \"label\"\n".to_string(),
         }];
-        let t = chrome_trace(&events, &[]);
+        let t = chrome_trace(&events, &[], &[]);
         assert!(t.contains("jump \\\"label\\\"\\n"));
+    }
+
+    #[test]
+    fn fast_forward_spans_are_coalesced() {
+        let spans = vec![FfSpan {
+            start: 100,
+            len: 23,
+            ieu: Outcome::Stall(Stall::FifoEmpty),
+            feu: Outcome::Idle,
+            veu: Outcome::Idle,
+            ifu: Outcome::Stall(Stall::IqFull),
+            scus: vec![Outcome::Stall(Stall::PortBusy), Outcome::Idle],
+        }];
+        let t = chrome_trace(&[], &[], &spans);
+        // One event per unit with the full span duration, not 23 events.
+        assert!(t.contains("\"stall:fifo-empty\""));
+        assert!(t.contains("\"stall:iq-full\""));
+        assert!(t.contains("\"stall:port-busy\""));
+        assert!(t.contains("\"idle\""));
+        assert!(t.contains("\"ts\": 100, \"dur\": 23"));
+        assert_eq!(t.matches("\"cat\": \"stall\"").count(), 6);
+        // All unit tracks get registered and named.
+        for name in ["IEU", "FEU", "VEU", "IFU", "SCU0", "SCU1"] {
+            assert!(t.contains(&format!("\"name\": \"{name}\"")), "{name}");
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::fastforward::Engine;
+
 /// Deterministic fault-injection plan: degrade the simulated hardware in
 /// reproducible ways to exercise the deadlock detector and the stall
 /// accounting rather than only the happy path.
@@ -104,6 +106,10 @@ pub struct WmConfig {
     pub max_cycles: u64,
     /// Deterministic fault injection (empty by default).
     pub fault_plan: FaultPlan,
+    /// Stepping engine: per-cycle, or event-driven fast-forward over
+    /// all-stalled spans (bit-identical counters, much faster on
+    /// latency-dominated configurations).
+    pub engine: Engine,
 }
 
 impl Default for WmConfig {
@@ -123,6 +129,7 @@ impl Default for WmConfig {
             io_latency: 20,
             max_cycles: 2_000_000_000,
             fault_plan: FaultPlan::default(),
+            engine: Engine::default(),
         }
     }
 }
@@ -155,6 +162,12 @@ impl WmConfig {
     /// A configuration with a fault-injection plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> WmConfig {
         self.fault_plan = plan;
+        self
+    }
+
+    /// A configuration with an explicit stepping engine.
+    pub fn with_engine(mut self, engine: Engine) -> WmConfig {
+        self.engine = engine;
         self
     }
 }

@@ -1,0 +1,268 @@
+//! The event-driven fast-forward engine.
+//!
+//! PR 3's stall attribution showed that on latency-dominated
+//! configurations (24-cycle memory, single-entry FIFOs) the large
+//! majority of simulated cycles end with *every* unit stalled or idle:
+//! the machine's architectural state does not change at all, yet the
+//! per-cycle stepper still walks every unit, every SCU and the memory
+//! system once per cycle. This module makes those spans O(1): after a
+//! cycle in which no unit made progress, [`WmMachine::step_event`]
+//! computes the **next-event cycle** — the earliest future cycle at which
+//! anything *can* change — and jumps there in one bulk update.
+//!
+//! The jump is exact, not approximate. A no-progress cycle is only
+//! skippable when its per-unit outcomes are provably constant until the
+//! next event, and the bulk update adds the skipped span to exactly the
+//! same counters the per-cycle stepper would have touched: each unit's
+//! idle/stall bucket, `ifu_stalls`, the FIFO-occupancy histograms at the
+//! (unchanging) current depths, and the zero-requests memory-port bucket.
+//! Every counter in [`crate::Stats`], every cycle count, every fault and
+//! deadlock (down to the reported cycle and machine-state dump) is
+//! **bit-identical** between the two engines; the differential suite in
+//! `tests/engine_equiv.rs` and the fuzzer enforce this.
+//!
+//! Events that bound a jump:
+//!
+//! * the next memory delivery (`in_flight` is drained in FIFO order, so
+//!   the head's due cycle — which already includes injected delays and
+//!   jitter — is the next delivery);
+//! * the end of an SCU's configuration setup (`ready_at`);
+//! * a fault-injection SCU kill whose cycle has not arrived yet (the
+//!   SCU's attribution flips to `Stall::Disabled` at that exact cycle);
+//! * the expiry of an IFU hold (builtin I/O latency);
+//! * the per-cycle deadlock horizon and the `max_cycles` timeout, so a
+//!   wedged machine reports the identical terminal error.
+
+use crate::machine::{WmMachine, DEADLOCK_WINDOW};
+use crate::stats::{Outcome, Stall};
+use crate::SimError;
+
+/// Which stepping engine drives the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Step every unit every cycle (the reference stepper).
+    Cycle,
+    /// Fast-forward over spans where no unit can make progress before the
+    /// next event. Bit-identical counters; the default.
+    #[default]
+    Event,
+}
+
+impl Engine {
+    /// Stable machine-readable name (`"cycle"` / `"event"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Cycle => "cycle",
+            Engine::Event => "event",
+        }
+    }
+
+    /// Parse a name as accepted by `wmcc --engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for anything but `cycle` or `event`.
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        match s {
+            "cycle" => Ok(Engine::Cycle),
+            "event" => Ok(Engine::Event),
+            other => Err(format!(
+                "unknown engine `{other}` (expected cycle or event)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What every unit did during one simulated cycle; captured each step so
+/// the fast-forward engine can bulk-account a span of identical cycles.
+#[derive(Debug, Clone)]
+pub(crate) struct CycleOutcomes {
+    pub(crate) ieu: Outcome,
+    pub(crate) feu: Outcome,
+    pub(crate) veu: Outcome,
+    pub(crate) ifu: Outcome,
+    pub(crate) scus: Vec<Outcome>,
+}
+
+impl CycleOutcomes {
+    pub(crate) fn new(num_scus: usize) -> CycleOutcomes {
+        CycleOutcomes {
+            ieu: Outcome::Idle,
+            feu: Outcome::Idle,
+            veu: Outcome::Idle,
+            ifu: Outcome::Idle,
+            scus: vec![Outcome::Idle; num_scus],
+        }
+    }
+}
+
+/// One fast-forwarded span: `len` consecutive cycles starting at `start`
+/// during which every unit repeated the recorded outcome. Collected only
+/// when tracing or the timeline is enabled, and rendered by the Chrome
+/// trace exporter as one coalesced stall span per unit instead of
+/// thousands of per-cycle events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FfSpan {
+    /// First skipped cycle.
+    pub start: u64,
+    /// Number of skipped cycles.
+    pub len: u64,
+    /// IEU outcome over the whole span.
+    pub ieu: Outcome,
+    /// FEU outcome over the whole span.
+    pub feu: Outcome,
+    /// VEU outcome over the whole span.
+    pub veu: Outcome,
+    /// IFU outcome over the whole span.
+    pub ifu: Outcome,
+    /// Per-SCU outcomes over the whole span.
+    pub scus: Vec<Outcome>,
+}
+
+/// Is this outcome guaranteed to repeat until the next event?
+///
+/// `Active` means progress (the span is not a stall span at all) and
+/// `Stall(Interlock)` lasts exactly one cycle by construction
+/// (`prev_cycle + 1 == cycle`), so neither is skippable. Every other
+/// stall reason and `Idle` depend only on machine state that cannot
+/// change without some unit making progress or an event firing.
+fn repeats(o: Outcome) -> bool {
+    match o {
+        Outcome::Active => false,
+        Outcome::Idle => true,
+        Outcome::Stall(s) => s != Stall::Interlock,
+    }
+}
+
+impl<'m> WmMachine<'m> {
+    /// Advance one cycle, then fast-forward to just before the next event
+    /// if the cycle ended with no unit able to make progress.
+    ///
+    /// Behaves exactly like running [`WmMachine::step`] in a loop — same
+    /// cycle counts, same counters, same faults — but skips all-stalled
+    /// spans in one bulk update.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`WmMachine::step`] reports, at the same cycle.
+    pub fn step_event(&mut self) -> Result<(), SimError> {
+        self.step()?;
+        if !self.can_fast_forward() {
+            return Ok(());
+        }
+        let Some(target) = self.fast_forward_target() else {
+            return Ok(());
+        };
+        let skipped = target - self.cycle;
+        self.bulk_account(skipped);
+        if self.trace_enabled || self.timeline_enabled {
+            let o = &self.last_outcomes;
+            self.ff_spans.push(FfSpan {
+                start: self.cycle + 1,
+                len: skipped,
+                ieu: o.ieu,
+                feu: o.feu,
+                veu: o.veu,
+                ifu: o.ifu,
+                scus: o.scus.clone(),
+            });
+        }
+        self.cycle = target;
+        self.perf.cycles = target;
+        Ok(())
+    }
+
+    /// Did the cycle that just completed change no architectural state,
+    /// with every unit's outcome constant until the next event?
+    fn can_fast_forward(&self) -> bool {
+        // Progress (an instruction retired, a request issued or delivered,
+        // a store drained, an IFU transfer) means the next cycle differs.
+        if self.last_progress == self.cycle {
+            return false;
+        }
+        let o = &self.last_outcomes;
+        repeats(o.ieu)
+            && repeats(o.feu)
+            && repeats(o.veu)
+            && repeats(o.ifu)
+            && o.scus.iter().all(|&s| repeats(s))
+    }
+
+    /// The last cycle that is provably identical to the one just
+    /// simulated: one before the next event, clamped so the deadlock
+    /// detector and the cycle-limit timeout fire at exactly the cycle the
+    /// per-cycle stepper would report. `None` when there is nothing to
+    /// skip.
+    fn fast_forward_target(&self) -> Option<u64> {
+        let mut next = u64::MAX;
+        // Memory responses are delivered in FIFO order (injected delays
+        // hold younger responses behind them), so the head of the
+        // in-flight queue is the next delivery — including dropped
+        // responses, which are discarded (and counted) at their due cycle.
+        if let Some(f) = self.in_flight.front() {
+            next = next.min(f.due);
+        }
+        // Builtin I/O releases the IFU at `ifu_hold`.
+        if self.ifu_hold > self.cycle {
+            next = next.min(self.ifu_hold);
+        }
+        for (i, s) in self.scus.iter().enumerate() {
+            // An SCU leaving configuration setup starts issuing requests.
+            // (A disabled SCU never leaves `Stall::Disabled`, so its
+            // `ready_at` is not an event.)
+            if s.active && !self.scu_disabled(i) && s.ready_at > self.cycle {
+                next = next.min(s.ready_at);
+            }
+        }
+        for &(i, c) in &self.config.fault_plan.disable_scus {
+            // A pending SCU kill flips that SCU's attribution to
+            // `Stall::Disabled` at cycle `c` even if nothing else changes.
+            if c > self.cycle && self.scus.get(i).is_some_and(|s| s.active) {
+                next = next.min(c);
+            }
+        }
+        // The step *at* the event cycle must be simulated normally; only
+        // the strictly-identical cycles before it are skipped.
+        let target = next
+            .saturating_sub(1)
+            // the per-cycle run reports Deadlock at last_progress +
+            // DEADLOCK_WINDOW + 1 and Timeout at max_cycles; never jump
+            // past either, so terminal errors carry identical cycles
+            .min(self.last_progress + DEADLOCK_WINDOW + 1)
+            .min(self.config.max_cycles);
+        (target > self.cycle).then_some(target)
+    }
+
+    /// Account `n` skipped cycles exactly as `n` repetitions of the cycle
+    /// just simulated: same per-unit outcome buckets, same IFU stall
+    /// counter, same FIFO-depth and memory-port histogram cells.
+    fn bulk_account(&mut self, n: u64) {
+        let o = &self.last_outcomes;
+        self.perf.ieu.record_n(o.ieu, n);
+        self.perf.feu.record_n(o.feu, n);
+        self.perf.veu.record_n(o.veu, n);
+        self.perf.ifu.record_n(o.ifu, n);
+        for (i, scu) in self.perf.scus.iter_mut().enumerate() {
+            scu.unit.record_n(o.scus[i], n);
+        }
+        // every IFU stall outcome increments `ifu_stalls` exactly once
+        // per cycle in the per-cycle stepper
+        if matches!(o.ifu, Outcome::Stall(_)) {
+            self.stats.ifu_stalls += n;
+        }
+        // FIFO depths cannot change in a no-progress span (so the
+        // timeline, which records change points only, stays untouched),
+        // and no memory request is accepted (ports bucket 0).
+        let depths = self.fifo_depths();
+        for (h, &d) in self.perf.fifos.iter_mut().zip(depths.iter()) {
+            h.sample_n(d, n);
+        }
+        self.perf.ports[0] += n;
+    }
+}

@@ -41,12 +41,14 @@
 //! ```
 
 mod config;
+mod fastforward;
 mod fault;
 mod loader;
 mod machine;
 mod stats;
 
 pub use config::{FaultPlan, WmConfig};
+pub use fastforward::{Engine, FfSpan};
 pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};
 pub use machine::{RunResult, SimError, SimStats, TraceEvent, WmMachine};

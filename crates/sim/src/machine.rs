@@ -8,9 +8,15 @@ use wm_ir::{
 };
 
 use crate::config::WmConfig;
+use crate::fastforward::{CycleOutcomes, Engine, FfSpan};
 use crate::fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 use crate::loader::{AccessError, AccessKind, MemoryImage};
 use crate::stats::{DepthSample, Outcome, Stall, Stats, FIFO_NAMES};
+
+/// Cycles without progress before the run is declared wedged. The
+/// fast-forward engine clamps its jumps to this horizon so both engines
+/// report [`SimError::Deadlock`] at the identical cycle.
+pub(crate) const DEADLOCK_WINDOW: u64 = 10_000;
 
 /// A simulation failure. Terminal errors carry a [`MachineState`]
 /// snapshot; faults additionally carry [`FaultInfo`] provenance.
@@ -122,6 +128,9 @@ pub struct RunResult {
     /// (exact by construction), FIFO occupancy histograms, memory-port
     /// utilization and per-SCU element counts.
     pub perf: Stats,
+    /// The stepping engine that produced this result. Both engines yield
+    /// bit-identical cycles and counters; this records which one ran.
+    pub engine: Engine,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -256,8 +265,8 @@ enum StreamTarget {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Scu {
-    active: bool,
+pub(crate) struct Scu {
+    pub(crate) active: bool,
     dir_in: bool,
     fifo: DataFifo,
     target: StreamTarget,
@@ -267,7 +276,7 @@ struct Scu {
     width: Width,
     gen: u32,
     /// Cycle at which the SCU may issue its first request.
-    ready_at: u64,
+    pub(crate) ready_at: u64,
     /// Configuration order: an in-stream's prefetch must wait for
     /// overlapping writes of out-streams configured *before* it (they
     /// precede it in program order), but not for younger ones (a
@@ -295,9 +304,9 @@ enum MemOp {
 
 /// A memory request in flight.
 #[derive(Debug)]
-struct Flight {
+pub(crate) struct Flight {
     /// Delivery cycle (includes injected delay and jitter).
-    due: u64,
+    pub(crate) due: u64,
     op: MemOp,
     /// Fault injection: the response is discarded at delivery time.
     dropped: bool,
@@ -326,14 +335,14 @@ pub struct TraceEvent {
 /// The simulated machine. Use [`WmMachine::run`] for the common case.
 pub struct WmMachine<'m> {
     module: &'m Module,
-    config: WmConfig,
+    pub(crate) config: WmConfig,
     mem: MemoryImage,
     ieu: Unit,
     feu: Unit,
     veu: Veu,
-    scus: Vec<Scu>,
+    pub(crate) scus: Vec<Scu>,
     store_q: VecDeque<PendingStore>,
-    in_flight: VecDeque<Flight>,
+    pub(crate) in_flight: VecDeque<Flight>,
     pc: Option<Pc>,
     ret_stack: Vec<Pc>,
     /// IFU-side per-stream dispatch counters for `jNI` jumps.
@@ -341,12 +350,12 @@ pub struct WmMachine<'m> {
     /// IFU-side vector-termination counter for `jNIv` jumps.
     dispatch_vec: Option<i64>,
     output: Vec<u8>,
-    stats: SimStats,
-    cycle: u64,
-    last_progress: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) cycle: u64,
+    pub(crate) last_progress: u64,
     ports_used: u32,
     /// The IFU is held (e.g. by builtin I/O) until this cycle.
-    ifu_hold: u64,
+    pub(crate) ifu_hold: u64,
     /// Monotonic stream-configuration counter (see `Scu::seq`).
     scu_seq: u64,
     /// Memory requests issued so far (fault injection numbers requests
@@ -356,14 +365,20 @@ pub struct WmMachine<'m> {
     dropped_responses: u64,
     /// Execution trace (populated only when enabled).
     trace: Vec<TraceEvent>,
-    trace_enabled: bool,
+    pub(crate) trace_enabled: bool,
     /// Performance counters (always on; cheap enough to keep hot).
-    perf: Stats,
+    pub(crate) perf: Stats,
     /// FIFO-depth change points (populated only when enabled).
     timeline: Vec<DepthSample>,
-    timeline_enabled: bool,
+    pub(crate) timeline_enabled: bool,
     /// Last recorded depth per tracked FIFO (timeline compression).
     last_depths: [usize; FIFO_NAMES.len()],
+    /// What every unit did in the cycle just simulated (consulted by the
+    /// fast-forward engine to decide whether the state can repeat).
+    pub(crate) last_outcomes: CycleOutcomes,
+    /// Fast-forwarded spans (collected only when tracing/timeline is on;
+    /// exported as coalesced stall spans in the Chrome trace).
+    pub(crate) ff_spans: Vec<FfSpan>,
 }
 
 impl<'m> WmMachine<'m> {
@@ -444,6 +459,8 @@ impl<'m> WmMachine<'m> {
             timeline: Vec::new(),
             timeline_enabled: false,
             last_depths: [0; FIFO_NAMES.len()],
+            last_outcomes: CycleOutcomes::new(config.num_scus),
+            ff_spans: Vec::new(),
         })
     }
 
@@ -495,6 +512,14 @@ impl<'m> WmMachine<'m> {
         &self.perf
     }
 
+    /// The fast-forwarded spans collected so far (empty unless the event
+    /// engine ran with tracing or the timeline enabled). Consumed by the
+    /// Chrome trace exporter, which renders each as one coalesced stall
+    /// span per unit.
+    pub fn ff_spans(&self) -> &[FfSpan] {
+        &self.ff_spans
+    }
+
     fn record(&mut self, unit: &'static str, kind: &InstKind) {
         if self.trace_enabled {
             self.trace.push(TraceEvent {
@@ -530,17 +555,22 @@ impl<'m> WmMachine<'m> {
         Ok(())
     }
 
-    /// Simulate until the entry function returns.
+    /// Simulate until the entry function returns, stepping with the
+    /// engine selected by [`WmConfig::engine`].
     pub fn run_to_completion(&mut self) -> Result<RunResult, SimError> {
+        let engine = self.config.engine;
         while !self.halted() {
-            self.step()?;
+            match engine {
+                Engine::Cycle => self.step()?,
+                Engine::Event => self.step_event()?,
+            }
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::Timeout {
                     cycles: self.config.max_cycles,
                     state: Box::new(self.snapshot()),
                 });
             }
-            if self.cycle - self.last_progress > 10_000 {
+            if self.cycle - self.last_progress > DEADLOCK_WINDOW {
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
                     detail: self.diagnose(),
@@ -557,6 +587,7 @@ impl<'m> WmMachine<'m> {
             output: self.output.clone(),
             stats: self.stats,
             perf: self.perf.clone(),
+            engine,
         })
     }
 
@@ -642,7 +673,7 @@ impl<'m> WmMachine<'m> {
     }
 
     /// Has fault injection disabled SCU `i` by the current cycle?
-    fn scu_disabled(&self, i: usize) -> bool {
+    pub(crate) fn scu_disabled(&self, i: usize) -> bool {
         self.config
             .fault_plan
             .disable_scus
@@ -797,11 +828,9 @@ impl<'m> WmMachine<'m> {
         Ok(())
     }
 
-    /// End-of-cycle bookkeeping: FIFO occupancy histograms, memory-port
-    /// utilization and (when enabled) the FIFO-depth timeline.
-    fn sample_perf(&mut self) {
-        self.perf.cycles = self.cycle;
-        let depths = [
+    /// Occupancy of every tracked FIFO, in [`FIFO_NAMES`] order.
+    pub(crate) fn fifo_depths(&self) -> [usize; FIFO_NAMES.len()] {
+        [
             self.ieu.ins[0].q.len(),
             self.ieu.ins[1].q.len(),
             self.ieu.out.len(),
@@ -810,7 +839,14 @@ impl<'m> WmMachine<'m> {
             self.feu.ins[1].q.len(),
             self.feu.out.len(),
             self.feu.cc.len(),
-        ];
+        ]
+    }
+
+    /// End-of-cycle bookkeeping: FIFO occupancy histograms, memory-port
+    /// utilization and (when enabled) the FIFO-depth timeline.
+    fn sample_perf(&mut self) {
+        self.perf.cycles = self.cycle;
+        let depths = self.fifo_depths();
         for (h, &d) in self.perf.fifos.iter_mut().zip(depths.iter()) {
             h.sample(d);
         }
@@ -1025,8 +1061,14 @@ impl<'m> WmMachine<'m> {
     fn unit_step(&mut self, class: RegClass) -> Result<(), SimError> {
         let outcome = self.unit_step_inner(class)?;
         match class {
-            RegClass::Int => self.perf.ieu.record(outcome),
-            RegClass::Flt => self.perf.feu.record(outcome),
+            RegClass::Int => {
+                self.perf.ieu.record(outcome);
+                self.last_outcomes.ieu = outcome;
+            }
+            RegClass::Flt => {
+                self.perf.feu.record(outcome);
+                self.last_outcomes.feu = outcome;
+            }
         }
         Ok(())
     }
@@ -1474,6 +1516,7 @@ impl<'m> WmMachine<'m> {
         for i in 0..self.scus.len() {
             let outcome = self.scu_step_one(i)?;
             self.perf.scus[i].unit.record(outcome);
+            self.last_outcomes.scus[i] = outcome;
         }
         Ok(())
     }
@@ -1637,6 +1680,7 @@ impl<'m> WmMachine<'m> {
     fn veu_step(&mut self) -> Result<(), SimError> {
         let outcome = self.veu_step_inner()?;
         self.perf.veu.record(outcome);
+        self.last_outcomes.veu = outcome;
         Ok(())
     }
 
@@ -1910,6 +1954,7 @@ impl<'m> WmMachine<'m> {
         // control instructions the IFU itself executed this cycle
         self.perf.ifu.retired += self.stats.insts_ifu - before;
         self.perf.ifu.record(outcome);
+        self.last_outcomes.ifu = outcome;
         Ok(())
     }
 

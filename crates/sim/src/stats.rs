@@ -131,10 +131,16 @@ pub struct UnitCounters {
 impl UnitCounters {
     /// Record one cycle's outcome.
     pub fn record(&mut self, outcome: Outcome) {
+        self.record_n(outcome, 1);
+    }
+
+    /// Record `n` consecutive cycles with the same outcome (the
+    /// fast-forward engine's bulk accounting of a skipped stall span).
+    pub fn record_n(&mut self, outcome: Outcome, n: u64) {
         match outcome {
-            Outcome::Active => self.active += 1,
-            Outcome::Idle => self.idle += 1,
-            Outcome::Stall(s) => self.stall[s as usize] += 1,
+            Outcome::Active => self.active += n,
+            Outcome::Idle => self.idle += n,
+            Outcome::Stall(s) => self.stall[s as usize] += n,
         }
     }
 
@@ -183,8 +189,14 @@ pub struct FifoHist {
 impl FifoHist {
     /// Record one cycle at `depth` (clamped into the last bucket).
     pub fn sample(&mut self, depth: usize) {
+        self.sample_n(depth, 1);
+    }
+
+    /// Record `n` consecutive cycles at the same `depth` (bulk accounting
+    /// for fast-forwarded spans, during which no FIFO depth changes).
+    pub fn sample_n(&mut self, depth: usize, n: u64) {
         let i = depth.min(self.depth.len() - 1);
-        self.depth[i] += 1;
+        self.depth[i] += n;
     }
 
     /// Mean occupancy over the sampled cycles.

@@ -1,0 +1,235 @@
+//! Engine equivalence: the event-driven fast-forward engine must be
+//! observationally indistinguishable from the per-cycle reference
+//! stepper. Not "close" — **bit-identical**: same cycle counts, same
+//! full `Stats` (every stall bucket, FIFO histogram cell and port
+//! histogram cell), same results and output, and on failing runs the
+//! same error down to the fault provenance and machine-state dump.
+//!
+//! The matrix crosses programs that exercise every unit (scalar loops,
+//! FP, streams, builtin I/O) with degraded hardware configurations and
+//! fault-injection plans, including ones that end in deadlock.
+
+use wm_ir::Module;
+use wm_opt::{optimize_generic, optimize_wm, OptOptions};
+use wm_sim::{Engine, FaultPlan, RunResult, SimError, WmConfig, WmMachine};
+use wm_target::{allocate_registers, expand_wm, TargetKind};
+
+/// Compile a module for the WM with the given options.
+fn compile(src: &str, opts: &OptOptions) -> Module {
+    let mut module = wm_frontend::compile(src).expect("compiles");
+    for f in module.functions.iter_mut() {
+        optimize_generic(f, opts);
+        expand_wm(f);
+        optimize_wm(f, opts);
+        allocate_registers(f, TargetKind::Wm).expect("allocates");
+    }
+    module
+}
+
+/// Run `module` under both engines and assert every observable is
+/// identical. Returns the (shared) outcome for further checks.
+fn assert_equivalent(module: &Module, cfg: &WmConfig, label: &str) -> Result<RunResult, SimError> {
+    let cycle = WmMachine::run(module, "main", &[], &cfg.clone().with_engine(Engine::Cycle));
+    let event = WmMachine::run(module, "main", &[], &cfg.clone().with_engine(Engine::Event));
+    match (cycle, event) {
+        (Ok(c), Ok(e)) => {
+            assert_eq!(c.cycles, e.cycles, "{label}: cycle count differs");
+            assert_eq!(c.ret_int, e.ret_int, "{label}: integer result differs");
+            assert_eq!(c.ret_flt, e.ret_flt, "{label}: FP result differs");
+            assert_eq!(c.output, e.output, "{label}: program output differs");
+            assert_eq!(c.stats, e.stats, "{label}: SimStats differ");
+            assert_eq!(c.perf, e.perf, "{label}: performance counters differ");
+            e.perf
+                .check_attribution()
+                .unwrap_or_else(|err| panic!("{label}: event-engine attribution broken: {err}"));
+            assert_eq!(c.engine, Engine::Cycle);
+            assert_eq!(e.engine, Engine::Event);
+            Ok(e)
+        }
+        // SimError (including the fault provenance and the full
+        // machine-state dump inside Deadlock/Fault) derives PartialEq,
+        // so one assertion covers the failing cycle, the wedge
+        // diagnosis, FIFO occupancy at death — everything.
+        (Err(c), Err(e)) => {
+            assert_eq!(c, e, "{label}: engines fail differently");
+            Err(e)
+        }
+        (Ok(c), Err(e)) => panic!(
+            "{label}: cycle engine succeeded ({} cycles) but event engine failed: {e}",
+            c.cycles
+        ),
+        (Err(c), Ok(e)) => panic!(
+            "{label}: event engine succeeded ({} cycles) but cycle engine failed: {c}",
+            e.cycles
+        ),
+    }
+}
+
+/// Degraded hardware matrix (mirrors the CI degraded-hardware job) plus
+/// fault plans that delay and jitter responses.
+fn configs() -> Vec<(&'static str, WmConfig)> {
+    vec![
+        ("default", WmConfig::default()),
+        ("fifo=1", WmConfig::default().with_fifo_capacity(1)),
+        ("ports=1", WmConfig::default().with_mem_ports(1)),
+        ("latency=24", WmConfig::default().with_mem_latency(24)),
+        (
+            "fifo=1,ports=1,latency=24",
+            WmConfig::default()
+                .with_fifo_capacity(1)
+                .with_mem_ports(1)
+                .with_mem_latency(24),
+        ),
+        (
+            "jitter+delays",
+            WmConfig::default()
+                .with_mem_ports(1)
+                .with_fault_plan(FaultPlan::parse("jitter:11:9,delay:3:40,delay:17:40").unwrap()),
+        ),
+    ]
+}
+
+/// Programs that exercise the IEU, FEU, streams, and builtin I/O.
+fn programs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "scalar-loop",
+            "int main() { int s; int i; s = 0; for (i = 1; i <= 200; i++) s = s + i; return s; }",
+        ),
+        (
+            "fp-array",
+            r"
+            double a[128]; double b[128];
+            int main() {
+                int i; double s;
+                for (i = 0; i < 128; i++) { a[i] = i * 0.5; b[i] = 128 - i; }
+                s = 0.0;
+                for (i = 0; i < 128; i++) s = s + a[i] * b[i];
+                return (int) s;
+            }
+            ",
+        ),
+        (
+            "dot-stream",
+            r"
+            int a[256]; int b[256];
+            int main() {
+                int i; int s;
+                for (i = 0; i < 256; i++) { a[i] = i; b[i] = 2 * i; }
+                s = 0;
+                for (i = 0; i < 256; i++) s = s + a[i] * b[i];
+                return s % 10007;
+            }
+            ",
+        ),
+        (
+            "io-putchar",
+            r"
+            int main() {
+                int i;
+                for (i = 0; i < 26; i++) putchar(65 + i);
+                putchar(10);
+                return 0;
+            }
+            ",
+        ),
+    ]
+}
+
+#[test]
+fn engines_agree_across_degraded_matrix() {
+    for (prog_name, src) in programs() {
+        for opts in [OptOptions::all(), OptOptions::all().without_streaming()] {
+            let module = compile(src, &opts);
+            for (cfg_name, cfg) in configs() {
+                let label = format!("{prog_name} [{cfg_name}]");
+                let r = assert_equivalent(&module, &cfg, &label)
+                    .unwrap_or_else(|e| panic!("{label}: unexpected failure: {e}"));
+                assert!(r.cycles > 0, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_dropped_response_deadlock() {
+    // Dropping a response wedges the machine; both engines must report
+    // the deadlock at the same cycle with the same wedge diagnosis.
+    let module = compile(
+        r"
+        int a[64];
+        int main() {
+            int i; int s;
+            for (i = 0; i < 64; i++) a[i] = i;
+            s = 0;
+            for (i = 0; i < 64; i++) s = s + a[i];
+            return s;
+        }
+        ",
+        &OptOptions::all(),
+    );
+    // The first loop issues 64 stream writes (requests 1–64); request 80
+    // is one of the second loop's stream reads, and a read that never
+    // returns starves the stream for good.
+    let cfg = WmConfig::default()
+        .with_max_cycles(100_000)
+        .with_fault_plan(FaultPlan::parse("drop:80").unwrap());
+    let e = assert_equivalent(&module, &cfg, "dropped-response").unwrap_err();
+    assert!(
+        matches!(e, SimError::Deadlock { .. }),
+        "expected a deadlock, got: {e}"
+    );
+}
+
+#[test]
+fn engines_agree_on_scu_kill() {
+    // Disabling an SCU mid-run: the attribution flips to
+    // `stall:disabled` at the exact kill cycle in both engines (the kill
+    // cycle is a fast-forward event), and the run wedges identically.
+    let module = compile(
+        r"
+        int a[4096]; int b[4096];
+        int main() {
+            int i; int s;
+            for (i = 0; i < 4096; i++) { a[i] = i; b[i] = i; }
+            s = 0;
+            for (i = 0; i < 4096; i++) s = s + a[i] * b[i];
+            return s % 10007;
+        }
+        ",
+        &OptOptions::all().assume_noalias(),
+    );
+    for kill_cycle in [100, 5_000, 20_000] {
+        let cfg = WmConfig::default()
+            .with_max_cycles(200_000)
+            .with_fault_plan(FaultPlan {
+                disable_scus: vec![(0, kill_cycle), (1, kill_cycle)],
+                ..FaultPlan::default()
+            });
+        // Whether this deadlocks or survives depends on whether the
+        // streams outlive the kill cycle; either way both engines must
+        // agree exactly.
+        let _ = assert_equivalent(&module, &cfg, &format!("scu-kill@{kill_cycle}"));
+    }
+}
+
+#[test]
+fn engines_agree_on_cycle_limit_timeout() {
+    // An infinite loop must time out at exactly `max_cycles` under both
+    // engines (the fast-forward clamps its jumps to the limit).
+    let module = compile("int main() { while (1) {} return 0; }", &OptOptions::all());
+    let cfg = WmConfig::default().with_max_cycles(7_777);
+    let e = assert_equivalent(&module, &cfg, "timeout").unwrap_err();
+    assert!(
+        matches!(e, SimError::Timeout { .. } | SimError::Deadlock { .. }),
+        "expected timeout or deadlock, got: {e}"
+    );
+}
+
+#[test]
+fn event_engine_is_the_default() {
+    let module = compile("int main() { return 41 + 1; }", &OptOptions::all());
+    let r = WmMachine::run(&module, "main", &[], &WmConfig::default()).expect("runs");
+    assert_eq!(r.engine, Engine::Event);
+    assert_eq!(r.ret_int, 42);
+}

@@ -9,7 +9,8 @@
 //! returns a result is a miscompilation, and so is a spurious fault.
 
 use proptest::prelude::*;
-use wm_stream::{Compiler, MachineModel, OptOptions, Target};
+use wm_stream::sim::Engine;
+use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 
 /// Case count, overridable for deeper CI sweeps.
 fn cases() -> u32 {
@@ -69,17 +70,18 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
     })
 }
 
-/// Run on the WM at one opt level; a memory fault is a legitimate outcome
-/// (`Err`), anything else non-Ok (deadlock, timeout) is a test failure.
-fn run_wm_level(src: &str, opts: &OptOptions) -> Result<i64, String> {
+/// Run on the WM at one opt level under the chosen stepping engine; a
+/// memory fault is a legitimate outcome (`Err`), anything else non-Ok
+/// (deadlock, timeout) is a test failure.
+fn run_wm_level(src: &str, opts: &OptOptions, engine: Engine) -> Result<i64, String> {
     let c = Compiler::new()
         .options(opts.clone())
         .compile(src)
         .expect("compiles");
-    match c.run_wm("main", &[]) {
+    match c.run_wm_config("main", &[], &WmConfig::default().with_engine(engine)) {
         Ok(r) => Ok(r.ret_int),
         Err(e @ wm_stream::sim::SimError::Fault { .. }) => Err(e.to_string()),
-        Err(e) => panic!("non-fault failure under {opts:?}: {e}\n{src}"),
+        Err(e) => panic!("non-fault failure under {opts:?} ({engine}): {e}\n{src}"),
     }
 }
 
@@ -102,17 +104,27 @@ proptest! {
     })]
 
     #[test]
-    fn random_programs_agree_across_opt_levels_and_machines(src in arbitrary_program()) {
-        let reference = run_wm_level(&src, &OptOptions::none());
+    fn random_programs_agree_across_opt_levels_and_machines(
+        src in arbitrary_program(),
+        flips in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        // The reference runs on the per-cycle stepper; each opt level
+        // draws its engine at random so every fuzzed program also
+        // exercises cycle/event equivalence.
+        let reference = run_wm_level(&src, &OptOptions::none(), Engine::Cycle);
 
-        for opts in [
+        for (opts, flip) in [
             OptOptions::all().without_recurrence().without_streaming(),
             OptOptions::all().without_streaming(),
             OptOptions::all(),
             OptOptions::all().with_speculative_streams(),
             OptOptions::all().with_vectorization(),
-        ] {
-            let r = run_wm_level(&src, &opts);
+        ]
+        .into_iter()
+        .zip(flips)
+        {
+            let engine = if flip { Engine::Event } else { Engine::Cycle };
+            let r = run_wm_level(&src, &opts, engine);
             match (&reference, &r) {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "options {:?}\n{}", opts, src),
                 (Err(_), Err(_)) => {} // both fault: agreement
@@ -132,6 +144,35 @@ proptest! {
                 false,
                 "fault-or-value disagreement on the scalar machine: {:?} vs {:?}\n{}",
                 reference, r, src
+            ),
+        }
+    }
+
+    #[test]
+    fn random_programs_get_identical_stats_from_both_engines(src in arbitrary_program()) {
+        // Beyond fault-or-value agreement: on the fully optimized build,
+        // the two engines must be bit-identical in every observable —
+        // cycles, results, and the complete per-unit counter set.
+        let c = Compiler::new()
+            .options(OptOptions::all())
+            .compile(&src)
+            .expect("compiles");
+        let cycle = c.run_wm_config("main", &[], &WmConfig::default().with_engine(Engine::Cycle));
+        let event = c.run_wm_config("main", &[], &WmConfig::default().with_engine(Engine::Event));
+        match (cycle, event) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.cycles, b.cycles, "cycle count differs\n{}", &src);
+                prop_assert_eq!(a.ret_int, b.ret_int, "result differs\n{}", &src);
+                prop_assert_eq!(a.stats, b.stats, "SimStats differ\n{}", &src);
+                prop_assert_eq!(a.perf, b.perf, "counters differ\n{}", &src);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(
+                a.to_string(), b.to_string(), "engines fail differently\n{}", &src
+            ),
+            (a, b) => prop_assert!(
+                false,
+                "one engine failed where the other succeeded: {:?} vs {:?}\n{}",
+                a.map(|r| r.cycles), b.map(|r| r.cycles), src
             ),
         }
     }

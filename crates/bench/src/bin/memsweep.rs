@@ -1,0 +1,284 @@
+//! `memsweep` — memory-hierarchy sensitivity sweep.
+//!
+//! The paper's central claim is that access/execute decoupling makes
+//! performance insensitive to memory latency: the SCUs run ahead of the
+//! execute units, so a WM loses little as miss latency grows, while a
+//! scalar machine pays the full latency on every miss. This tool
+//! measures that directly on the simulator's hierarchical memory models:
+//!
+//! * **latency sweep** — every workload compiled both ways (scalar =
+//!   classical optimizations only, streaming = full WM pipeline) under
+//!   `cache:miss=L` for each swept miss latency `L`; the table reports
+//!   cycles and the streaming-vs-scalar speedup per point;
+//! * **bandwidth sweep** — the same pairs under `banked:banks=B` for
+//!   each swept bank count, showing how DRAM bank parallelism feeds the
+//!   stream buffers.
+//!
+//! ```text
+//! memsweep                         sweep the suite, write MEMSWEEP.json
+//! memsweep --latencies 6,24,64     miss latencies for the cache sweep
+//! memsweep --banks 1,2,8           bank counts for the banked sweep
+//! memsweep --out FILE              write results to FILE instead
+//! memsweep --check                 fail (exit 1) unless the streaming
+//!                                  speedup grows monotonically with miss
+//!                                  latency on the stream-heavy kernels
+//! ```
+//!
+//! `--check` is the CI gate for the paper's qualitative result: on
+//! kernels the compiler streams well, decoupling must tolerate latency
+//! (speedup non-decreasing in `L`); compute-bound or poorly streamed
+//! programs are reported but not gated.
+
+use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
+
+/// Kernels whose inner loops stream fully: the latency-tolerance gate
+/// applies to these. (`iir`, `dhrystone`, `sieve` keep scalar accesses
+/// or control flow in the loop and are informational only.)
+const STREAM_HEAVY: [&str; 2] = ["dot-product", "livermore5"];
+
+/// One measured (workload, model-point) pair.
+struct Point {
+    workload: String,
+    /// `"cache:miss=24"` or `"banked:banks=2"` — the swept spec.
+    spec: String,
+    /// The swept axis value (miss latency or bank count).
+    x: u64,
+    scalar_cycles: u64,
+    streaming_cycles: u64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.scalar_cycles as f64 / self.streaming_cycles as f64
+    }
+}
+
+fn suite() -> Vec<Workload> {
+    let mut v = vec![wm_stream::workloads::livermore5()];
+    let keep = ["dot-product", "sieve", "iir", "dhrystone"];
+    v.extend(
+        wm_stream::workloads::table2()
+            .into_iter()
+            .filter(|w| keep.contains(&w.name)),
+    );
+    v
+}
+
+/// Cycles for one workload under one optimizer config and memory model.
+fn run(w: &Workload, opts: &OptOptions, spec: &str) -> u64 {
+    let compiled = Compiler::new()
+        .options(opts.clone())
+        .compile(w.source)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let cfg = WmConfig::default()
+        .with_mem_model(MemModel::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}")));
+    let r = compiled
+        .run_wm_config("main", &[], &cfg)
+        .unwrap_or_else(|e| panic!("{} [{spec}]: {e}", w.name));
+    w.check(r.ret_int);
+    r.cycles
+}
+
+fn measure(w: &Workload, spec: &str, x: u64) -> Point {
+    let scalar = OptOptions::all()
+        .without_recurrence()
+        .without_streaming()
+        .assume_noalias();
+    let streaming = OptOptions::all().assume_noalias();
+    Point {
+        workload: w.name.to_string(),
+        spec: spec.to_string(),
+        x,
+        scalar_cycles: run(w, &scalar, spec),
+        streaming_cycles: run(w, &streaming, spec),
+    }
+}
+
+fn print_table(title: &str, axis: &str, points: &[Point]) {
+    eprintln!("memsweep: {title}");
+    eprintln!(
+        "  {:<12} {:>8} {:>12} {:>12} {:>9}",
+        "workload", axis, "scalar", "streaming", "speedup"
+    );
+    for p in points {
+        eprintln!(
+            "  {:<12} {:>8} {:>12} {:>12} {:>8.2}x",
+            p.workload,
+            p.x,
+            p.scalar_cycles,
+            p.streaming_cycles,
+            p.speedup()
+        );
+    }
+}
+
+fn results_json(latency: &[Point], banks: &[Point]) -> String {
+    let table = |points: &[Point]| -> String {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"workload\": \"{}\", \"spec\": \"{}\", \"x\": {}, \
+                     \"scalar_cycles\": {}, \"streaming_cycles\": {}, \"speedup\": {:.4}}}",
+                    p.workload,
+                    p.spec,
+                    p.x,
+                    p.scalar_cycles,
+                    p.streaming_cycles,
+                    p.speedup()
+                )
+            })
+            .collect();
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    };
+    format!(
+        "{{\n  \"schema\": \"wm-bench-memsweep-v1\",\n  \"stream_heavy\": [{}],\n  \
+         \"latency_sweep\": {},\n  \"bandwidth_sweep\": {}\n}}\n",
+        STREAM_HEAVY
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        table(latency),
+        table(banks)
+    )
+}
+
+/// The latency-tolerance gate: on every stream-heavy kernel the speedup
+/// must grow with miss latency — strictly from the first swept point to
+/// the last, and with no intermediate step falling more than 1% (the
+/// MSHRs can fully hide two adjacent short latencies, leaving a flat
+/// step whose ratio jitters in the fourth digit). Returns violations.
+fn check_monotone(latency: &[Point]) -> Vec<String> {
+    const STEP_TOLERANCE: f64 = 0.99;
+    let mut failures = Vec::new();
+    for name in STREAM_HEAVY {
+        let series: Vec<&Point> = latency.iter().filter(|p| p.workload == name).collect();
+        for pair in series.windows(2) {
+            if pair[1].speedup() < pair[0].speedup() * STEP_TOLERANCE {
+                failures.push(format!(
+                    "{name}: speedup fell from {:.3}x (miss={}) to {:.3}x (miss={})",
+                    pair[0].speedup(),
+                    pair[0].x,
+                    pair[1].speedup(),
+                    pair[1].x
+                ));
+            }
+        }
+        if let (Some(first), Some(last)) = (series.first(), series.last()) {
+            if series.len() > 1 && last.speedup() <= first.speedup() {
+                failures.push(format!(
+                    "{name}: speedup did not grow across the sweep \
+                     ({:.3}x at miss={} vs {:.3}x at miss={})",
+                    first.speedup(),
+                    first.x,
+                    last.speedup(),
+                    last.x
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<u64> {
+    let v: Vec<u64> = s
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("memsweep: {flag} takes a comma-separated list of integers");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if v.is_empty() {
+        eprintln!("memsweep: {flag} must name at least one value");
+        std::process::exit(2);
+    }
+    v
+}
+
+fn main() {
+    let mut out = "MEMSWEEP.json".to_string();
+    let mut latencies: Vec<u64> = vec![6, 24, 64];
+    let mut bank_counts: Vec<u64> = vec![1, 2, 8];
+    let mut gate = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("memsweep: missing argument value");
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--out" => out = need(&mut i),
+            "--latencies" => latencies = parse_list(&need(&mut i), "--latencies"),
+            "--banks" => bank_counts = parse_list(&need(&mut i), "--banks"),
+            "--check" => gate = true,
+            other => {
+                eprintln!(
+                    "memsweep: unknown option {other}\n\
+                     usage: memsweep [--latencies N,N,...] [--banks N,N,...]\n\
+                     [--out FILE] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let workloads = suite();
+    let mut latency_points = Vec::new();
+    for w in &workloads {
+        for &l in &latencies {
+            latency_points.push(measure(w, &format!("cache:miss={l}"), l));
+        }
+    }
+    let mut bank_points = Vec::new();
+    for w in &workloads {
+        for &b in &bank_counts {
+            bank_points.push(measure(w, &format!("banked:banks={b}"), b));
+        }
+    }
+
+    print_table(
+        "latency sweep (cache, miss latency L)",
+        "miss",
+        &latency_points,
+    );
+    print_table(
+        "bandwidth sweep (banked DRAM, B banks)",
+        "banks",
+        &bank_points,
+    );
+
+    if let Err(e) = std::fs::write(&out, results_json(&latency_points, &bank_points)) {
+        eprintln!("memsweep: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "memsweep: wrote {} latency and {} bandwidth points to {out}",
+        latency_points.len(),
+        bank_points.len()
+    );
+
+    if gate {
+        let failures = check_monotone(&latency_points);
+        if failures.is_empty() {
+            eprintln!(
+                "memsweep: latency-tolerance gate passed (speedup non-decreasing in miss \
+                 latency on {})",
+                STREAM_HEAVY.join(", ")
+            );
+        } else {
+            for f in &failures {
+                eprintln!("memsweep: LATENCY-TOLERANCE VIOLATION {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //! perf --engine cycle|event        simulation engine (default event)
 //! perf --hw default|latency24      hardware model (latency24 = 24-cycle
 //!                                  memory, one port: the degraded config)
+//! perf --mem MODEL                 memory-system model (flat, cache[:k=v,..]
+//!                                  or banked[:k=v,..]; see `wmcc --help`);
+//!                                  recorded in the output, and --check is
+//!                                  refused unless flat since the baseline
+//!                                  holds flat-memory cycles
 //! perf --out FILE                  write results to FILE instead
 //! perf --check bench/baseline.json fail (exit 1) if any workload's cycles
 //!                                  regressed >2% against the baseline
@@ -40,7 +45,7 @@ use std::time::Instant;
 
 use wm_bench::json::{self, Value};
 use wm_stream::sim::Engine;
-use wm_stream::{Compiler, OptOptions, WmConfig, Workload};
+use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
 
 /// Allowed cycle-count growth before `--check` fails, as a fraction.
 const TOLERANCE: f64 = 0.02;
@@ -57,6 +62,7 @@ struct RunRecord {
 struct Meta {
     engine: Engine,
     hw: Hw,
+    mem: MemModel,
     reps: usize,
     jobs: usize,
 }
@@ -181,6 +187,7 @@ fn run_pair(
 fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
     let mut cfg = meta.hw.config();
     cfg.engine = meta.engine;
+    cfg.mem_model = meta.mem.clone();
     let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(fast)
         .into_iter()
         .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
@@ -219,9 +226,11 @@ fn results_json(
     let mut out = String::from("{\n  \"schema\": \"wm-bench-perf-v1\",\n");
     if let Some((m, speedup)) = meta {
         out.push_str(&format!(
-            "  \"engine\": \"{}\",\n  \"hw\": \"{}\",\n  \"reps\": {},\n  \"jobs\": {},\n",
+            "  \"engine\": \"{}\",\n  \"hw\": \"{}\",\n  \"mem\": \"{}\",\n  \
+             \"reps\": {},\n  \"jobs\": {},\n",
             m.engine,
             m.hw.name(),
+            m.mem,
             m.reps,
             m.jobs
         ));
@@ -341,6 +350,7 @@ fn main() {
     let mut meta = Meta {
         engine: Engine::default(),
         hw: Hw::Default,
+        mem: MemModel::default(),
         reps: 3,
         jobs: 1,
     };
@@ -362,6 +372,12 @@ fn main() {
             "--write-baseline" => baseline_out = Some(need(&mut i)),
             "--engine" => {
                 meta.engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("perf: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--mem" => {
+                meta.mem = MemModel::parse(&need(&mut i)).unwrap_or_else(|e| {
                     eprintln!("perf: {e}");
                     std::process::exit(2);
                 })
@@ -394,8 +410,9 @@ fn main() {
                 eprintln!(
                     "perf: unknown option {other}\n\
                      usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event]\n\
-                     [--hw default|latency24] [--out FILE] [--check BASELINE]\n\
-                     [--compare RESULTS] [--write-baseline FILE]"
+                     [--hw default|latency24] [--mem flat|cache[:k=v,..]|banked[:k=v,..]]\n\
+                     [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
+                     [--write-baseline FILE]"
                 );
                 std::process::exit(2);
             }
@@ -404,6 +421,10 @@ fn main() {
     }
     if check_path.is_some() && meta.hw != Hw::Default {
         eprintln!("perf: --check requires --hw default (the baseline holds default-hw cycles)");
+        std::process::exit(2);
+    }
+    if check_path.is_some() && !meta.mem.is_flat() {
+        eprintln!("perf: --check requires --mem flat (the baseline holds flat-memory cycles)");
         std::process::exit(2);
     }
     if meta.reps == 0 || meta.jobs == 0 {

@@ -4,9 +4,9 @@
 //! the simulator's writer (`Stats::to_json`) and `wm_bench::json`.
 
 use wm_bench::json::{self, Value};
-use wm_stream::{Compiler, OptOptions, WmConfig};
+use wm_stream::{Compiler, MemModel, OptOptions, WmConfig};
 
-fn run_dot_product() -> wm_stream::RunResult {
+fn run_dot_product_config(cfg: &WmConfig) -> wm_stream::RunResult {
     let w = wm_stream::workloads::table2()
         .into_iter()
         .find(|w| w.name == "dot-product")
@@ -15,8 +15,12 @@ fn run_dot_product() -> wm_stream::RunResult {
         .options(OptOptions::all().assume_noalias())
         .compile(w.source)
         .expect("compiles")
-        .run_wm_config("main", &[], &WmConfig::default())
+        .run_wm_config("main", &[], cfg)
         .expect("runs")
+}
+
+fn run_dot_product() -> wm_stream::RunResult {
+    run_dot_product_config(&WmConfig::default())
 }
 
 #[test]
@@ -91,6 +95,46 @@ fn stats_json_round_trips_through_the_hand_parser() {
         .collect();
     assert_eq!(ports, stats.ports);
     assert_eq!(ports.iter().sum::<u64>(), stats.cycles);
+}
+
+#[test]
+fn hierarchy_counters_round_trip_through_the_hand_parser() {
+    // Under a hierarchical memory model the document gains a "mem"
+    // object; the hand parser must read it back exactly, and the
+    // stream-buffer occupancy histogram must cover every cycle (the same
+    // contract the FIFO histograms obey).
+    let r = run_dot_product_config(
+        &WmConfig::default().with_mem_model(MemModel::parse("banked").unwrap()),
+    );
+    let stats = &r.perf;
+    let m = stats.mem.as_ref().expect("hierarchical stats present");
+    let doc = json::parse(&stats.to_json()).expect("stats JSON parses");
+    let j = doc.get("mem").expect("mem object present");
+    for (key, val) in [
+        ("hits", m.hits),
+        ("misses", m.misses),
+        ("evictions", m.evictions),
+        ("writebacks", m.writebacks),
+        ("invalidations", m.invalidations),
+        ("sb_hits", m.sb_hits),
+        ("sb_misses", m.sb_misses),
+        ("sb_prefetches", m.sb_prefetches),
+        ("bank_conflicts", m.bank_conflicts),
+        ("row_hits", m.row_hits),
+        ("row_misses", m.row_misses),
+    ] {
+        assert_eq!(j.get(key).unwrap().as_u64(), Some(val), "mem.{key}");
+    }
+    let occ: Vec<u64> = j
+        .get("sb_occupancy")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(occ, m.sb_occupancy);
+    assert_eq!(occ.iter().sum::<u64>(), stats.cycles);
 }
 
 #[test]

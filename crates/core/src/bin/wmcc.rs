@@ -7,6 +7,8 @@
 //! wmcc prog.c --noalias               assume distinct pointer bases are disjoint
 //! wmcc prog.c --target scalar --machine vax8600
 //! wmcc prog.c --mem-latency 24 --mem-ports 1
+//! wmcc prog.c --mem cache:size=16384,miss=32
+//! wmcc prog.c --mem banked:banks=4,busy=8 --stats
 //! wmcc prog.c --engine cycle          step every cycle instead of fast-forwarding
 //! wmcc prog.c --entry kernel --args 100,7
 //! wmcc prog.c --inject drop:3,jitter:42:5
@@ -16,7 +18,7 @@
 use std::process::ExitCode;
 
 use wm_stream::sim::{Engine, FaultPlan, SimError};
-use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
+use wm_stream::{Compiler, MachineModel, MemModel, OptOptions, Target, WmConfig};
 
 struct Options {
     file: String,
@@ -38,7 +40,7 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--speculative-streams] [--emit] [--stats] [--stats-json FILE]
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
-               [--mem-latency N] [--mem-ports N] [--inject SPEC]
+               [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
                [--engine cycle|event]
 
   --stats                print per-unit performance counters (instructions
@@ -57,6 +59,22 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          forwards over spans where every unit is stalled or
                          idle, `cycle` steps every unit every cycle; both
                          produce bit-identical cycle counts and statistics
+  --mem MODEL            memory-system model (default flat). MODEL is
+                         flat | cache[:k=v,...] | banked[:k=v,...]:
+                           flat     every access takes --mem-latency cycles
+                           cache    L1 data cache + per-SCU stream buffers
+                                    over a fixed-latency backing store; keys
+                                    size, assoc, line, hit, miss, mshrs,
+                                    sbufs, depth, transfer
+                           banked   as cache, backed by banked DRAM with
+                                    open-row timing; adds banks, row,
+                                    rowhit, rowmiss, busy
+                         Scalar loads/stores go through the L1; stream
+                         traffic bypasses it via the stream buffers, so
+                         streamed code tolerates miss latency (the paper's
+                         access/execute decoupling). Timing-only: results
+                         never change, --stats gains a memory-hierarchy
+                         section
   --inject SPEC          deterministic fault injection; SPEC is a comma-
                          separated list of delay:N:C (delay memory request
                          #N's response by C cycles), drop:N (drop request
@@ -181,6 +199,12 @@ fn parse_args() -> Options {
                 o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--mem-ports" => o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mem" => {
+                o.config.mem_model = MemModel::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("wmcc: {e}");
+                    std::process::exit(2);
+                })
+            }
             f if !f.starts_with('-') && o.file.is_empty() => o.file = f.to_string(),
             _ => usage(),
         }

@@ -34,7 +34,7 @@ pub use wm_workloads as workloads;
 
 pub use wm_machines::{MachineModel, ScalarMachine, ScalarResult};
 pub use wm_opt::{OptOptions, OptStats};
-pub use wm_sim::{RunResult, WmConfig, WmMachine};
+pub use wm_sim::{MemModel, RunResult, WmConfig, WmMachine};
 pub use wm_workloads::Workload;
 
 use wm_ir::Module;

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use wm_ir::Module;
 use wm_opt::{optimize_generic, optimize_wm, OptOptions};
-use wm_sim::{Engine, WmConfig, WmMachine};
+use wm_sim::{Engine, MemModel, WmConfig, WmMachine};
 use wm_target::{allocate_registers, expand_wm, TargetKind};
 
 /// Compile livermore5 for the WM as the bench suite does (no-alias on
@@ -39,11 +39,18 @@ fn bench_step(c: &mut Criterion) {
         ),
         ("streaming", livermore5(&OptOptions::all().assume_noalias())),
     ];
+    // The banked leg exercises the hierarchical memory model's per-access
+    // bookkeeping (L1 probe, stream buffers, DRAM bank timing) on top of
+    // the stepping loop.
     let hw = [
         ("default", WmConfig::default()),
         (
             "latency24",
             WmConfig::default().with_mem_latency(24).with_mem_ports(1),
+        ),
+        (
+            "banked",
+            WmConfig::default().with_mem_model(MemModel::parse("banked").unwrap()),
         ),
     ];
     for (build_name, module) in &builds {

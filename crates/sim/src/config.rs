@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::fastforward::Engine;
+use crate::mem::MemModel;
 
 /// Deterministic fault-injection plan: degrade the simulated hardware in
 /// reproducible ways to exercise the deadlock detector and the stall
@@ -110,6 +111,12 @@ pub struct WmConfig {
     /// all-stalled spans (bit-identical counters, much faster on
     /// latency-dominated configurations).
     pub engine: Engine,
+    /// Memory-system model: `flat` (the default; every request costs
+    /// `mem_latency`), or a hierarchy with an L1 data cache, stream
+    /// buffers and optionally banked DRAM (see [`MemModel`]). Under a
+    /// hierarchical model `mem_latency` is ignored; the model's own
+    /// timing parameters apply.
+    pub mem_model: MemModel,
 }
 
 impl Default for WmConfig {
@@ -130,44 +137,79 @@ impl Default for WmConfig {
             max_cycles: 2_000_000_000,
             fault_plan: FaultPlan::default(),
             engine: Engine::default(),
+            mem_model: MemModel::default(),
         }
     }
 }
 
 impl WmConfig {
-    /// A configuration with a different memory latency.
+    /// A configuration with a different memory latency (flat model only;
+    /// hierarchical models carry their own timing). Any value is valid —
+    /// `0` delivers responses at the start of the next cycle.
     pub fn with_mem_latency(mut self, cycles: u64) -> WmConfig {
         self.mem_latency = cycles;
         self
     }
 
     /// A configuration with a different number of memory ports.
+    ///
+    /// Valid range: `ports >= 1` (a machine that can never accept a
+    /// memory request cannot run any program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`. (This used to clamp silently to 1, which
+    /// hid the configuration error from callers sweeping parameter
+    /// ranges.)
     pub fn with_mem_ports(mut self, ports: u32) -> WmConfig {
-        self.mem_ports = ports.max(1);
+        assert!(ports >= 1, "with_mem_ports: ports must be >= 1, got 0");
+        self.mem_ports = ports;
         self
     }
 
-    /// A configuration with a different cycle limit.
+    /// A configuration with a different cycle limit. Any value is valid;
+    /// a limit of `0` times out immediately.
     pub fn with_max_cycles(mut self, cycles: u64) -> WmConfig {
         self.max_cycles = cycles;
         self
     }
 
     /// A configuration with a different data-FIFO capacity.
+    ///
+    /// Valid range: `capacity >= 1` (register 0 *is* a FIFO pair; a
+    /// zero-capacity FIFO could never transfer a datum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (previously a silent clamp to 1).
     pub fn with_fifo_capacity(mut self, capacity: usize) -> WmConfig {
-        self.fifo_capacity = capacity.max(1);
+        assert!(
+            capacity >= 1,
+            "with_fifo_capacity: capacity must be >= 1, got 0"
+        );
+        self.fifo_capacity = capacity;
         self
     }
 
-    /// A configuration with a fault-injection plan.
+    /// A configuration with a fault-injection plan. Any plan parsed by
+    /// [`FaultPlan::parse`] is valid.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> WmConfig {
         self.fault_plan = plan;
         self
     }
 
-    /// A configuration with an explicit stepping engine.
+    /// A configuration with an explicit stepping engine. Both engines are
+    /// always valid (they produce bit-identical results).
     pub fn with_engine(mut self, engine: Engine) -> WmConfig {
         self.engine = engine;
+        self
+    }
+
+    /// A configuration with an explicit memory-system model. Any model
+    /// produced by [`MemModel::parse`] (which validates its parameters)
+    /// is valid.
+    pub fn with_mem_model(mut self, model: MemModel) -> WmConfig {
+        self.mem_model = model;
         self
     }
 }
@@ -180,13 +222,31 @@ mod tests {
     fn builders() {
         let c = WmConfig::default()
             .with_mem_latency(12)
-            .with_mem_ports(0)
-            .with_fifo_capacity(0)
-            .with_max_cycles(10);
+            .with_mem_ports(1)
+            .with_fifo_capacity(1)
+            .with_max_cycles(10)
+            .with_mem_model(MemModel::parse("cache").unwrap());
         assert_eq!(c.mem_latency, 12);
-        assert_eq!(c.mem_ports, 1, "ports clamp to at least one");
-        assert_eq!(c.fifo_capacity, 1, "FIFO capacity clamps to at least one");
+        assert_eq!(c.mem_ports, 1);
+        assert_eq!(c.fifo_capacity, 1);
         assert_eq!(c.max_cycles, 10);
+        assert_eq!(c.mem_model.name(), "cache");
+        assert!(
+            WmConfig::default().mem_model.is_flat(),
+            "flat is the default"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ports must be >= 1")]
+    fn zero_mem_ports_is_rejected() {
+        let _ = WmConfig::default().with_mem_ports(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_fifo_capacity_is_rejected() {
+        let _ = WmConfig::default().with_fifo_capacity(0);
     }
 
     #[test]

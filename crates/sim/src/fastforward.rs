@@ -30,6 +30,10 @@
 //! * a fault-injection SCU kill whose cycle has not arrived yet (the
 //!   SCU's attribution flips to `Stall::Disabled` at that exact cycle);
 //! * the expiry of an IFU hold (builtin I/O latency);
+//! * a DRAM bank becoming free under the `banked` memory model (a
+//!   scalar miss refused with `Stall::BankBusy` can retry then; MSHR
+//!   releases need no extra event — they coincide with response
+//!   delivery, which the in-flight queue head already bounds);
 //! * the per-cycle deadlock horizon and the `max_cycles` timeout, so a
 //!   wedged machine reports the identical terminal error.
 
@@ -212,6 +216,11 @@ impl<'m> WmMachine<'m> {
         if self.ifu_hold > self.cycle {
             next = next.min(self.ifu_hold);
         }
+        // A busy DRAM bank freeing can flip a memory-hierarchy refusal
+        // (`Stall::BankBusy`, or a silently-held store drain) to accept.
+        if let Some(t) = self.memsys.next_event(self.cycle) {
+            next = next.min(t);
+        }
         for (i, s) in self.scus.iter().enumerate() {
             // An SCU leaving configuration setup starts issuing requests.
             // (A disabled SCU never leaves `Stall::Disabled`, so its
@@ -264,5 +273,11 @@ impl<'m> WmMachine<'m> {
             h.sample_n(d, n);
         }
         self.perf.ports[0] += n;
+        // Stream-buffer occupancy only changes when a request is
+        // accepted (a progress cycle), so the whole span sits at the
+        // current occupancy — mirroring the FIFO-depth histograms.
+        if let Some(m) = self.perf.mem.as_mut() {
+            m.sample_occupancy_n(self.memsys.occupancy(), n);
+        }
     }
 }

@@ -171,6 +171,9 @@ pub struct MachineState {
     pub dispatch: Vec<(String, i64)>,
     /// Memory responses dropped so far by fault injection.
     pub dropped_responses: u64,
+    /// Memory-hierarchy state summary (L1/MSHR/stream-buffer/bank
+    /// occupancy; `None` under the flat model).
+    pub mem: Option<String>,
 }
 
 impl MachineState {
@@ -248,6 +251,9 @@ impl std::fmt::Display for MachineState {
                 String::new()
             }
         )?;
+        if let Some(m) = &self.mem {
+            writeln!(f, "  memory hierarchy: {m}")?;
+        }
         if self.veu_iq > 0 {
             writeln!(f, "  VEU: iq={}", self.veu_iq)?;
         }

@@ -45,6 +45,7 @@ mod fastforward;
 mod fault;
 mod loader;
 mod machine;
+mod mem;
 mod stats;
 
 pub use config::{FaultPlan, WmConfig};
@@ -52,6 +53,7 @@ pub use fastforward::{Engine, FfSpan};
 pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};
 pub use machine::{RunResult, SimError, SimStats, TraceEvent, WmMachine};
+pub use mem::{CacheParams, DramParams, MemModel, MemStats};
 pub use stats::{
-    DepthSample, FifoHist, Outcome, ScuCounters, Stall, Stats, UnitCounters, FIFO_NAMES,
+    DepthSample, FifoHist, Outcome, ScuCounters, Stall, Stats, UnitCounters, FIFO_NAMES, SBUF_TRACK,
 };

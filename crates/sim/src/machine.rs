@@ -11,7 +11,8 @@ use crate::config::WmConfig;
 use crate::fastforward::{CycleOutcomes, Engine, FfSpan};
 use crate::fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 use crate::loader::{AccessError, AccessKind, MemoryImage};
-use crate::stats::{DepthSample, Outcome, Stall, Stats, FIFO_NAMES};
+use crate::mem::{Access, MemStats, MemSystem};
+use crate::stats::{DepthSample, Outcome, Stall, Stats, FIFO_NAMES, SBUF_TRACK};
 
 /// Cycles without progress before the run is declared wedged. The
 /// fast-forward engine clamps its jumps to this horizon so both engines
@@ -310,6 +311,8 @@ pub(crate) struct Flight {
     op: MemOp,
     /// Fault injection: the response is discarded at delivery time.
     dropped: bool,
+    /// The request holds a memory-hierarchy MSHR until delivery.
+    mshr: bool,
 }
 
 /// A pending scalar store: the address is known, the data comes from the
@@ -373,6 +376,12 @@ pub struct WmMachine<'m> {
     pub(crate) timeline_enabled: bool,
     /// Last recorded depth per tracked FIFO (timeline compression).
     last_depths: [usize; FIFO_NAMES.len()],
+    /// The memory hierarchy (a transparent pass-through under the flat
+    /// model). All of its state mutates only on progress cycles, which
+    /// is what lets the fast-forward engine skip stall spans over it.
+    pub(crate) memsys: MemSystem,
+    /// Last recorded stream-buffer occupancy (timeline compression).
+    last_sb_occ: usize,
     /// What every unit did in the cycle just simulated (consulted by the
     /// fast-forward engine to decide whether the state can repeat).
     pub(crate) last_outcomes: CycleOutcomes,
@@ -410,6 +419,16 @@ impl<'m> WmMachine<'m> {
         let mem = MemoryImage::new(module, config.memory_size)?;
         let mut ieu = Unit::new(RegClass::Int);
         ieu.regs[30] = Val::I(mem.initial_sp);
+        let memsys = MemSystem::new(&config.mem_model, config.mem_latency);
+        let mut perf = Stats::new(
+            config.num_scus,
+            config.fifo_capacity,
+            config.cc_capacity,
+            config.mem_ports,
+        );
+        if !config.mem_model.is_flat() {
+            perf.mem = Some(MemStats::new(memsys.sb_capacity()));
+        }
         Ok(WmMachine {
             module,
             config: config.clone(),
@@ -450,15 +469,12 @@ impl<'m> WmMachine<'m> {
             dropped_responses: 0,
             trace: Vec::new(),
             trace_enabled: false,
-            perf: Stats::new(
-                config.num_scus,
-                config.fifo_capacity,
-                config.cc_capacity,
-                config.mem_ports,
-            ),
+            perf,
             timeline: Vec::new(),
             timeline_enabled: false,
             last_depths: [0; FIFO_NAMES.len()],
+            memsys,
+            last_sb_occ: 0,
             last_outcomes: CycleOutcomes::new(config.num_scus),
             ff_spans: Vec::new(),
         })
@@ -669,6 +685,7 @@ impl<'m> WmMachine<'m> {
                 .map(|(f, n)| (f.to_string(), *n))
                 .collect(),
             dropped_responses: self.dropped_responses,
+            mem: self.memsys.summary(self.cycle),
         }
     }
 
@@ -852,6 +869,20 @@ impl<'m> WmMachine<'m> {
         }
         let p = (self.ports_used as usize).min(self.perf.ports.len() - 1);
         self.perf.ports[p] += 1;
+        if self.perf.mem.is_some() {
+            let occ = self.memsys.occupancy();
+            if let Some(m) = self.perf.mem.as_mut() {
+                m.sample_occupancy_n(occ, 1);
+            }
+            if self.timeline_enabled && self.last_sb_occ != occ {
+                self.last_sb_occ = occ;
+                self.timeline.push(DepthSample {
+                    cycle: self.cycle,
+                    fifo: SBUF_TRACK,
+                    depth: occ,
+                });
+            }
+        }
         if self.timeline_enabled {
             for (k, &d) in depths.iter().enumerate() {
                 if self.last_depths[k] != d {
@@ -873,7 +904,14 @@ impl<'m> WmMachine<'m> {
             if f.due > self.cycle {
                 break;
             }
-            let Flight { op, dropped, .. } = self.in_flight.pop_front().unwrap();
+            let Flight {
+                op, dropped, mshr, ..
+            } = self.in_flight.pop_front().unwrap();
+            if mshr {
+                // The miss's response has arrived (or was dropped): its
+                // MSHR can track a new miss from the next reference on.
+                self.memsys.release_mshr();
+            }
             if dropped {
                 // Fault injection: the response vanishes. Whoever waits for
                 // it (pending counters, the deadlock detector's progress
@@ -942,27 +980,38 @@ impl<'m> WmMachine<'m> {
         Ok(())
     }
 
-    fn issue_mem(&mut self, op: MemOp) {
+    /// Issue `op` through the memory hierarchy. The caller must have
+    /// checked `memsys.accepts(&acc, ..)` this cycle (scalar paths stall
+    /// on a refusal; stream requests are never refused).
+    fn issue_mem(&mut self, op: MemOp, acc: &Access) {
         self.req_counter += 1;
         let n = self.req_counter;
+        let issued = self.memsys.access(acc, self.cycle, self.perf.mem.as_mut());
         let plan = &self.config.fault_plan;
-        let mut latency = self.config.mem_latency;
-        if let Some(seed) = plan.jitter_seed {
-            if plan.jitter_max > 0 {
-                latency += jitter(seed, n) % (plan.jitter_max + 1);
+        let mut latency = issued.latency;
+        // Fault injection models DRAM-level misbehavior, so jitter,
+        // delays and drops only apply to requests that reach the DRAM
+        // level. Under the flat model every request does, which keeps
+        // flat runs bit-identical to the pre-hierarchy simulator.
+        if issued.dram {
+            if let Some(seed) = plan.jitter_seed {
+                if plan.jitter_max > 0 {
+                    latency += jitter(seed, n) % (plan.jitter_max + 1);
+                }
             }
+            latency += plan
+                .delays
+                .iter()
+                .filter(|&&(r, _)| r == n)
+                .map(|&(_, c)| c)
+                .sum::<u64>();
         }
-        latency += plan
-            .delays
-            .iter()
-            .filter(|&&(r, _)| r == n)
-            .map(|&(_, c)| c)
-            .sum::<u64>();
-        let dropped = plan.drops.contains(&n);
+        let dropped = issued.dram && plan.drops.contains(&n);
         self.in_flight.push_back(Flight {
             due: self.cycle + latency,
             op,
             dropped,
+            mshr: issued.mshr,
         });
         self.ports_used += 1;
         self.last_progress = self.cycle;
@@ -1212,15 +1261,24 @@ impl<'m> WmMachine<'m> {
                 if let Err(e) = self.mem.check(a, width.bytes(), false) {
                     return Err(self.access_fault(FaultUnit::Ieu, None, &e));
                 }
+                // the memory hierarchy may refuse the reference (MSHRs
+                // exhausted, target DRAM bank busy): retry next cycle
+                let acc = Access::scalar(a, false);
+                if let Err(refusal) = self.memsys.accepts(&acc, self.cycle) {
+                    return Ok(Exec::Stall(refusal.stall()));
+                }
                 let gen = self.unit(fifo.class).ins[fifo.index as usize].gen;
                 self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
-                self.issue_mem(MemOp::ReadFifo {
-                    target: StreamTarget::Fifo(*fifo),
-                    addr: a,
-                    width: *width,
-                    gen,
-                    poison: None,
-                });
+                self.issue_mem(
+                    MemOp::ReadFifo {
+                        target: StreamTarget::Fifo(*fifo),
+                        addr: a,
+                        width: *width,
+                        gen,
+                        poison: None,
+                    },
+                    &acc,
+                );
                 self.stats.mem_reads += 1;
             }
             InstKind::WStore { unit, addr, width } => {
@@ -1502,11 +1560,17 @@ impl<'m> WmMachine<'m> {
                     "scalar store and stream-out compete for output FIFO".into(),
                 ));
             }
+            // the hierarchy may refuse the store (write-allocate miss
+            // with no MSHR / busy bank): leave it queued and retry
+            let acc = Access::scalar(addr, true);
+            if self.memsys.accepts(&acc, self.cycle).is_err() {
+                break;
+            }
             let Some(val) = self.unit_mut(class).out.pop_front() else {
                 break; // data not produced yet
             };
             self.store_q.pop_front();
-            self.issue_mem(MemOp::Write { addr, width, val });
+            self.issue_mem(MemOp::Write { addr, width, val }, &acc);
             self.stats.mem_writes += 1;
         }
         Ok(())
@@ -1610,13 +1674,19 @@ impl<'m> WmMachine<'m> {
                 }
                 StreamTarget::Veu(port) => self.veu.pending[port as usize] += 1,
             }
-            self.issue_mem(MemOp::ReadFifo {
-                target: scu.target,
-                addr: scu.addr,
-                width: scu.width,
-                gen: scu.gen,
-                poison,
-            });
+            self.issue_mem(
+                MemOp::ReadFifo {
+                    target: scu.target,
+                    addr: scu.addr,
+                    width: scu.width,
+                    gen: scu.gen,
+                    poison,
+                },
+                // the stream-buffer bypass path: never refused, and
+                // prefetching ahead along the stride is what hides the
+                // miss latency scalar code pays
+                &Access::stream(scu.addr, false, i, scu.stride),
+            );
             self.stats.stream_reads += 1;
             self.perf.scus[i].elements_in += 1;
             self.perf.scus[i].unit.retired += 1;
@@ -1657,11 +1727,16 @@ impl<'m> WmMachine<'m> {
                 };
                 return Err(self.access_fault(FaultUnit::Scu(i), stream, &e));
             }
-            self.issue_mem(MemOp::Write {
-                addr: scu.addr,
-                width: scu.width,
-                val,
-            });
+            self.issue_mem(
+                MemOp::Write {
+                    addr: scu.addr,
+                    width: scu.width,
+                    val,
+                },
+                // stream-out writes bypass the L1 (invalidating any
+                // cached copy) straight to the backing store
+                &Access::stream(scu.addr, true, i, scu.stride),
+            );
             self.stats.stream_writes += 1;
             self.stats.mem_writes += 1;
             self.perf.scus[i].elements_out += 1;

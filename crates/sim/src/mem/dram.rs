@@ -1,0 +1,162 @@
+//! Banked DRAM with open-row timing.
+//!
+//! Lines are interleaved across banks line-by-line (`bank = line mod
+//! banks`), the classic layout that lets a unit-stride stream sweep all
+//! banks. Each bank remembers its open row: an access to the same row
+//! costs `t_row_hit`, switching rows costs `t_row_miss`, and after
+//! accepting an access the bank stays busy for `busy` cycles — the
+//! per-bank bandwidth limit that makes bank conflicts a modelled
+//! resource.
+
+use super::{DramParams, MemStats};
+
+pub(crate) struct Dram {
+    banks: usize,
+    lines_per_row: i64,
+    t_row_hit: u64,
+    t_row_miss: u64,
+    busy: u64,
+    /// Cycle at which each bank finishes its current access.
+    free_at: Vec<u64>,
+    /// The row each bank currently holds open.
+    open_row: Vec<Option<i64>>,
+}
+
+impl Dram {
+    pub fn new(p: &DramParams, line_bytes: usize) -> Dram {
+        Dram {
+            banks: p.banks,
+            lines_per_row: (p.row_bytes / line_bytes) as i64,
+            t_row_hit: p.t_row_hit,
+            t_row_miss: p.t_row_miss,
+            busy: p.busy,
+            free_at: vec![0; p.banks],
+            open_row: vec![None; p.banks],
+        }
+    }
+
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    fn bank_of(&self, line_no: i64) -> usize {
+        line_no.rem_euclid(self.banks as i64) as usize
+    }
+
+    /// The row `line_no` lives in within its bank (consecutive lines of
+    /// one bank share a row until `lines_per_row` of them pass).
+    fn row_of(&self, line_no: i64) -> i64 {
+        line_no
+            .div_euclid(self.banks as i64)
+            .div_euclid(self.lines_per_row)
+    }
+
+    /// Is the line's bank still busy at `now`? Pure — consulted by the
+    /// acceptance check on stall cycles.
+    pub fn busy(&self, line_no: i64, now: u64) -> bool {
+        self.free_at[self.bank_of(line_no)] > now
+    }
+
+    /// Perform an access to `line_no` at `now`, folding any remaining
+    /// bank-busy wait into the returned latency (callers that must not
+    /// wait check [`Dram::busy`] first, so their wait is always zero).
+    pub fn access(&mut self, line_no: i64, now: u64, st: &mut MemStats) -> u64 {
+        let b = self.bank_of(line_no);
+        let wait = self.free_at[b].saturating_sub(now);
+        if wait > 0 {
+            st.bank_conflicts += 1;
+        }
+        let row = self.row_of(line_no);
+        let t = if self.open_row[b] == Some(row) {
+            st.row_hits += 1;
+            self.t_row_hit
+        } else {
+            st.row_misses += 1;
+            self.t_row_miss
+        };
+        self.open_row[b] = Some(row);
+        self.free_at[b] = now + wait + self.busy;
+        wait + t
+    }
+
+    /// The earliest cycle after `now` at which some busy bank frees (a
+    /// fast-forward wake event: a refused scalar miss can retry then).
+    pub fn next_free(&self, now: u64) -> Option<u64> {
+        self.free_at.iter().copied().filter(|&f| f > now).min()
+    }
+
+    /// Banks still busy at `now` (for state dumps).
+    pub fn busy_banks(&self, now: u64) -> usize {
+        self.free_at.iter().filter(|&&f| f > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(banks: usize) -> Dram {
+        Dram::new(
+            &DramParams {
+                banks,
+                row_bytes: 128, // 4 lines per row
+                t_row_hit: 4,
+                t_row_miss: 10,
+                busy: 6,
+            },
+            32,
+        )
+    }
+
+    #[test]
+    fn open_row_hits_are_cheaper() {
+        let mut d = dram(1);
+        let mut st = MemStats::new(0);
+        assert_eq!(d.access(0, 0, &mut st), 10, "cold bank re-opens the row");
+        assert_eq!(d.access(1, 10, &mut st), 4, "same row stays open");
+        assert_eq!(d.access(4, 20, &mut st), 10, "line 4 is the next row");
+        assert_eq!((st.row_hits, st.row_misses), (1, 2));
+    }
+
+    #[test]
+    fn busy_window_folds_into_latency() {
+        let mut d = dram(2);
+        let mut st = MemStats::new(0);
+        d.access(0, 0, &mut st); // bank 0 busy until cycle 6
+        assert!(d.busy(0, 5));
+        assert!(!d.busy(1, 5), "other bank unaffected");
+        assert!(!d.busy(0, 6));
+        let lat = d.access(2, 3, &mut st); // bank 0 again, 3 cycles early
+        assert_eq!(lat, 3 + 4, "wait + open-row hit");
+        assert_eq!(st.bank_conflicts, 1);
+        assert_eq!(d.next_free(3), Some(12), "start(3) + wait(3) + busy(6)");
+    }
+
+    #[test]
+    fn interleaves_lines_across_banks() {
+        let d = dram(4);
+        assert_eq!(d.bank_of(0), 0);
+        assert_eq!(d.bank_of(5), 1);
+        assert_eq!(d.bank_of(-1), 3, "negative lines wrap consistently");
+        // rows advance once a bank has seen lines_per_row of *its* lines
+        assert_eq!(
+            d.row_of(0),
+            d.row_of(12),
+            "lines 0,4,8,12 share bank 0 row 0"
+        );
+        assert_eq!(d.row_of(16), 1);
+    }
+
+    #[test]
+    fn next_free_reports_earliest_busy_bank() {
+        let mut d = dram(2);
+        let mut st = MemStats::new(0);
+        assert_eq!(d.next_free(0), None);
+        d.access(0, 0, &mut st);
+        d.access(1, 2, &mut st);
+        assert_eq!(d.next_free(0), Some(6));
+        assert_eq!(d.next_free(6), Some(8));
+        assert_eq!(d.next_free(8), None);
+        assert_eq!(d.busy_banks(5), 2);
+    }
+}

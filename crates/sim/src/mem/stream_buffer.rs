@@ -1,0 +1,234 @@
+//! Stream buffers: the SCU bypass path around the L1.
+//!
+//! Each buffer is a small FIFO of prefetched lines following one
+//! stream's stride (Jouppi-style, but stride-directed because the SCU
+//! *tells* us the stride — the paper's access/execute advantage). On a
+//! demand miss the buffer flushes, fetches the demanded line, and tops
+//! itself up ahead of the stream; subsequent stream requests hit
+//! buffered lines whose fills are already in flight or complete, so a
+//! stream's steady-state cost approaches the buffer lookup latency while
+//! scalar code pays the full miss latency on every cold line.
+
+use std::collections::VecDeque;
+
+use super::dram::Dram;
+use super::MemStats;
+
+/// What sits behind the buffers: banked DRAM (`banked`) or a fixed
+/// `miss_latency` backing store (`cache`).
+pub(crate) struct Backing<'a> {
+    pub dram: Option<&'a mut Dram>,
+    pub miss_latency: u64,
+}
+
+impl Backing<'_> {
+    /// Fetch `line_no`, returning the access latency (bank waits folded).
+    pub fn fetch(&mut self, line_no: i64, now: u64, st: &mut MemStats) -> u64 {
+        match &mut self.dram {
+            Some(d) => d.access(line_no, now, st),
+            None => self.miss_latency,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SbEntry {
+    line: i64,
+    /// Cycle the line's fill completes; a request for it before then
+    /// waits out the remainder.
+    ready_at: u64,
+}
+
+/// One stream buffer: a FIFO of `depth` prefetched lines.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamBuffer {
+    depth: usize,
+    entries: VecDeque<SbEntry>,
+    /// The next *address* the prefetcher will extend toward.
+    next_pf: i64,
+    /// Stride of the stream currently mapped onto this buffer.
+    stride: i64,
+}
+
+/// Prefetch-advance budget per request: enough for any sane
+/// stride/line-size ratio to refill a whole buffer, while bounding the
+/// walk for degenerate strides.
+const TOP_UP_STEPS: usize = 4096;
+
+impl StreamBuffer {
+    pub fn new(depth: usize) -> StreamBuffer {
+        StreamBuffer {
+            depth,
+            entries: VecDeque::with_capacity(depth),
+            next_pf: 0,
+            stride: 0,
+        }
+    }
+
+    /// Lines currently buffered (in flight or ready).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Service one stream request for `addr`. Returns `(latency,
+    /// went_to_dram)`: a buffered line costs `hit_latency` plus whatever
+    /// remains of its fill; an unbuffered line flushes the buffer and
+    /// pays the full backing-store access. Either way the buffer then
+    /// prefetches ahead along `stride`, staggered by `transfer` cycles
+    /// per line (the fill path's bandwidth).
+    #[allow(clippy::too_many_arguments)]
+    pub fn request(
+        &mut self,
+        addr: i64,
+        stride: i64,
+        now: u64,
+        hit_latency: u64,
+        transfer: u64,
+        line_bytes: i64,
+        bk: &mut Backing<'_>,
+        st: &mut MemStats,
+    ) -> (u64, bool) {
+        let line = addr.div_euclid(line_bytes);
+        self.stride = stride;
+        if let Some(pos) = self.entries.iter().position(|e| e.line == line) {
+            // Passed-over lines (pos > 0 happens when a stream skips a
+            // buffered line, e.g. large strides) are freed on the way.
+            for _ in 0..pos {
+                self.entries.pop_front();
+            }
+            st.sb_hits += 1;
+            let ready = self.entries.front().expect("position found").ready_at;
+            let latency = hit_latency + ready.saturating_sub(now);
+            self.top_up(now, transfer, line_bytes, bk, st);
+            (latency, false)
+        } else {
+            // Demand miss: the buffered run is useless for this stream
+            // position — flush and restart at the demanded line.
+            st.sb_misses += 1;
+            self.entries.clear();
+            let latency = bk.fetch(line, now, st);
+            self.entries.push_back(SbEntry {
+                line,
+                ready_at: now + latency,
+            });
+            self.next_pf = addr.wrapping_add(stride);
+            self.top_up(now, transfer, line_bytes, bk, st);
+            (latency, true)
+        }
+    }
+
+    /// Extend the buffer toward `depth` lines ahead along the stride.
+    fn top_up(
+        &mut self,
+        now: u64,
+        transfer: u64,
+        line_bytes: i64,
+        bk: &mut Backing<'_>,
+        st: &mut MemStats,
+    ) {
+        if self.stride == 0 {
+            return; // a strideless stream re-reads one address: nothing to run ahead to
+        }
+        let mut steps = 0;
+        while self.entries.len() < self.depth && steps < TOP_UP_STEPS {
+            steps += 1;
+            let line = self.next_pf.div_euclid(line_bytes);
+            self.next_pf = self.next_pf.wrapping_add(self.stride);
+            if self.entries.iter().any(|e| e.line == line) {
+                continue; // still inside an already-buffered line
+            }
+            let latency = bk.fetch(line, now, st);
+            // Fills arrive at most one per `transfer` cycles: later
+            // prefetches queue behind earlier ones on the fill path.
+            let after = self.entries.back().map_or(0, |e| e.ready_at + transfer);
+            self.entries.push_back(SbEntry {
+                line,
+                ready_at: (now + latency).max(after),
+            });
+            st.sb_prefetches += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_backing() -> Backing<'static> {
+        Backing {
+            dram: None,
+            miss_latency: 20,
+        }
+    }
+
+    #[test]
+    fn sequential_stream_settles_into_hits() {
+        let mut sb = StreamBuffer::new(4);
+        let mut st = MemStats::new(0);
+        let mut bk = flat_backing();
+        let (lat, dram) = sb.request(0, 4, 0, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!((lat, dram), (20, true), "cold start pays the miss");
+        assert_eq!(sb.len(), 4, "topped up to depth");
+        assert_eq!(st.sb_prefetches, 3);
+        // every subsequent element of the swept range is buffered
+        // (starting at cycle 60, by which everything has arrived)
+        for (now, addr) in (60..).zip((4..256).step_by(4)) {
+            let (lat, dram) = sb.request(addr, 4, now, 2, 2, 32, &mut bk, &mut st);
+            assert_eq!((lat, dram), (2, false), "addr {addr} should be buffered");
+        }
+        assert_eq!(st.sb_misses, 1);
+    }
+
+    #[test]
+    fn fills_stagger_by_transfer_bandwidth() {
+        let mut sb = StreamBuffer::new(4);
+        let mut st = MemStats::new(0);
+        let mut bk = flat_backing();
+        sb.request(0, 4, 0, 2, 5, 32, &mut bk, &mut st);
+        // entries ready at 20, then spaced >= 5 apart: 25, 30
+        let (lat, _) = sb.request(32, 4, 21, 2, 5, 32, &mut bk, &mut st);
+        assert_eq!(lat, 2 + (25 - 21), "second line still 4 cycles out");
+    }
+
+    #[test]
+    fn redirect_flushes_stale_run() {
+        let mut sb = StreamBuffer::new(4);
+        let mut st = MemStats::new(0);
+        let mut bk = flat_backing();
+        sb.request(0, 4, 0, 2, 2, 32, &mut bk, &mut st);
+        // a new stream on the same buffer, elsewhere, descending
+        let (lat, dram) = sb.request(0x4000, -8, 100, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!((lat, dram), (20, true));
+        // prefetches now run downward
+        let (lat, dram) = sb.request(0x4000 - 32, -8, 200, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!(
+            (lat, dram),
+            (2, false),
+            "descending neighbour was prefetched"
+        );
+    }
+
+    #[test]
+    fn zero_stride_does_not_prefetch() {
+        let mut sb = StreamBuffer::new(4);
+        let mut st = MemStats::new(0);
+        let mut bk = flat_backing();
+        sb.request(64, 0, 0, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!(sb.len(), 1, "only the demanded line");
+        assert_eq!(st.sb_prefetches, 0);
+        let (lat, _) = sb.request(64, 0, 50, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!(lat, 2, "the one line keeps hitting");
+    }
+
+    #[test]
+    fn large_strides_skip_lines_without_stalling() {
+        let mut sb = StreamBuffer::new(2);
+        let mut st = MemStats::new(0);
+        let mut bk = flat_backing();
+        // stride of 4 lines: every prefetch is a distinct line
+        sb.request(0, 128, 0, 2, 2, 32, &mut bk, &mut st);
+        assert_eq!(sb.len(), 2);
+        let (_, dram) = sb.request(128, 128, 60, 2, 2, 32, &mut bk, &mut st);
+        assert!(!dram, "next stride target was prefetched");
+    }
+}

@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use crate::mem::MemStats;
+
 /// Why a unit could not do useful work in a cycle.
 ///
 /// The names mirror the hardware structures of the WM: data FIFOs,
@@ -56,11 +58,17 @@ pub enum Stall {
     Setup,
     /// SCU: disabled by fault injection with its stream unfinished.
     Disabled,
+    /// All MSHRs hold outstanding misses: the memory hierarchy cannot
+    /// accept another scalar miss (`cache`/`banked` models only).
+    MshrFull,
+    /// The miss's DRAM bank is busy with a previous access (`banked`
+    /// model only).
+    BankBusy,
 }
 
 impl Stall {
     /// Every stall reason, in rendering order.
-    pub const ALL: [Stall; 15] = [
+    pub const ALL: [Stall; 17] = [
         Stall::FifoEmpty,
         Stall::FifoFull,
         Stall::OutFull,
@@ -76,6 +84,8 @@ impl Stall {
         Stall::Sync,
         Stall::Setup,
         Stall::Disabled,
+        Stall::MshrFull,
+        Stall::BankBusy,
     ];
 
     /// Stable machine-readable name (used by the JSON rendering).
@@ -96,6 +106,8 @@ impl Stall {
             Stall::Sync => "sync",
             Stall::Setup => "setup",
             Stall::Disabled => "disabled",
+            Stall::MshrFull => "mshr-full",
+            Stall::BankBusy => "bank-busy",
         }
     }
 }
@@ -220,6 +232,12 @@ pub const FIFO_NAMES: [&str; 8] = [
     "ieu.in0", "ieu.in1", "ieu.out", "ieu.cc", "feu.in0", "feu.in1", "feu.out", "feu.cc",
 ];
 
+/// Timeline-track name for the aggregate stream-buffer occupancy
+/// (rendered by the Chrome trace exporter as one more counter track,
+/// alongside the [`FIFO_NAMES`] tracks; emitted only under hierarchical
+/// memory models).
+pub const SBUF_TRACK: &str = "sbuf";
+
 /// One change-point of a FIFO's depth, collected when the machine's
 /// timeline recording is enabled (see `WmMachine::set_timeline`). The
 /// sequence of samples for one FIFO is a step function of its occupancy,
@@ -254,6 +272,9 @@ pub struct Stats {
     /// Memory-port utilization: `ports[n]` is the number of cycles with
     /// exactly `n` memory requests accepted.
     pub ports: Vec<u64>,
+    /// Memory-hierarchy counters (`None` under the flat model, keeping
+    /// flat output bit-identical to the pre-hierarchy simulator).
+    pub mem: Option<MemStats>,
 }
 
 impl Stats {
@@ -283,6 +304,7 @@ impl Stats {
             scus: vec![ScuCounters::default(); num_scus],
             fifos,
             ports: vec![0; mem_ports as usize + 1],
+            mem: None,
         }
     }
 
@@ -329,6 +351,15 @@ impl Stats {
                 self.cycles
             ));
         }
+        if let Some(m) = &self.mem {
+            let occ_cycles: u64 = m.sb_occupancy.iter().sum();
+            if occ_cycles != self.cycles {
+                return Err(format!(
+                    "stream-buffer occupancy histogram covers {occ_cycles} of {} cycles",
+                    self.cycles
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -367,6 +398,26 @@ impl Stats {
             });
         }
         out.push_str("  },\n");
+        if let Some(m) = &self.mem {
+            out.push_str(&format!(
+                "  \"mem\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"writebacks\": {}, \"invalidations\": {}, \"sb_hits\": {}, \
+                 \"sb_misses\": {}, \"sb_prefetches\": {}, \"bank_conflicts\": {}, \
+                 \"row_hits\": {}, \"row_misses\": {}, \"sb_occupancy\": {}}},\n",
+                m.hits,
+                m.misses,
+                m.evictions,
+                m.writebacks,
+                m.invalidations,
+                m.sb_hits,
+                m.sb_misses,
+                m.sb_prefetches,
+                m.bank_conflicts,
+                m.row_hits,
+                m.row_misses,
+                json_u64_array(&m.sb_occupancy)
+            ));
+        }
         out.push_str(&format!("  \"ports\": {}\n", json_u64_array(&self.ports)));
         out.push_str("}\n");
         out
@@ -476,6 +527,35 @@ impl fmt::Display for Stats {
             .map(|(n, c)| format!("{n}: {c}"))
             .collect();
         writeln!(f, "  {}", cells.join(", "))?;
+        if let Some(m) = &self.mem {
+            writeln!(f, "memory hierarchy:")?;
+            writeln!(
+                f,
+                "  L1: {} hits, {} misses ({:.1}% hit rate), {} evictions ({} writebacks), \
+                 {} stream invalidations",
+                m.hits,
+                m.misses,
+                m.hit_rate() * 100.0,
+                m.evictions,
+                m.writebacks,
+                m.invalidations
+            )?;
+            writeln!(
+                f,
+                "  stream buffers: {} hits, {} misses, {} prefetches; mean occupancy {:.2} line(s)",
+                m.sb_hits,
+                m.sb_misses,
+                m.sb_prefetches,
+                m.occupancy_mean()
+            )?;
+            if m.row_hits + m.row_misses > 0 {
+                writeln!(
+                    f,
+                    "  banks: {} conflicts, {} row hits, {} row misses",
+                    m.bank_conflicts, m.row_hits, m.row_misses
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -517,6 +597,38 @@ mod tests {
         h.sample(400); // clamped into the last bucket
         assert_eq!(h.depth, vec![1, 0, 1, 0, 1]);
         assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_counters_render_and_extend_the_invariant() {
+        let mut s = Stats::new(1, 2, 2, 1);
+        for _ in 0..4 {
+            s.cycles += 1;
+            s.ieu.record(Outcome::Idle);
+            s.feu.record(Outcome::Idle);
+            s.veu.record(Outcome::Idle);
+            s.ifu.record(Outcome::Stall(Stall::MshrFull));
+            s.scus[0].unit.record(Outcome::Idle);
+            s.ports[0] += 1;
+        }
+        // flat: no mem section anywhere
+        assert!(!s.to_json().contains("\"mem\""));
+        assert!(!s.to_string().contains("memory hierarchy"));
+        s.check_attribution().unwrap();
+        // hierarchical: section present, occupancy joins the invariant
+        let mut m = MemStats::new(4);
+        m.hits = 3;
+        m.misses = 1;
+        m.sample_occupancy_n(2, 4);
+        s.mem = Some(m);
+        s.check_attribution().unwrap();
+        assert!(s.to_json().contains("\"mem\""));
+        assert!(s.to_json().contains("\"sb_occupancy\": [0, 0, 4, 0, 0]"));
+        assert!(s.to_string().contains("memory hierarchy"));
+        assert_eq!(s.ifu.stalled_on(Stall::MshrFull), 4);
+        // an under-sampled occupancy histogram breaks the invariant
+        s.mem.as_mut().unwrap().sb_occupancy[2] -= 1;
+        assert!(s.check_attribution().is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use wm_ir::Module;
 use wm_opt::{optimize_generic, optimize_wm, OptOptions};
-use wm_sim::{Engine, FaultPlan, RunResult, SimError, WmConfig, WmMachine};
+use wm_sim::{Engine, FaultPlan, MemModel, RunResult, SimError, WmConfig, WmMachine};
 use wm_target::{allocate_registers, expand_wm, TargetKind};
 
 /// Compile a module for the WM with the given options.
@@ -85,6 +85,35 @@ fn configs() -> Vec<(&'static str, WmConfig)> {
             WmConfig::default()
                 .with_mem_ports(1)
                 .with_fault_plan(FaultPlan::parse("jitter:11:9,delay:3:40,delay:17:40").unwrap()),
+        ),
+        (
+            "mem=cache",
+            WmConfig::default().with_mem_model(MemModel::parse("cache").unwrap()),
+        ),
+        (
+            "mem=banked",
+            WmConfig::default().with_mem_model(MemModel::parse("banked").unwrap()),
+        ),
+        (
+            // A deliberately hostile hierarchy: one MSHR (so scalar code
+            // piles into `mshr-full`), one bank with a long busy window
+            // (so `bank-busy` refusals and folded conflicts both occur),
+            // a tiny direct-mapped L1 (eviction churn) and shared stream
+            // buffers (cross-stream thrashing).
+            "mem=banked-tight",
+            WmConfig::default().with_mem_model(
+                MemModel::parse(
+                    "banked:size=256,assoc=1,line=32,mshrs=1,sbufs=2,depth=2,\
+                     banks=1,busy=12,rowhit=8,rowmiss=24",
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "mem=cache+injection",
+            WmConfig::default()
+                .with_mem_model(MemModel::parse("cache:mshrs=2,miss=40").unwrap())
+                .with_fault_plan(FaultPlan::parse("jitter:7:5,delay:9:60").unwrap()),
         ),
     ]
 }
@@ -224,6 +253,42 @@ fn engines_agree_on_cycle_limit_timeout() {
         matches!(e, SimError::Timeout { .. } | SimError::Deadlock { .. }),
         "expected timeout or deadlock, got: {e}"
     );
+}
+
+#[test]
+fn engines_agree_on_memory_hierarchy_stall_storms() {
+    // The memory-hierarchy wake events (bank free, miss delivery
+    // releasing an MSHR) must bound every fast-forward jump. This
+    // workload alternates scalar bursts (MSHR/bank refusals) with
+    // streams (buffer prefetch traffic) under a one-bank DRAM, so
+    // mshr-full and bank-busy stall spans dominate the run.
+    let src = r"
+        int a[512]; int b[512]; int c[64];
+        int main() {
+            int i; int s;
+            for (i = 0; i < 512; i++) { a[i] = i; b[i] = i + 1; }
+            s = 0;
+            for (i = 0; i < 64; i++) c[i] = a[i * 7] + b[i * 5];
+            for (i = 0; i < 512; i++) s = s + a[i] * b[i];
+            for (i = 0; i < 64; i++) s = s + c[i];
+            return s % 10007;
+        }
+    ";
+    for opts in [OptOptions::all(), OptOptions::all().without_streaming()] {
+        let module = compile(src, &opts);
+        for spec in [
+            "cache:mshrs=1,miss=48",
+            "banked:banks=1,busy=16,rowhit=8,rowmiss=32,mshrs=1",
+            "banked:banks=2,busy=8,sbufs=1,depth=1",
+        ] {
+            let cfg = WmConfig::default().with_mem_model(MemModel::parse(spec).unwrap());
+            let label = format!("stall-storm [{spec}]");
+            let r = assert_equivalent(&module, &cfg, &label)
+                .unwrap_or_else(|e| panic!("{label}: unexpected failure: {e}"));
+            let mem = r.perf.mem.as_ref().expect("hierarchical stats present");
+            assert!(mem.hits + mem.misses > 0, "{label}: no scalar traffic seen");
+        }
+    }
 }
 
 #[test]

@@ -9,7 +9,7 @@
 
 use wm_ir::Module;
 use wm_opt::{optimize_generic, optimize_wm, OptOptions};
-use wm_sim::{Stall, WmConfig, WmMachine};
+use wm_sim::{MemModel, Stall, WmConfig, WmMachine};
 use wm_target::{allocate_registers, expand_wm, TargetKind};
 
 fn compile(src: &str, opts: &OptOptions) -> Module {
@@ -162,6 +162,148 @@ fn degraded_ports_shift_stalls_to_port_contention() {
 }
 
 #[test]
+fn attribution_sums_to_cycles_under_memory_hierarchy_models() {
+    // The hierarchical memory models add two stall reasons (mshr-full,
+    // bank-busy) and a stream-buffer occupancy histogram; the structural
+    // attribution rule — and the new rule that the occupancy histogram
+    // samples every cycle — must keep holding exactly.
+    let module = livermore5_streamed();
+    for (label, spec) in [
+        ("cache", "cache"),
+        ("banked", "banked"),
+        (
+            "cache-tiny",
+            "cache:size=256,assoc=1,line=32,mshrs=1,miss=48",
+        ),
+        (
+            "banked-tight",
+            "banked:banks=1,busy=12,rowhit=8,rowmiss=24,mshrs=1,sbufs=2,depth=2",
+        ),
+    ] {
+        let config = WmConfig::default().with_mem_model(MemModel::parse(spec).unwrap());
+        let r = run(&module, &config);
+        assert_eq!(
+            r.ret_int,
+            wm_workloads::livermore5_expected(),
+            "{label}: results must not depend on the (timing-only) memory model"
+        );
+        assert_attribution(&r, label);
+        let mem = r.perf.mem.as_ref().expect("hierarchical stats present");
+        let occ_samples: u64 = mem.sb_occupancy.iter().sum();
+        assert_eq!(
+            occ_samples, r.cycles,
+            "{label}: stream-buffer occupancy histogram must sample every cycle"
+        );
+        assert!(
+            mem.hits + mem.misses + mem.sb_hits + mem.sb_misses > 0,
+            "{label}: the run produced no classified memory traffic"
+        );
+    }
+}
+
+#[test]
+fn single_mshr_shifts_stalls_to_mshr_full() {
+    // Scalar (non-streamed) code under a one-MSHR cache: every load that
+    // misses occupies the sole MSHR for the full miss latency, so later
+    // loads pile into the new `mshr-full` bucket.
+    let module = compile(
+        wm_workloads::livermore5().source,
+        &OptOptions::all().without_streaming(),
+    );
+    let config = WmConfig::default()
+        .with_mem_model(MemModel::parse("cache:size=256,assoc=1,mshrs=1,miss=48").unwrap());
+    let r = run(&module, &config);
+    assert_eq!(r.ret_int, wm_workloads::livermore5_expected());
+    assert_attribution(&r, "mshrs=1");
+    let mshr_full: u64 = r
+        .perf
+        .units()
+        .iter()
+        .map(|(_, u)| u.stalled_on(Stall::MshrFull))
+        .sum();
+    assert!(
+        mshr_full > 0,
+        "a one-MSHR cache must produce mshr-full stall cycles"
+    );
+}
+
+#[test]
+fn single_busy_bank_shifts_stalls_to_bank_busy() {
+    // One DRAM bank with a long busy window: a scalar miss arriving while
+    // the bank recovers is refused and attributed to `bank-busy`.
+    let module = compile(
+        wm_workloads::livermore5().source,
+        &OptOptions::all().without_streaming(),
+    );
+    let config = WmConfig::default().with_mem_model(
+        MemModel::parse("banked:size=256,assoc=1,banks=1,busy=16,rowhit=8,rowmiss=32").unwrap(),
+    );
+    let r = run(&module, &config);
+    assert_eq!(r.ret_int, wm_workloads::livermore5_expected());
+    assert_attribution(&r, "banks=1");
+    let bank_busy: u64 = r
+        .perf
+        .units()
+        .iter()
+        .map(|(_, u)| u.stalled_on(Stall::BankBusy))
+        .sum();
+    assert!(
+        bank_busy > 0,
+        "a single slow bank must produce bank-busy stall cycles"
+    );
+    let mem = r.perf.mem.as_ref().expect("hierarchical stats present");
+    assert!(
+        mem.row_hits + mem.row_misses > 0,
+        "DRAM row bookkeeping must observe the traffic"
+    );
+}
+
+#[test]
+fn stream_buffers_absorb_miss_latency_for_streamed_code() {
+    // The paper's core claim, visible in the counters: streamed code under
+    // a high-latency hierarchy runs closer to its flat-memory time than
+    // scalar code does, because the stream buffers prefetch ahead while
+    // scalar loads eat the full miss latency. (A dot product, not
+    // Livermore 5: loop 5's recurrence serializes on the FEU and hides
+    // memory latency under both compilations.)
+    let src = r"
+        double a[512]; double b[512];
+        int main() {
+            int i; double s;
+            for (i = 0; i < 512; i++) { a[i] = i * 0.5; b[i] = 512 - i; }
+            s = 0.0;
+            for (i = 0; i < 512; i++) s = s + a[i] * b[i];
+            return (int) s;
+        }
+    ";
+    let streamed = compile(src, &OptOptions::all());
+    let scalar = compile(src, &OptOptions::all().without_streaming());
+    let hier = WmConfig::default()
+        .with_mem_model(MemModel::parse("cache:size=256,assoc=1,miss=48").unwrap());
+    let flat = WmConfig::default();
+
+    let s_flat = run(&streamed, &flat).cycles as f64;
+    let s_hier = run(&streamed, &hier).cycles as f64;
+    let n_flat = run(&scalar, &flat).cycles as f64;
+    let n_hier = run(&scalar, &hier).cycles as f64;
+    let streamed_slowdown = s_hier / s_flat;
+    let scalar_slowdown = n_hier / n_flat;
+    assert!(
+        streamed_slowdown < scalar_slowdown,
+        "streamed code must tolerate miss latency better than scalar \
+         (streamed slowdown {streamed_slowdown:.2}x vs scalar {scalar_slowdown:.2}x)"
+    );
+
+    let r = run(&streamed, &hier);
+    let mem = r.perf.mem.as_ref().unwrap();
+    assert!(mem.sb_hits > 0, "streams must hit their stream buffers");
+    assert!(
+        mem.sb_prefetches > 0,
+        "stream buffers must prefetch ahead of demand"
+    );
+}
+
+#[test]
 fn stats_json_is_emitted_and_attribution_named() {
     // A tiny non-streamed program still yields a complete JSON document;
     // the full round-trip through the hand parser is covered in the
@@ -187,5 +329,23 @@ fn stats_json_is_emitted_and_attribution_named() {
         "\"stalls\"",
     ] {
         assert!(json.contains(key), "stats JSON missing {key}: {json}");
+    }
+    assert!(
+        !json.contains("\"mem\""),
+        "flat model must not emit a mem object (baseline compatibility)"
+    );
+
+    let hier = run(
+        &module,
+        &WmConfig::default().with_mem_model(MemModel::parse("cache").unwrap()),
+    );
+    let json = hier.perf.to_json();
+    for key in [
+        "\"mem\"",
+        "\"sb_occupancy\"",
+        "\"sb_hits\"",
+        "\"row_misses\"",
+    ] {
+        assert!(json.contains(key), "hierarchy JSON missing {key}: {json}");
     }
 }

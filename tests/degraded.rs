@@ -6,7 +6,7 @@
 //! simulator or code-generation bug.
 
 use wm_stream::sim::FaultPlan;
-use wm_stream::{Compiler, OptOptions, WmConfig};
+use wm_stream::{Compiler, MemModel, OptOptions, WmConfig};
 
 /// The configuration matrix from the CI degraded-hardware job.
 fn degraded_configs() -> Vec<(&'static str, WmConfig)> {
@@ -25,6 +25,30 @@ fn degraded_configs() -> Vec<(&'static str, WmConfig)> {
             "jitter+delays",
             WmConfig::default()
                 .with_fault_plan(FaultPlan::parse("jitter:11:9,delay:3:40,delay:17:40").unwrap()),
+        ),
+        // The memory hierarchy is timing-only: caches and banked DRAM
+        // reshape cycle counts, never results.
+        (
+            "mem=cache",
+            WmConfig::default().with_mem_model(MemModel::parse("cache").unwrap()),
+        ),
+        (
+            "mem=banked",
+            WmConfig::default().with_mem_model(MemModel::parse("banked").unwrap()),
+        ),
+        // Small direct-mapped L1, one MSHR, shallow stream buffers — but
+        // enough DRAM bandwidth (banks=4, busy=2) that stream-outs keep
+        // pace with producers. A starved-bank configuration can leave a
+        // stream-out live into code that scalar-stores to the same FIFO
+        // class, which the machine correctly faults as an output
+        // conflict; that regime belongs to the fault tests, not to a
+        // results-agree matrix.
+        (
+            "mem=cache-tight",
+            WmConfig::default().with_mem_model(
+                MemModel::parse("banked:size=256,assoc=1,mshrs=1,sbufs=2,depth=2,banks=4,busy=2")
+                    .unwrap(),
+            ),
         ),
     ]
 }

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use wm_stream::sim::Engine;
-use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
+use wm_stream::{Compiler, MachineModel, MemModel, OptOptions, Target, WmConfig};
 
 /// Case count, overridable for deeper CI sweeps.
 fn cases() -> u32 {
@@ -70,18 +70,33 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
     })
 }
 
-/// Run on the WM at one opt level under the chosen stepping engine; a
-/// memory fault is a legitimate outcome (`Err`), anything else non-Ok
-/// (deadlock, timeout) is a test failure.
-fn run_wm_level(src: &str, opts: &OptOptions, engine: Engine) -> Result<i64, String> {
+/// Memory-model specs a fuzzed run may draw. The hierarchy is
+/// timing-only (tags, no data), so flat, cached and banked runs must all
+/// agree on fault-or-value — only cycle counts may differ.
+const MEM_SPECS: [&str; 6] = [
+    "flat",
+    "cache",
+    "banked",
+    "cache:size=256,assoc=1,mshrs=1,miss=48",
+    "banked:banks=1,busy=12,rowhit=8,rowmiss=24",
+    "banked:size=512,assoc=2,sbufs=1,depth=2,banks=2",
+];
+
+/// Run on the WM at one opt level under the chosen stepping engine and
+/// memory model; a memory fault is a legitimate outcome (`Err`),
+/// anything else non-Ok (deadlock, timeout) is a test failure.
+fn run_wm_level(src: &str, opts: &OptOptions, engine: Engine, mem: &str) -> Result<i64, String> {
     let c = Compiler::new()
         .options(opts.clone())
         .compile(src)
         .expect("compiles");
-    match c.run_wm_config("main", &[], &WmConfig::default().with_engine(engine)) {
+    let cfg = WmConfig::default()
+        .with_engine(engine)
+        .with_mem_model(MemModel::parse(mem).expect("valid spec"));
+    match c.run_wm_config("main", &[], &cfg) {
         Ok(r) => Ok(r.ret_int),
         Err(e @ wm_stream::sim::SimError::Fault { .. }) => Err(e.to_string()),
-        Err(e) => panic!("non-fault failure under {opts:?} ({engine}): {e}\n{src}"),
+        Err(e) => panic!("non-fault failure under {opts:?} ({engine}, mem={mem}): {e}\n{src}"),
     }
 }
 
@@ -107,13 +122,16 @@ proptest! {
     fn random_programs_agree_across_opt_levels_and_machines(
         src in arbitrary_program(),
         flips in proptest::collection::vec(any::<bool>(), 5),
+        mems in proptest::collection::vec(0..MEM_SPECS.len(), 5),
     ) {
-        // The reference runs on the per-cycle stepper; each opt level
-        // draws its engine at random so every fuzzed program also
-        // exercises cycle/event equivalence.
-        let reference = run_wm_level(&src, &OptOptions::none(), Engine::Cycle);
+        // The reference runs on the per-cycle stepper over flat memory;
+        // each opt level draws its engine and memory model at random so
+        // every fuzzed program also exercises cycle/event equivalence and
+        // the timing-only-hierarchy guarantee (results must never depend
+        // on the cache/DRAM configuration).
+        let reference = run_wm_level(&src, &OptOptions::none(), Engine::Cycle, "flat");
 
-        for (opts, flip) in [
+        for ((opts, flip), mem_ix) in [
             OptOptions::all().without_recurrence().without_streaming(),
             OptOptions::all().without_streaming(),
             OptOptions::all(),
@@ -122,16 +140,18 @@ proptest! {
         ]
         .into_iter()
         .zip(flips)
+        .zip(mems)
         {
             let engine = if flip { Engine::Event } else { Engine::Cycle };
-            let r = run_wm_level(&src, &opts, engine);
+            let mem = MEM_SPECS[mem_ix];
+            let r = run_wm_level(&src, &opts, engine, mem);
             match (&reference, &r) {
-                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "options {:?}\n{}", opts, src),
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "options {:?} mem={}\n{}", opts, mem, src),
                 (Err(_), Err(_)) => {} // both fault: agreement
                 _ => prop_assert!(
                     false,
-                    "fault-or-value disagreement under {:?}: reference {:?} vs {:?}\n{}",
-                    opts, reference, r, src
+                    "fault-or-value disagreement under {:?} (mem={}): reference {:?} vs {:?}\n{}",
+                    opts, mem, reference, r, src
                 ),
             }
         }
@@ -149,16 +169,22 @@ proptest! {
     }
 
     #[test]
-    fn random_programs_get_identical_stats_from_both_engines(src in arbitrary_program()) {
+    fn random_programs_get_identical_stats_from_both_engines(
+        src in arbitrary_program(),
+        mem_ix in 0..MEM_SPECS.len(),
+    ) {
         // Beyond fault-or-value agreement: on the fully optimized build,
         // the two engines must be bit-identical in every observable —
-        // cycles, results, and the complete per-unit counter set.
+        // cycles, results, and the complete per-unit counter set —
+        // under whichever memory model the case draws.
         let c = Compiler::new()
             .options(OptOptions::all())
             .compile(&src)
             .expect("compiles");
-        let cycle = c.run_wm_config("main", &[], &WmConfig::default().with_engine(Engine::Cycle));
-        let event = c.run_wm_config("main", &[], &WmConfig::default().with_engine(Engine::Event));
+        let mem = MemModel::parse(MEM_SPECS[mem_ix]).expect("valid spec");
+        let cfg = WmConfig::default().with_mem_model(mem);
+        let cycle = c.run_wm_config("main", &[], &cfg.clone().with_engine(Engine::Cycle));
+        let event = c.run_wm_config("main", &[], &cfg.clone().with_engine(Engine::Event));
         match (cycle, event) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.cycles, b.cycles, "cycle count differs\n{}", &src);

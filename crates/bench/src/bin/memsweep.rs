@@ -19,6 +19,10 @@
 //! memsweep --latencies 6,24,64     miss latencies for the cache sweep
 //! memsweep --banks 1,2,8           bank counts for the banked sweep
 //! memsweep --out FILE              write results to FILE instead
+//! memsweep --engine NAME           simulation engine: cycle, event
+//!                                  (default) or compiled; cycle counts
+//!                                  are engine-independent, so this only
+//!                                  changes sweep wall time
 //! memsweep --check                 fail (exit 1) unless the streaming
 //!                                  speedup grows monotonically with miss
 //!                                  latency on the stream-heavy kernels
@@ -29,6 +33,7 @@
 //! (speedup non-decreasing in `L`); compute-bound or poorly streamed
 //! programs are reported but not gated.
 
+use wm_stream::sim::Engine;
 use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
 
 /// Kernels whose inner loops stream fully: the latency-tolerance gate
@@ -65,13 +70,14 @@ fn suite() -> Vec<Workload> {
 }
 
 /// Cycles for one workload under one optimizer config and memory model.
-fn run(w: &Workload, opts: &OptOptions, spec: &str) -> u64 {
+fn run(w: &Workload, opts: &OptOptions, spec: &str, engine: Engine) -> u64 {
     let compiled = Compiler::new()
         .options(opts.clone())
         .compile(w.source)
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    let cfg = WmConfig::default()
+    let mut cfg = WmConfig::default()
         .with_mem_model(MemModel::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}")));
+    cfg.engine = engine;
     let r = compiled
         .run_wm_config("main", &[], &cfg)
         .unwrap_or_else(|e| panic!("{} [{spec}]: {e}", w.name));
@@ -79,7 +85,7 @@ fn run(w: &Workload, opts: &OptOptions, spec: &str) -> u64 {
     r.cycles
 }
 
-fn measure(w: &Workload, spec: &str, x: u64) -> Point {
+fn measure(w: &Workload, spec: &str, x: u64, engine: Engine) -> Point {
     let scalar = OptOptions::all()
         .without_recurrence()
         .without_streaming()
@@ -89,8 +95,8 @@ fn measure(w: &Workload, spec: &str, x: u64) -> Point {
         workload: w.name.to_string(),
         spec: spec.to_string(),
         x,
-        scalar_cycles: run(w, &scalar, spec),
-        streaming_cycles: run(w, &streaming, spec),
+        scalar_cycles: run(w, &scalar, spec, engine),
+        streaming_cycles: run(w, &streaming, spec, engine),
     }
 }
 
@@ -204,6 +210,7 @@ fn main() {
     let mut latencies: Vec<u64> = vec![6, 24, 64];
     let mut bank_counts: Vec<u64> = vec![1, 2, 8];
     let mut gate = false;
+    let mut engine = Engine::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -219,11 +226,17 @@ fn main() {
             "--latencies" => latencies = parse_list(&need(&mut i), "--latencies"),
             "--banks" => bank_counts = parse_list(&need(&mut i), "--banks"),
             "--check" => gate = true,
+            "--engine" => {
+                engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("memsweep: {e}");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!(
                     "memsweep: unknown option {other}\n\
                      usage: memsweep [--latencies N,N,...] [--banks N,N,...]\n\
-                     [--out FILE] [--check]"
+                     [--out FILE] [--check] [--engine cycle|event|compiled]"
                 );
                 std::process::exit(2);
             }
@@ -235,13 +248,13 @@ fn main() {
     let mut latency_points = Vec::new();
     for w in &workloads {
         for &l in &latencies {
-            latency_points.push(measure(w, &format!("cache:miss={l}"), l));
+            latency_points.push(measure(w, &format!("cache:miss={l}"), l, engine));
         }
     }
     let mut bank_points = Vec::new();
     for w in &workloads {
         for &b in &bank_counts {
-            bank_points.push(measure(w, &format!("banked:banks={b}"), b));
+            bank_points.push(measure(w, &format!("banked:banks={b}"), b, engine));
         }
     }
 

@@ -11,8 +11,10 @@
 //! perf                             run the full suite, write BENCH_sim.json
 //! perf --fast                      fast subset (the CI bench job's set)
 //! perf --jobs N                    run workload×config pairs on N threads
-//! perf --reps N                    median wall-time of N runs (default 3)
-//! perf --engine cycle|event        simulation engine (default event)
+//! perf --reps N                    median wall-time of N measured runs after
+//!                                  one untimed warmup (default 3)
+//! perf --engine NAME               simulation engine: cycle, event (default)
+//!                                  or compiled
 //! perf --hw default|latency24      hardware model (latency24 = 24-cycle
 //!                                  memory, one port: the degraded config)
 //! perf --mem MODEL                 memory-system model (flat, cache[:k=v,..]
@@ -44,6 +46,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use wm_bench::json::{self, Value};
+use wm_bench::reps::RepPlan;
 use wm_stream::sim::Engine;
 use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
 
@@ -128,16 +131,18 @@ fn suite(fast: bool) -> Vec<Workload> {
     v
 }
 
-/// Compile and run one workload×config pair: one warmup run, then `reps`
-/// measured runs whose median wall time is reported. Every run must
-/// reproduce the warmup's cycle count (the simulator is deterministic;
-/// anything else is a bug worth failing loudly on).
+/// Compile and run one workload×config pair: one untimed warmup run,
+/// then exactly `plan.measured` timed runs whose median wall time is
+/// reported (the warmup's wall is never recorded — [`RepPlan::median`]
+/// asserts the count). Every run must reproduce the warmup's cycle count
+/// (the simulator is deterministic; anything else is a bug worth failing
+/// loudly on).
 fn run_pair(
     w: &Workload,
     config: &'static str,
     opts: &OptOptions,
     cfg: &WmConfig,
-    reps: usize,
+    plan: RepPlan,
 ) -> (RunRecord, String) {
     let compiled = Compiler::new()
         .options(opts.clone())
@@ -150,11 +155,11 @@ fn run_pair(
             .unwrap_or_else(|e| panic!("{} ({config}): {e}", w.name));
         (r, start.elapsed().as_secs_f64() * 1e3)
     };
-    let (warm, _) = run();
+    let (warm, _warmup_wall) = run(); // warmup wall is deliberately dropped
     w.check(warm.ret_int);
-    let mut walls = Vec::with_capacity(reps);
+    let mut walls = Vec::with_capacity(plan.measured);
     let mut result = warm;
-    for _ in 0..reps.max(1) {
+    for _ in 0..plan.measured {
         let (r, wall) = run();
         assert_eq!(
             r.cycles, result.cycles,
@@ -164,8 +169,7 @@ fn run_pair(
         walls.push(wall);
         result = r;
     }
-    walls.sort_by(f64::total_cmp);
-    let wall_ms = walls[walls.len() / 2];
+    let wall_ms = plan.median(&mut walls);
     let line = format!(
         "perf: {:<12} {:<10} {:>10} cycles  {:>8.1} ms\n",
         w.name, config, result.cycles, wall_ms
@@ -185,6 +189,10 @@ fn run_pair(
 /// pair order afterwards so the output is deterministic regardless of
 /// which thread finished first.
 fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
+    let plan = RepPlan::new(meta.reps).unwrap_or_else(|e| {
+        eprintln!("perf: {e}");
+        std::process::exit(2);
+    });
     let mut cfg = meta.hw.config();
     cfg.engine = meta.engine;
     cfg.mem_model = meta.mem.clone();
@@ -202,7 +210,7 @@ fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
                 let Some((w, config, opts)) = pairs.get(i) else {
                     break;
                 };
-                let (record, line) = run_pair(w, config, opts, &cfg, meta.reps);
+                let (record, line) = run_pair(w, config, opts, &cfg, plan);
                 done.lock().unwrap().push((i, record, line));
             });
         }
@@ -409,7 +417,7 @@ fn main() {
             other => {
                 eprintln!(
                     "perf: unknown option {other}\n\
-                     usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event]\n\
+                     usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event|compiled]\n\
                      [--hw default|latency24] [--mem flat|cache[:k=v,..]|banked[:k=v,..]]\n\
                      [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
                      [--write-baseline FILE]"

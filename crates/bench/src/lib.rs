@@ -12,6 +12,7 @@
 //!   substitute (optimizer-quality ratio; see DESIGN.md).
 
 pub mod json;
+pub mod reps;
 
 use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 

@@ -1,0 +1,97 @@
+//! Explicit rep accounting for wall-time measurement.
+//!
+//! The `perf` runner measures each workload as one warmup run followed by
+//! `reps` measured runs, reporting the median of the measured walls. The
+//! accounting lives here, in one place with its own unit tests, so the
+//! warmup can never silently leak into the median — in particular under
+//! `--reps 1`, where the median must be the single *measured* wall, not
+//! the warmup's.
+
+/// How many times to run one benchmark pair: always exactly one warmup
+/// (compilation paths warmed, result checked) plus `measured` timed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepPlan {
+    /// Timed runs contributing to the median. Always at least 1.
+    pub measured: usize,
+}
+
+impl RepPlan {
+    /// A plan with `reps` measured runs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `reps == 0`: zero measured runs would leave nothing to
+    /// take a median of (the warmup is *never* a substitute).
+    pub fn new(reps: usize) -> Result<RepPlan, String> {
+        if reps == 0 {
+            return Err("rep count must be at least 1".to_string());
+        }
+        Ok(RepPlan { measured: reps })
+    }
+
+    /// Total runs executed, counting the warmup.
+    pub fn total_runs(self) -> usize {
+        1 + self.measured
+    }
+
+    /// Median of the measured wall times. Panics if the caller recorded a
+    /// different number of walls than the plan calls for — that is
+    /// exactly the accounting bug this type exists to catch.
+    pub fn median(self, walls: &mut [f64]) -> f64 {
+        assert_eq!(
+            walls.len(),
+            self.measured,
+            "rep accounting bug: {} walls recorded for {} measured reps",
+            walls.len(),
+            self.measured
+        );
+        walls.sort_by(f64::total_cmp);
+        walls[walls.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RepPlan;
+
+    #[test]
+    fn zero_reps_is_rejected() {
+        assert!(RepPlan::new(0).is_err());
+        assert_eq!(RepPlan::new(1).unwrap().measured, 1);
+    }
+
+    #[test]
+    fn warmup_is_counted_as_a_run_but_never_measured() {
+        let plan = RepPlan::new(3).unwrap();
+        assert_eq!(plan.total_runs(), 4); // 1 warmup + 3 measured
+    }
+
+    #[test]
+    fn single_rep_median_is_the_measured_wall_not_the_warmup() {
+        // Simulate a slow warmup (cold caches) followed by one fast
+        // measured run: the median must be the measured wall.
+        let plan = RepPlan::new(1).unwrap();
+        let mut walls = vec![2.0]; // the warmup's 50.0 is never recorded
+        assert_eq!(plan.median(&mut walls), 2.0);
+    }
+
+    #[test]
+    fn median_is_the_middle_measured_wall() {
+        let plan = RepPlan::new(3).unwrap();
+        let mut walls = vec![9.0, 1.0, 4.0];
+        assert_eq!(plan.median(&mut walls), 4.0);
+        let plan = RepPlan::new(4).unwrap();
+        // even count: the upper middle, matching slice[len / 2]
+        let mut walls = vec![8.0, 2.0, 4.0, 6.0];
+        assert_eq!(plan.median(&mut walls), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rep accounting bug")]
+    fn recording_the_warmup_wall_is_caught() {
+        let plan = RepPlan::new(2).unwrap();
+        // A buggy caller pushed the warmup wall too: 3 walls for 2 reps.
+        let mut walls = vec![50.0, 2.0, 2.1];
+        plan.median(&mut walls);
+    }
+}

@@ -10,6 +10,7 @@
 //! wmcc prog.c --mem cache:size=16384,miss=32
 //! wmcc prog.c --mem banked:banks=4,busy=8 --stats
 //! wmcc prog.c --engine cycle          step every cycle instead of fast-forwarding
+//! wmcc prog.c --engine compiled       run the pre-decoded threaded-dispatch tables
 //! wmcc prog.c --entry kernel --args 100,7
 //! wmcc prog.c --inject drop:3,jitter:42:5
 //! wmcc prog.c --speculative-streams
@@ -41,7 +42,7 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
-               [--engine cycle|event]
+               [--engine cycle|event|compiled]
 
   --stats                print per-unit performance counters (instructions
                          retired, active/idle/stall cycles with stall-reason
@@ -55,10 +56,12 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          chrome://tracing or ui.perfetto.dev)
   --speculative-streams  keep streams that may fetch past their array,
                          relying on the WM's deferred (poison) faults
-  --engine cycle|event   simulation engine (default event): `event` fast-
+  --engine NAME          simulation engine (default event): `event` fast-
                          forwards over spans where every unit is stalled or
-                         idle, `cycle` steps every unit every cycle; both
-                         produce bit-identical cycle counts and statistics
+                         idle, `cycle` steps every unit every cycle, and
+                         `compiled` executes pre-decoded threaded-dispatch
+                         tables (the fastest); all three produce
+                         bit-identical cycle counts and statistics
   --mem MODEL            memory-system model (default flat). MODEL is
                          flat | cache[:k=v,...] | banked[:k=v,...]:
                            flat     every access takes --mem-latency cycles

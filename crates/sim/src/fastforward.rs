@@ -50,14 +50,21 @@ pub enum Engine {
     /// next event. Bit-identical counters; the default.
     #[default]
     Event,
+    /// Execute the pre-decoded threaded-dispatch tables (see
+    /// [`DecodedProgram`](crate::DecodedProgram)) with the same
+    /// fast-forward tail. Bit-identical to the other engines; the
+    /// fastest.
+    Compiled,
 }
 
 impl Engine {
-    /// Stable machine-readable name (`"cycle"` / `"event"`).
+    /// Stable machine-readable name (`"cycle"` / `"event"` /
+    /// `"compiled"`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Cycle => "cycle",
             Engine::Event => "event",
+            Engine::Compiled => "compiled",
         }
     }
 
@@ -65,16 +72,21 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns a usage message for anything but `cycle` or `event`.
+    /// Returns a usage message for anything but `cycle`, `event` or
+    /// `compiled`.
     pub fn parse(s: &str) -> Result<Engine, String> {
         match s {
             "cycle" => Ok(Engine::Cycle),
             "event" => Ok(Engine::Event),
+            "compiled" => Ok(Engine::Compiled),
             other => Err(format!(
-                "unknown engine `{other}` (expected cycle or event)"
+                "unknown engine `{other}` (expected cycle, event or compiled)"
             )),
         }
     }
+
+    /// All engines, for exhaustive differential sweeps.
+    pub const ALL: [Engine; 3] = [Engine::Cycle, Engine::Event, Engine::Compiled];
 }
 
 impl std::fmt::Display for Engine {
@@ -157,11 +169,22 @@ impl<'m> WmMachine<'m> {
     /// Exactly the errors [`WmMachine::step`] reports, at the same cycle.
     pub fn step_event(&mut self) -> Result<(), SimError> {
         self.step()?;
+        self.fast_forward();
+        Ok(())
+    }
+
+    /// The shared fast-forward tail: if the cycle just simulated ended
+    /// with no unit able to make progress, jump to just before the next
+    /// event in one bulk update. Used by both the event engine (after
+    /// [`WmMachine::step`]) and the compiled engine (after its decoded
+    /// step); a no-op when the cycle made progress or an outcome is not
+    /// provably constant.
+    pub(crate) fn fast_forward(&mut self) {
         if !self.can_fast_forward() {
-            return Ok(());
+            return;
         }
         let Some(target) = self.fast_forward_target() else {
-            return Ok(());
+            return;
         };
         let skipped = target - self.cycle;
         self.bulk_account(skipped);
@@ -179,7 +202,6 @@ impl<'m> WmMachine<'m> {
         }
         self.cycle = target;
         self.perf.cycles = target;
-        Ok(())
     }
 
     /// Did the cycle that just completed change no architectural state,

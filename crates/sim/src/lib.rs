@@ -40,7 +40,9 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+mod compiled;
 mod config;
+mod decode;
 mod fastforward;
 mod fault;
 mod loader;
@@ -49,6 +51,7 @@ mod mem;
 mod stats;
 
 pub use config::{FaultPlan, WmConfig};
+pub use decode::DecodedProgram;
 pub use fastforward::{Engine, FfSpan};
 pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};

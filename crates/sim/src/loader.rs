@@ -87,6 +87,11 @@ pub struct MemoryImage {
     pub initial_sp: i64,
     /// Mapped regions, sorted by start address.
     regions: Vec<MapRegion>,
+    /// Index of the region that satisfied the last permission check — a
+    /// one-entry cache. Scalar references and stream cursors have strong
+    /// spatial locality, so most checks re-hit the same region and skip
+    /// the binary search.
+    last_region: std::cell::Cell<usize>,
 }
 
 impl MemoryImage {
@@ -142,6 +147,7 @@ impl MemoryImage {
             addresses,
             initial_sp,
             regions,
+            last_region: std::cell::Cell::new(usize::MAX),
         })
     }
 
@@ -152,15 +158,37 @@ impl MemoryImage {
 
     /// The region containing `addr`, if any.
     pub fn region_of(&self, addr: i64) -> Option<&MapRegion> {
+        self.region_index_of(addr).map(|i| &self.regions[i])
+    }
+
+    /// Index of the region containing `addr`, by binary search.
+    fn region_index_of(&self, addr: i64) -> Option<usize> {
         let idx = self.regions.partition_point(|r| r.start <= addr);
-        let r = self.regions.get(idx.checked_sub(1)?)?;
-        (addr < r.end).then_some(r)
+        let i = idx.checked_sub(1)?;
+        (addr < self.regions[i].end).then_some(i)
     }
 
     /// Check that `len` bytes at `addr` may be accessed (written, when
     /// `write` is set). On refusal, the error names the nearest region.
     pub fn check(&self, addr: i64, len: i64, write: bool) -> Result<(), AccessError> {
-        if let Some(r) = self.region_of(addr) {
+        // one-entry region cache: a hit answers without the binary search
+        if let Some(r) = self.regions.get(self.last_region.get()) {
+            if addr >= r.start && addr + len <= r.end {
+                if write && !r.writable {
+                    return Err(AccessError {
+                        addr,
+                        len,
+                        write,
+                        kind: AccessKind::ReadOnly,
+                        context: format!("{} is read-only", r.label),
+                    });
+                }
+                return Ok(());
+            }
+        }
+        if let Some(i) = self.region_index_of(addr) {
+            self.last_region.set(i);
+            let r = &self.regions[i];
             if addr + len <= r.end {
                 if write && !r.writable {
                     return Err(AccessError {

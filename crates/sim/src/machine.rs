@@ -8,6 +8,7 @@ use wm_ir::{
 };
 
 use crate::config::WmConfig;
+use crate::decode::DecodedProgram;
 use crate::fastforward::{CycleOutcomes, Engine, FfSpan};
 use crate::fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
 use crate::loader::{AccessError, AccessKind, MemoryImage};
@@ -129,25 +130,25 @@ pub struct RunResult {
     /// (exact by construction), FIFO occupancy histograms, memory-port
     /// utilization and per-SCU element counts.
     pub perf: Stats,
-    /// The stepping engine that produced this result. Both engines yield
+    /// The stepping engine that produced this result. Every engine yields
     /// bit-identical cycles and counters; this records which one ran.
     pub engine: Engine,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Val {
+pub(crate) enum Val {
     I(i64),
     F(f64),
 }
 
 impl Val {
-    fn as_i(self) -> i64 {
+    pub(crate) fn as_i(self) -> i64 {
         match self {
             Val::I(v) => v,
             Val::F(v) => v as i64,
         }
     }
-    fn as_f(self) -> f64 {
+    pub(crate) fn as_f(self) -> f64 {
         match self {
             Val::I(v) => v as f64,
             Val::F(v) => v,
@@ -156,15 +157,15 @@ impl Val {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Pc {
-    func: usize,
-    block: usize,
-    inst: usize,
+pub(crate) struct Pc {
+    pub(crate) func: usize,
+    pub(crate) block: usize,
+    pub(crate) inst: usize,
 }
 
 /// Result of attempting to issue a unit's head instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Exec {
+pub(crate) enum Exec {
     /// The instruction retired; the payload is the destination register
     /// the paired-ALU interlock must delay, if any.
     Retired(Option<u8>),
@@ -175,7 +176,7 @@ enum Exec {
 /// Why a FIFO entry is poisoned: the stream prefetch that produced it
 /// faulted. The fault is deferred — raised only if the entry is consumed.
 #[derive(Debug, Clone, PartialEq)]
-struct Poison {
+pub(crate) struct Poison {
     addr: i64,
     scu: usize,
     error: String,
@@ -183,32 +184,36 @@ struct Poison {
 
 /// One FIFO entry: a value, possibly carrying a deferred stream fault.
 #[derive(Debug, Clone, PartialEq)]
-struct Slot {
+pub(crate) struct Slot {
     val: Val,
     poison: Option<Box<Poison>>,
 }
 
 #[derive(Debug, Default)]
-struct InFifo {
-    q: VecDeque<Slot>,
+pub(crate) struct InFifo {
+    pub(crate) q: VecDeque<Slot>,
     /// Requests in flight toward this FIFO.
-    pending: usize,
+    pub(crate) pending: usize,
     /// Generation: bumped by stream stop so stale arrivals are dropped.
-    gen: u32,
+    pub(crate) gen: u32,
     /// Is an SCU currently feeding this FIFO?
-    streamed: bool,
+    pub(crate) streamed: bool,
 }
 
+/// A scalar execution unit (IEU/FEU). The instruction queue holds `u32`
+/// indices into the machine's [`DecodedProgram`] table — for every
+/// engine; the interpreters resolve an index back to its [`InstKind`]
+/// through the table, so nothing is cloned at dispatch.
 #[derive(Debug)]
-struct Unit {
-    regs: [Val; 32],
-    iq: VecDeque<InstKind>,
-    ins: [InFifo; 2],
-    out: VecDeque<Val>,
-    cc: VecDeque<bool>,
-    prev_dst: Option<u8>,
-    prev_cycle: u64,
-    busy: u64,
+pub(crate) struct Unit {
+    pub(crate) regs: [Val; 32],
+    pub(crate) iq: VecDeque<u32>,
+    pub(crate) ins: [InFifo; 2],
+    pub(crate) out: VecDeque<Val>,
+    pub(crate) cc: VecDeque<bool>,
+    pub(crate) prev_dst: Option<u8>,
+    pub(crate) prev_cycle: u64,
+    pub(crate) busy: u64,
 }
 
 impl Unit {
@@ -233,14 +238,14 @@ impl Unit {
 /// The vector execution unit: 8 vector registers of N doubles, two input
 /// stream ports and one output FIFO.
 #[derive(Debug)]
-struct Veu {
-    iq: VecDeque<InstKind>,
+pub(crate) struct Veu {
+    pub(crate) iq: VecDeque<u32>,
     vregs: Vec<Vec<f64>>,
-    ports: [VecDeque<f64>; 2],
+    pub(crate) ports: [VecDeque<f64>; 2],
     /// requests in flight toward each port
-    pending: [usize; 2],
-    out: VecDeque<f64>,
-    busy: u64,
+    pub(crate) pending: [usize; 2],
+    pub(crate) out: VecDeque<f64>,
+    pub(crate) busy: u64,
 }
 
 impl Veu {
@@ -258,7 +263,7 @@ impl Veu {
 
 /// Where a stream delivers / takes its data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StreamTarget {
+pub(crate) enum StreamTarget {
     /// A scalar unit's FIFO-mapped register 0/1.
     Fifo(DataFifo),
     /// A VEU input port (in-streams) or the VEU output FIFO (out-streams).
@@ -286,7 +291,7 @@ pub(crate) struct Scu {
 }
 
 #[derive(Debug)]
-enum MemOp {
+pub(crate) enum MemOp {
     ReadFifo {
         target: StreamTarget,
         addr: i64,
@@ -308,7 +313,7 @@ enum MemOp {
 pub(crate) struct Flight {
     /// Delivery cycle (includes injected delay and jitter).
     pub(crate) due: u64,
-    op: MemOp,
+    pub(crate) op: MemOp,
     /// Fault injection: the response is discarded at delivery time.
     dropped: bool,
     /// The request holds a memory-hierarchy MSHR until delivery.
@@ -318,10 +323,10 @@ pub(crate) struct Flight {
 /// A pending scalar store: the address is known, the data comes from the
 /// named unit's output FIFO.
 #[derive(Debug, Clone, Copy)]
-struct PendingStore {
-    addr: i64,
-    width: Width,
-    class: RegClass,
+pub(crate) struct PendingStore {
+    pub(crate) addr: i64,
+    pub(crate) width: Width,
+    pub(crate) class: RegClass,
 }
 
 /// One executed instruction, recorded when tracing is enabled.
@@ -337,26 +342,34 @@ pub struct TraceEvent {
 
 /// The simulated machine. Use [`WmMachine::run`] for the common case.
 pub struct WmMachine<'m> {
-    module: &'m Module,
+    pub(crate) module: &'m Module,
+    /// The module pre-decoded into flat dispatch tables (see
+    /// [`crate::decode`]); the unit instruction queues hold indices into
+    /// it, and the compiled engine executes it directly.
+    pub(crate) prog: DecodedProgram<'m>,
     pub(crate) config: WmConfig,
-    mem: MemoryImage,
-    ieu: Unit,
-    feu: Unit,
-    veu: Veu,
+    pub(crate) mem: MemoryImage,
+    pub(crate) ieu: Unit,
+    pub(crate) feu: Unit,
+    pub(crate) veu: Veu,
     pub(crate) scus: Vec<Scu>,
-    store_q: VecDeque<PendingStore>,
+    pub(crate) store_q: VecDeque<PendingStore>,
     pub(crate) in_flight: VecDeque<Flight>,
-    pc: Option<Pc>,
-    ret_stack: Vec<Pc>,
+    /// Number of [`MemOp::Write`] entries in `in_flight` (dropped or
+    /// not), so the per-load ordering checks can skip the queue scans
+    /// when no write is outstanding — the overwhelmingly common case.
+    pub(crate) writes_in_flight: usize,
+    pub(crate) pc: Option<Pc>,
+    pub(crate) ret_stack: Vec<Pc>,
     /// IFU-side per-stream dispatch counters for `jNI` jumps.
-    dispatch: HashMap<DataFifo, i64>,
+    pub(crate) dispatch: HashMap<DataFifo, i64>,
     /// IFU-side vector-termination counter for `jNIv` jumps.
-    dispatch_vec: Option<i64>,
-    output: Vec<u8>,
+    pub(crate) dispatch_vec: Option<i64>,
+    pub(crate) output: Vec<u8>,
     pub(crate) stats: SimStats,
     pub(crate) cycle: u64,
     pub(crate) last_progress: u64,
-    ports_used: u32,
+    pub(crate) ports_used: u32,
     /// The IFU is held (e.g. by builtin I/O) until this cycle.
     pub(crate) ifu_hold: u64,
     /// Monotonic stream-configuration counter (see `Scu::seq`).
@@ -417,6 +430,9 @@ impl<'m> WmMachine<'m> {
             }
         }
         let mem = MemoryImage::new(module, config.memory_size)?;
+        // Pre-decode for every engine: the unit queues carry indices into
+        // this table, so even the interpreters dispatch without cloning.
+        let prog = DecodedProgram::decode(module, &mem.addresses);
         let mut ieu = Unit::new(RegClass::Int);
         ieu.regs[30] = Val::I(mem.initial_sp);
         let memsys = MemSystem::new(&config.mem_model, config.mem_latency);
@@ -431,6 +447,7 @@ impl<'m> WmMachine<'m> {
         }
         Ok(WmMachine {
             module,
+            prog,
             config: config.clone(),
             mem,
             ieu,
@@ -454,6 +471,7 @@ impl<'m> WmMachine<'m> {
             ],
             store_q: VecDeque::new(),
             in_flight: VecDeque::new(),
+            writes_in_flight: 0,
             pc: None,
             ret_stack: Vec::new(),
             dispatch: HashMap::new(),
@@ -528,6 +546,12 @@ impl<'m> WmMachine<'m> {
         &self.perf
     }
 
+    /// The module's pre-decoded dispatch tables (built at construction;
+    /// see [`DecodedProgram::verify_roundtrip`]).
+    pub fn decoded_program(&self) -> &DecodedProgram<'m> {
+        &self.prog
+    }
+
     /// The fast-forwarded spans collected so far (empty unless the event
     /// engine ran with tracing or the timeline enabled). Consumed by the
     /// Chrome trace exporter, which renders each as one coalesced stall
@@ -536,7 +560,7 @@ impl<'m> WmMachine<'m> {
         &self.ff_spans
     }
 
-    fn record(&mut self, unit: &'static str, kind: &InstKind) {
+    pub(crate) fn record(&mut self, unit: &'static str, kind: &InstKind) {
         if self.trace_enabled {
             self.trace.push(TraceEvent {
                 cycle: self.cycle,
@@ -579,6 +603,7 @@ impl<'m> WmMachine<'m> {
             match engine {
                 Engine::Cycle => self.step()?,
                 Engine::Event => self.step_event()?,
+                Engine::Compiled => self.step_compiled()?,
             }
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::Timeout {
@@ -635,7 +660,10 @@ impl<'m> WmMachine<'m> {
             UnitState {
                 name,
                 iq: u.iq.len(),
-                head: u.iq.front().map(|k| k.to_string()),
+                head: u
+                    .iq
+                    .front()
+                    .map(|&i| self.prog.insts[i as usize].kind.to_string()),
                 ins: [0, 1].map(|i| FifoState {
                     len: u.ins[i].q.len(),
                     pending: u.ins[i].pending,
@@ -701,7 +729,7 @@ impl<'m> WmMachine<'m> {
     /// Why the unit's head instruction cannot retire, if it cannot.
     fn stall_reason(&self, class: RegClass) -> Option<String> {
         let u = self.unit(class);
-        let head = u.iq.front()?;
+        let head = self.prog.insts[*u.iq.front()? as usize].kind;
         if u.busy > 0 {
             return Some(format!("busy for {} more cycle(s)", u.busy));
         }
@@ -799,7 +827,7 @@ impl<'m> WmMachine<'m> {
     }
 
     /// Build a fault error with the current snapshot attached.
-    fn fault(
+    pub(crate) fn fault(
         &self,
         unit: FaultUnit,
         kind: FaultKind,
@@ -822,7 +850,12 @@ impl<'m> WmMachine<'m> {
     }
 
     /// Build a fault from a refused memory access.
-    fn access_fault(&self, unit: FaultUnit, stream: Option<DataFifo>, e: &AccessError) -> SimError {
+    pub(crate) fn access_fault(
+        &self,
+        unit: FaultUnit,
+        stream: Option<DataFifo>,
+        e: &AccessError,
+    ) -> SimError {
         let kind = match e.kind {
             AccessKind::Unmapped => FaultKind::Unmapped,
             AccessKind::ReadOnly => FaultKind::ReadOnly,
@@ -861,7 +894,7 @@ impl<'m> WmMachine<'m> {
 
     /// End-of-cycle bookkeeping: FIFO occupancy histograms, memory-port
     /// utilization and (when enabled) the FIFO-depth timeline.
-    fn sample_perf(&mut self) {
+    pub(crate) fn sample_perf(&mut self) {
         self.perf.cycles = self.cycle;
         let depths = self.fifo_depths();
         for (h, &d) in self.perf.fifos.iter_mut().zip(depths.iter()) {
@@ -899,7 +932,7 @@ impl<'m> WmMachine<'m> {
 
     // ---- memory ----
 
-    fn deliver_memory(&mut self) -> Result<(), SimError> {
+    pub(crate) fn deliver_memory(&mut self) -> Result<(), SimError> {
         while let Some(f) = self.in_flight.front() {
             if f.due > self.cycle {
                 break;
@@ -907,6 +940,9 @@ impl<'m> WmMachine<'m> {
             let Flight {
                 op, dropped, mshr, ..
             } = self.in_flight.pop_front().unwrap();
+            if matches!(op, MemOp::Write { .. }) {
+                self.writes_in_flight -= 1;
+            }
             if mshr {
                 // The miss's response has arrived (or was dropped): its
                 // MSHR can track a new miss from the next reference on.
@@ -983,7 +1019,7 @@ impl<'m> WmMachine<'m> {
     /// Issue `op` through the memory hierarchy. The caller must have
     /// checked `memsys.accepts(&acc, ..)` this cycle (scalar paths stall
     /// on a refusal; stream requests are never refused).
-    fn issue_mem(&mut self, op: MemOp, acc: &Access) {
+    pub(crate) fn issue_mem(&mut self, op: MemOp, acc: &Access) {
         self.req_counter += 1;
         let n = self.req_counter;
         let issued = self.memsys.access(acc, self.cycle, self.perf.mem.as_mut());
@@ -1007,6 +1043,9 @@ impl<'m> WmMachine<'m> {
                 .sum::<u64>();
         }
         let dropped = issued.dram && plan.drops.contains(&n);
+        if matches!(op, MemOp::Write { .. }) {
+            self.writes_in_flight += 1;
+        }
         self.in_flight.push_back(Flight {
             due: self.cycle + latency,
             op,
@@ -1017,7 +1056,7 @@ impl<'m> WmMachine<'m> {
         self.last_progress = self.cycle;
     }
 
-    fn ports_free(&self) -> bool {
+    pub(crate) fn ports_free(&self) -> bool {
         self.ports_used < self.config.mem_ports
     }
 
@@ -1025,7 +1064,10 @@ impl<'m> WmMachine<'m> {
     /// not yet reached memory? Loads must wait for such stores (the
     /// load/store ordering a decoupled access/execute machine enforces with
     /// its store-address queue).
-    fn conflicts_with_pending_writes(&self, addr: i64, width: Width) -> bool {
+    pub(crate) fn conflicts_with_pending_writes(&self, addr: i64, width: Width) -> bool {
+        if self.store_q.is_empty() && self.writes_in_flight == 0 {
+            return false; // nothing queued, nothing travelling: no scan
+        }
         let end = addr + width.bytes();
         let overlap = |a: i64, w: Width| a < end && addr < a + w.bytes();
         self.store_q.iter().any(|s| overlap(s.addr, s.width))
@@ -1066,7 +1108,7 @@ impl<'m> WmMachine<'m> {
     /// active out-stream has yet to write? Scalar loads follow the stream's
     /// writes in program order, so they must wait; stream-in prefetches must
     /// not (their reads precede the overlapping writes in program order).
-    fn conflicts_with_out_streams(&self, addr: i64, width: Width) -> bool {
+    pub(crate) fn conflicts_with_out_streams(&self, addr: i64, width: Width) -> bool {
         let end = addr + width.bytes();
         self.scus.iter().any(|s| {
             if !s.active || s.dir_in {
@@ -1093,14 +1135,14 @@ impl<'m> WmMachine<'m> {
 
     // ---- execution units ----
 
-    fn unit(&self, class: RegClass) -> &Unit {
+    pub(crate) fn unit(&self, class: RegClass) -> &Unit {
         match class {
             RegClass::Int => &self.ieu,
             RegClass::Flt => &self.feu,
         }
     }
 
-    fn unit_mut(&mut self, class: RegClass) -> &mut Unit {
+    pub(crate) fn unit_mut(&mut self, class: RegClass) -> &mut Unit {
         match class {
             RegClass::Int => &mut self.ieu,
             RegClass::Flt => &mut self.feu,
@@ -1127,14 +1169,15 @@ impl<'m> WmMachine<'m> {
             self.unit_mut(class).busy -= 1;
             return Ok(Outcome::Active);
         }
-        // Peek without cloning: stall cycles (interlock, FIFO-empty) are
-        // the common case under queue pressure, and cloning the head every
-        // cycle just to discard it dominated the interpreter's profile.
-        {
+        // The queue holds indices into the decoded table; the kind lives
+        // in the module (`&'m`), so peeking borrows nothing from `self`
+        // and stall cycles (interlock, FIFO-empty) never clone.
+        let head: &'m InstKind = {
             let u = self.unit(class);
-            let Some(head) = u.iq.front() else {
+            let Some(&idx) = u.iq.front() else {
                 return Ok(Outcome::Idle);
             };
+            let head = self.prog.insts[idx as usize].kind;
             // paired-ALU dependency interlock: the previous instruction's
             // result is not available to the immediately following
             // instruction
@@ -1143,23 +1186,23 @@ impl<'m> WmMachine<'m> {
                     return Ok(Outcome::Stall(Stall::Interlock)); // one-cycle bubble
                 }
             }
-            // FIFO data availability for every dequeue in the instruction
-            if !self.fifo_ready(class, head) {
-                return Ok(Outcome::Stall(Stall::FifoEmpty));
-            }
+            head
+        };
+        // FIFO data availability for every dequeue in the instruction
+        if !self.fifo_ready(class, head) {
+            return Ok(Outcome::Stall(Stall::FifoEmpty));
         }
-        let head = self.unit(class).iq.front().expect("peeked above").clone();
-        let executed_dst = match self.exec_unit_head(class, &head) {
+        let executed_dst = match self.exec_unit_head(class, head) {
             Ok(Exec::Retired(dst)) => dst,
             Ok(Exec::Stall(s)) => return Ok(Outcome::Stall(s)), // retry next cycle
-            Err(e) => return Err(attach_inst(e, &head)),
+            Err(e) => return Err(attach_inst(e, head)),
         };
         self.record(
             match class {
                 RegClass::Int => "IEU",
                 RegClass::Flt => "FEU",
             },
-            &head,
+            head,
         );
         let now = self.cycle;
         let u = self.unit_mut(class);
@@ -1186,7 +1229,11 @@ impl<'m> WmMachine<'m> {
     /// ordering) with its attributed reason; [`Exec::Retired`] means the
     /// instruction retired, carrying the register the paired-ALU interlock
     /// must delay.
-    fn exec_unit_head(&mut self, class: RegClass, head: &InstKind) -> Result<Exec, SimError> {
+    pub(crate) fn exec_unit_head(
+        &mut self,
+        class: RegClass,
+        head: &InstKind,
+    ) -> Result<Exec, SimError> {
         let mut executed_dst: Option<u8> = None;
         match head {
             InstKind::Assign { dst, src } => {
@@ -1245,12 +1292,7 @@ impl<'m> WmMachine<'m> {
                         // wait for the conflicting store
                         return Ok(Exec::Stall(Stall::MemOrder));
                     }
-                    None if !self.store_q.is_empty()
-                        || self
-                            .in_flight
-                            .iter()
-                            .any(|f| matches!(f.op, MemOp::Write { .. })) =>
-                    {
+                    None if !self.store_q.is_empty() || self.writes_in_flight > 0 => {
                         // unanalyzable address: drain stores first
                         return Ok(Exec::Stall(Stall::MemOrder));
                     }
@@ -1430,7 +1472,7 @@ impl<'m> WmMachine<'m> {
     }
 
     /// Do the FIFO reads of `kind` have data available?
-    fn fifo_ready(&self, class: RegClass, kind: &InstKind) -> bool {
+    pub(crate) fn fifo_ready(&self, class: RegClass, kind: &InstKind) -> bool {
         let need = fifo_need(class, kind);
         let u = self.unit(class);
         need[0] <= u.ins[0].q.len() && need[1] <= u.ins[1].q.len()
@@ -1535,7 +1577,7 @@ impl<'m> WmMachine<'m> {
         self.dispatch.remove(&fifo);
     }
 
-    fn drain_stores(&mut self) -> Result<(), SimError> {
+    pub(crate) fn drain_stores(&mut self) -> Result<(), SimError> {
         while self.ports_free() {
             let Some(&PendingStore { addr, width, class }) = self.store_q.front() else {
                 break;
@@ -1576,7 +1618,7 @@ impl<'m> WmMachine<'m> {
         Ok(())
     }
 
-    fn scu_step(&mut self) -> Result<(), SimError> {
+    pub(crate) fn scu_step(&mut self) -> Result<(), SimError> {
         for i in 0..self.scus.len() {
             let outcome = self.scu_step_one(i)?;
             self.perf.scus[i].unit.record(outcome);
@@ -1590,22 +1632,22 @@ impl<'m> WmMachine<'m> {
     /// then activity/setup/injection, then back-pressure and ordering), so
     /// issue behavior is cycle-identical; only the attribution is new.
     fn scu_step_one(&mut self, i: usize) -> Result<Outcome, SimError> {
+        // An inactive SCU is idle whether or not a port is free, so the
+        // common case skips the arbitration checks (and the state copy).
+        if !self.scus[i].active {
+            return Ok(Outcome::Idle);
+        }
         let scu = self.scus[i];
         if !self.ports_free() {
             // No port: even stream termination waits (as the original
             // arbitration loop broke out before deactivating).
-            return Ok(if !scu.active {
-                Outcome::Idle
-            } else if self.scu_disabled(i) {
+            return Ok(if self.scu_disabled(i) {
                 Outcome::Stall(Stall::Disabled)
             } else if self.cycle < scu.ready_at {
                 Outcome::Stall(Stall::Setup)
             } else {
                 Outcome::Stall(Stall::PortBusy)
             });
-        }
-        if !scu.active {
-            return Ok(Outcome::Idle);
         }
         if self.scu_disabled(i) {
             return Ok(Outcome::Stall(Stall::Disabled));
@@ -1752,7 +1794,7 @@ impl<'m> WmMachine<'m> {
 
     // ---- vector execution unit ----
 
-    fn veu_step(&mut self) -> Result<(), SimError> {
+    pub(crate) fn veu_step(&mut self) -> Result<(), SimError> {
         let outcome = self.veu_step_inner()?;
         self.perf.veu.record(outcome);
         self.last_outcomes.veu = outcome;
@@ -1765,21 +1807,22 @@ impl<'m> WmMachine<'m> {
             self.last_progress = self.cycle;
             return Ok(Outcome::Active);
         }
-        let Some(head) = self.veu.iq.front().cloned() else {
+        let Some(&idx) = self.veu.iq.front() else {
             return Ok(Outcome::Idle);
         };
+        let head: &'m InstKind = self.prog.insts[idx as usize].kind;
         let n = self.config.veu_length;
         let lanes = self.config.veu_lanes.max(1);
         let op_cycles = (n as u64).div_ceil(lanes as u64);
         match head {
             InstKind::VLoad { vreg, port } => {
-                let p = port as usize;
+                let p = *port as usize;
                 if self.veu.ports[p].len() < n {
                     return Ok(Outcome::Stall(Stall::FifoEmpty)); // wait for a full group
                 }
                 for k in 0..n {
                     let v = self.veu.ports[p].pop_front().expect("checked length");
-                    self.veu.vregs[vreg as usize][k] = v;
+                    self.veu.vregs[*vreg as usize][k] = v;
                 }
                 self.veu.busy = op_cycles;
             }
@@ -1788,16 +1831,16 @@ impl<'m> WmMachine<'m> {
                     return Ok(Outcome::Stall(Stall::OutFull)); // output FIFO full
                 }
                 for k in 0..n {
-                    let v = self.veu.vregs[vreg as usize][k];
+                    let v = self.veu.vregs[*vreg as usize][k];
                     self.veu.out.push_back(v);
                 }
                 self.veu.busy = op_cycles;
             }
             InstKind::VecBin { op, dst, a, b } => {
                 for k in 0..n {
-                    let x = self.veu.vregs[a as usize][k];
-                    let y = self.veu.vregs[b as usize][k];
-                    self.veu.vregs[dst as usize][k] = match op {
+                    let x = self.veu.vregs[*a as usize][k];
+                    let y = self.veu.vregs[*b as usize][k];
+                    self.veu.vregs[*dst as usize][k] = match op {
                         BinOp::FAdd => x + y,
                         BinOp::FSub => x - y,
                         BinOp::FMul => x * y,
@@ -1813,7 +1856,7 @@ impl<'m> WmMachine<'m> {
             }
             InstKind::VecBroadcast { dst, value } => {
                 for k in 0..n {
-                    self.veu.vregs[dst as usize][k] = value;
+                    self.veu.vregs[*dst as usize][k] = *value;
                 }
                 self.veu.busy = 1;
             }
@@ -1823,7 +1866,7 @@ impl<'m> WmMachine<'m> {
                 )))
             }
         }
-        self.record("VEU", &head);
+        self.record("VEU", head);
         self.veu.iq.pop_front();
         self.stats.insts_feu += 1; // counted with the FP work
         self.perf.veu.retired += 1;
@@ -1833,7 +1876,7 @@ impl<'m> WmMachine<'m> {
 
     // ---- operand evaluation ----
 
-    fn sym_addr(&self, sym: SymId) -> Result<i64, SimError> {
+    pub(crate) fn sym_addr(&self, sym: SymId) -> Result<i64, SimError> {
         self.mem.addresses.get(&sym).copied().ok_or_else(|| {
             SimError::BadProgram(format!(
                 "address taken of non-data symbol {}",
@@ -1842,7 +1885,7 @@ impl<'m> WmMachine<'m> {
         })
     }
 
-    fn read_operand(&mut self, class: RegClass, op: Operand) -> Result<Val, SimError> {
+    pub(crate) fn read_operand(&mut self, class: RegClass, op: Operand) -> Result<Val, SimError> {
         match op {
             Operand::Imm(v) => Ok(Val::I(v)),
             Operand::FImm(v) => Ok(Val::F(v)),
@@ -1861,39 +1904,48 @@ impl<'m> WmMachine<'m> {
                 }
                 if n <= 1 {
                     // dequeue (availability pre-checked by fifo_ready)
-                    let Some(slot) = self.unit_mut(class).ins[n].q.pop_front() else {
-                        return Err(SimError::Deadlock {
-                            cycle: self.cycle,
-                            detail: format!("dequeue from empty FIFO {}{n}", class.prefix()),
-                            state: Box::new(self.snapshot()),
-                        });
-                    };
-                    if let Some(p) = slot.poison {
-                        // the deferred stream fault surfaces only here, at
-                        // consumption — an unconsumed over-fetch is harmless
-                        let unit = match class {
-                            RegClass::Int => FaultUnit::Ieu,
-                            RegClass::Flt => FaultUnit::Feu,
-                        };
-                        return Err(self.fault(
-                            unit,
-                            FaultKind::PoisonConsumed,
-                            Some(p.addr),
-                            Some(DataFifo::new(class, n as u8)),
-                            format!(
-                                "consumed a poisoned stream datum prefetched by SCU {}: {}",
-                                p.scu, p.error
-                            ),
-                        ));
-                    }
-                    return Ok(slot.val);
+                    return self.pop_fifo(class, n);
                 }
                 Ok(self.unit(class).regs[n])
             }
         }
     }
 
-    fn write_reg(&mut self, class: RegClass, r: Reg, v: Val) -> Result<(), SimError> {
+    /// Dequeue one datum from input FIFO `n` of the `class` unit. The
+    /// caller must have established availability (`fifo_ready`, or the
+    /// decoded tables' precomputed demand pair); a deferred stream fault
+    /// travelling in the slot surfaces here, at consumption.
+    #[inline]
+    pub(crate) fn pop_fifo(&mut self, class: RegClass, n: usize) -> Result<Val, SimError> {
+        let Some(slot) = self.unit_mut(class).ins[n].q.pop_front() else {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                detail: format!("dequeue from empty FIFO {}{n}", class.prefix()),
+                state: Box::new(self.snapshot()),
+            });
+        };
+        if let Some(p) = slot.poison {
+            // the deferred stream fault surfaces only here, at
+            // consumption — an unconsumed over-fetch is harmless
+            let unit = match class {
+                RegClass::Int => FaultUnit::Ieu,
+                RegClass::Flt => FaultUnit::Feu,
+            };
+            return Err(self.fault(
+                unit,
+                FaultKind::PoisonConsumed,
+                Some(p.addr),
+                Some(DataFifo::new(class, n as u8)),
+                format!(
+                    "consumed a poisoned stream datum prefetched by SCU {}: {}",
+                    p.scu, p.error
+                ),
+            ));
+        }
+        Ok(slot.val)
+    }
+
+    pub(crate) fn write_reg(&mut self, class: RegClass, r: Reg, v: Val) -> Result<(), SimError> {
         if r.class != class {
             return Err(SimError::BadProgram(format!(
                 "cross-unit register write of {r} on the {class} unit"
@@ -1981,7 +2033,7 @@ impl<'m> WmMachine<'m> {
         }
     }
 
-    fn eval_un(&self, op: UnOp, v: Val) -> Result<Val, SimError> {
+    pub(crate) fn eval_un(&self, op: UnOp, v: Val) -> Result<Val, SimError> {
         Ok(match op {
             UnOp::Neg => Val::I(v.as_i().wrapping_neg()),
             UnOp::Not => Val::I(!v.as_i()),
@@ -1991,7 +2043,13 @@ impl<'m> WmMachine<'m> {
         })
     }
 
-    fn eval_bin(&self, class: RegClass, op: BinOp, a: Val, b: Val) -> Result<Val, SimError> {
+    pub(crate) fn eval_bin(
+        &self,
+        class: RegClass,
+        op: BinOp,
+        a: Val,
+        b: Val,
+    ) -> Result<Val, SimError> {
         if op.is_float() {
             let (x, y) = (a.as_f(), b.as_f());
             return Ok(Val::F(match op {
@@ -2257,15 +2315,16 @@ impl<'m> WmMachine<'m> {
                         return Ok(Outcome::Active);
                     }
                 }
-                k @ (InstKind::VLoad { .. }
+                InstKind::VLoad { .. }
                 | InstKind::VStore { .. }
                 | InstKind::VecBin { .. }
-                | InstKind::VecBroadcast { .. }) => {
+                | InstKind::VecBroadcast { .. } => {
                     if self.veu.iq.len() >= self.config.iq_capacity {
                         self.stats.ifu_stalls += 1;
                         return Ok(stall_after(transfers, Stall::IqFull));
                     }
-                    self.veu.iq.push_back(k.clone());
+                    let idx = self.prog.index_of(pc.func, pc.block, pc.inst);
+                    self.veu.iq.push_back(idx);
                     self.advance();
                     self.last_progress = self.cycle;
                     return Ok(Outcome::Active);
@@ -2277,7 +2336,8 @@ impl<'m> WmMachine<'m> {
                         self.stats.ifu_stalls += 1;
                         return Ok(stall_after(transfers, Stall::IqFull));
                     }
-                    self.unit_mut(class).iq.push_back(other.clone());
+                    let idx = self.prog.index_of(pc.func, pc.block, pc.inst);
+                    self.unit_mut(class).iq.push_back(idx);
                     self.advance();
                     self.last_progress = self.cycle;
                     return Ok(Outcome::Active);
@@ -2286,7 +2346,7 @@ impl<'m> WmMachine<'m> {
         }
     }
 
-    fn advance(&mut self) {
+    pub(crate) fn advance(&mut self) {
         if let Some(pc) = self.pc.as_mut() {
             pc.inst += 1;
         }
@@ -2296,11 +2356,11 @@ impl<'m> WmMachine<'m> {
     /// Register state is final once both instruction queues are empty;
     /// outstanding memory traffic does not affect registers, so the IFU
     /// need not wait for it.
-    fn quiescent(&self) -> bool {
+    pub(crate) fn quiescent(&self) -> bool {
         self.ieu.iq.is_empty() && self.feu.iq.is_empty()
     }
 
-    fn exec_builtin(&mut self, name: &str) -> Result<(), SimError> {
+    pub(crate) fn exec_builtin(&mut self, name: &str) -> Result<(), SimError> {
         match name {
             "putchar" => {
                 let c = self.ieu.regs[2].as_i();
@@ -2328,7 +2388,7 @@ fn reads_phys(kind: &InstKind, class: RegClass, phys: u8) -> bool {
     }
 }
 
-fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
+pub(crate) fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
     let mut need = [0usize; 2];
     // This runs for every queued instruction every cycle: keep it
     // allocation-free (a `Vec` of expressions here shows up in profiles).
@@ -2358,7 +2418,7 @@ fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
 }
 
 /// Fill in the faulting instruction's listing text when the fault lacks it.
-fn attach_inst(mut e: SimError, head: &InstKind) -> SimError {
+pub(crate) fn attach_inst(mut e: SimError, head: &InstKind) -> SimError {
     if let SimError::Fault { fault, .. } = &mut e {
         if fault.inst.is_none() {
             fault.inst = Some(head.to_string());
@@ -2381,7 +2441,7 @@ fn jitter(seed: u64, n: u64) -> u64 {
 }
 
 /// Which unit executes a dispatched (non-control) instruction.
-fn dispatch_class(kind: &InstKind) -> RegClass {
+pub(crate) fn dispatch_class(kind: &InstKind) -> RegClass {
     match kind {
         InstKind::Assign { dst, .. } => dst.class,
         InstKind::Compare { class, .. } => *class,

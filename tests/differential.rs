@@ -121,17 +121,18 @@ proptest! {
     #[test]
     fn random_programs_agree_across_opt_levels_and_machines(
         src in arbitrary_program(),
-        flips in proptest::collection::vec(any::<bool>(), 5),
+        engines in proptest::collection::vec(0..Engine::ALL.len(), 5),
         mems in proptest::collection::vec(0..MEM_SPECS.len(), 5),
     ) {
         // The reference runs on the per-cycle stepper over flat memory;
-        // each opt level draws its engine and memory model at random so
-        // every fuzzed program also exercises cycle/event equivalence and
-        // the timing-only-hierarchy guarantee (results must never depend
-        // on the cache/DRAM configuration).
+        // each opt level draws its engine (cycle, event or compiled) and
+        // memory model at random so every fuzzed program also exercises
+        // three-engine equivalence and the timing-only-hierarchy
+        // guarantee (results must never depend on the cache/DRAM
+        // configuration).
         let reference = run_wm_level(&src, &OptOptions::none(), Engine::Cycle, "flat");
 
-        for ((opts, flip), mem_ix) in [
+        for ((opts, engine_ix), mem_ix) in [
             OptOptions::all().without_recurrence().without_streaming(),
             OptOptions::all().without_streaming(),
             OptOptions::all(),
@@ -139,10 +140,10 @@ proptest! {
             OptOptions::all().with_vectorization(),
         ]
         .into_iter()
-        .zip(flips)
+        .zip(engines)
         .zip(mems)
         {
-            let engine = if flip { Engine::Event } else { Engine::Cycle };
+            let engine = Engine::ALL[engine_ix];
             let mem = MEM_SPECS[mem_ix];
             let r = run_wm_level(&src, &opts, engine, mem);
             match (&reference, &r) {
@@ -169,12 +170,12 @@ proptest! {
     }
 
     #[test]
-    fn random_programs_get_identical_stats_from_both_engines(
+    fn random_programs_get_identical_stats_from_all_engines(
         src in arbitrary_program(),
         mem_ix in 0..MEM_SPECS.len(),
     ) {
         // Beyond fault-or-value agreement: on the fully optimized build,
-        // the two engines must be bit-identical in every observable —
+        // all three engines must be bit-identical in every observable —
         // cycles, results, and the complete per-unit counter set —
         // under whichever memory model the case draws.
         let c = Compiler::new()
@@ -184,22 +185,24 @@ proptest! {
         let mem = MemModel::parse(MEM_SPECS[mem_ix]).expect("valid spec");
         let cfg = WmConfig::default().with_mem_model(mem);
         let cycle = c.run_wm_config("main", &[], &cfg.clone().with_engine(Engine::Cycle));
-        let event = c.run_wm_config("main", &[], &cfg.clone().with_engine(Engine::Event));
-        match (cycle, event) {
-            (Ok(a), Ok(b)) => {
-                prop_assert_eq!(a.cycles, b.cycles, "cycle count differs\n{}", &src);
-                prop_assert_eq!(a.ret_int, b.ret_int, "result differs\n{}", &src);
-                prop_assert_eq!(a.stats, b.stats, "SimStats differ\n{}", &src);
-                prop_assert_eq!(a.perf, b.perf, "counters differ\n{}", &src);
+        for engine in [Engine::Event, Engine::Compiled] {
+            let other = c.run_wm_config("main", &[], &cfg.clone().with_engine(engine));
+            match (&cycle, other) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.cycles, b.cycles, "{} cycle count differs\n{}", engine, &src);
+                    prop_assert_eq!(a.ret_int, b.ret_int, "{} result differs\n{}", engine, &src);
+                    prop_assert_eq!(&a.stats, &b.stats, "{} SimStats differ\n{}", engine, &src);
+                    prop_assert_eq!(&a.perf, &b.perf, "{} counters differ\n{}", engine, &src);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.to_string(), b.to_string(), "cycle vs {} fail differently\n{}", engine, &src
+                ),
+                (a, b) => prop_assert!(
+                    false,
+                    "one engine failed where the other succeeded ({}): {:?} vs {:?}\n{}",
+                    engine, a.as_ref().map(|r| r.cycles), b.map(|r| r.cycles), src
+                ),
             }
-            (Err(a), Err(b)) => prop_assert_eq!(
-                a.to_string(), b.to_string(), "engines fail differently\n{}", &src
-            ),
-            (a, b) => prop_assert!(
-                false,
-                "one engine failed where the other succeeded: {:?} vs {:?}\n{}",
-                a.map(|r| r.cycles), b.map(|r| r.cycles), src
-            ),
         }
     }
 }

@@ -10,6 +10,12 @@
 //! ```text
 //! perf                             run the full suite, write BENCH_sim.json
 //! perf --fast                      fast subset (the CI bench job's set)
+//! perf --wmd BIN                   run the suite as a client of the `wmd`
+//!                                  daemon at BIN instead of in-process:
+//!                                  cold runs populate the daemon's artifact
+//!                                  cache, repeat runs must hit it with
+//!                                  bit-identical results; throughput and
+//!                                  cache hit rate land in the output meta
 //! perf --jobs N                    run workload×config pairs on N threads
 //! perf --reps N                    median wall-time of N measured runs after
 //!                                  one untimed warmup (default 3)
@@ -41,6 +47,8 @@
 //! cargo run --release -p wm-bench --bin perf -- --fast --write-baseline bench/baseline.json
 //! ```
 
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -59,6 +67,18 @@ struct RunRecord {
     cycles: u64,
     wall_ms: f64,
     counters: String,
+    /// A failure message when this pair did not produce a result (its
+    /// worker panicked, or the daemon reported an error). Error rows
+    /// carry no cycles and are excluded from gates; their presence makes
+    /// the run exit nonzero after the document is written.
+    error: Option<String>,
+}
+
+/// Client-side summary of a `--wmd` run, recorded in the output meta.
+struct WmdStats {
+    jobs_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Everything recorded at the top level of the results document.
@@ -68,6 +88,7 @@ struct Meta {
     mem: MemModel,
     reps: usize,
     jobs: usize,
+    wmd: Option<WmdStats>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -180,6 +201,7 @@ fn run_pair(
         cycles: result.cycles,
         wall_ms,
         counters: result.perf.to_json(),
+        error: None,
     };
     (record, line)
 }
@@ -210,7 +232,35 @@ fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
                 let Some((w, config, opts)) = pairs.get(i) else {
                     break;
                 };
-                let (record, line) = run_pair(w, config, opts, &cfg, plan);
+                // A panicking pair (compile failure, simulator fault,
+                // wrong answer) must not abort the whole suite: catch it,
+                // record an error row, and let this worker take the next
+                // pair. The suite exits nonzero at the end if any row
+                // carries an error.
+                let (record, line) = match catch_unwind(AssertUnwindSafe(|| {
+                    run_pair(w, config, opts, &cfg, plan)
+                })) {
+                    Ok(ok) => ok,
+                    Err(p) => {
+                        let msg = p
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        let line = format!("perf: {:<12} {:<10} FAILED: {msg}\n", w.name, config);
+                        (
+                            RunRecord {
+                                workload: w.name.to_string(),
+                                config,
+                                cycles: 0,
+                                wall_ms: 0.0,
+                                counters: String::new(),
+                                error: Some(msg),
+                            },
+                            line,
+                        )
+                    }
+                };
                 done.lock().unwrap().push((i, record, line));
             });
         }
@@ -224,6 +274,206 @@ fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
             record
         })
         .collect()
+}
+
+/// The request line for one workload×config pair under `--wmd`.
+fn wmd_request(id: &str, w: &Workload, config: &str, meta: &Meta) -> String {
+    // The daemon reconstructs this suite's optimizer configurations from
+    // the wire `opt` level plus `noalias` (see `configs()`).
+    let opt = match config {
+        "scalar" => "classical",
+        "recurrence" => "recurrence",
+        "streaming" => "full",
+        other => panic!("unknown config {other}"),
+    };
+    let mut req = format!(
+        "{{\"id\": \"{id}\", \"source\": \"{}\", \"opt\": \"{opt}\", \"noalias\": true, \
+         \"engine\": \"{}\", \"mem\": \"{}\"",
+        json::escape(w.source),
+        meta.engine,
+        meta.mem
+    );
+    if meta.hw == Hw::Latency24 {
+        req.push_str(", \"mem_latency\": 24, \"mem_ports\": 1");
+    }
+    req.push('}');
+    req
+}
+
+/// Run the suite as a client of the `wmd` daemon: spawn it with a fresh
+/// cache directory, submit every pair cold (populating the cache), then
+/// submit `reps` repeats that must be answered from the cache with
+/// results bit-identical to the cold run. Cycle counts land in the same
+/// records as the in-process path, so `--compare` gates daemon-vs-direct
+/// agreement exactly like engine-vs-engine agreement.
+fn run_suite_wmd(fast: bool, meta: &mut Meta, wmd_bin: &str) -> Vec<RunRecord> {
+    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(fast)
+        .into_iter()
+        .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
+        .collect();
+    let cache_dir = std::env::temp_dir().join(format!("wmd-perf-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let mut child = std::process::Command::new(wmd_bin)
+        .args(["--jobs", &meta.jobs.to_string(), "--cache-dir"])
+        .arg(&cache_dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("perf: cannot spawn wmd at {wmd_bin}: {e}");
+            std::process::exit(2);
+        });
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let started = Instant::now();
+    let mut read_response = |expect_job: bool| -> Value {
+        loop {
+            let line = stdout
+                .next()
+                .unwrap_or_else(|| {
+                    eprintln!("perf: wmd closed its stdout early");
+                    std::process::exit(2);
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("perf: reading from wmd: {e}");
+                    std::process::exit(2);
+                });
+            let v = json::parse(&line).unwrap_or_else(|e| {
+                eprintln!("perf: unparseable wmd response: {e}\n  {line}");
+                std::process::exit(2);
+            });
+            if expect_job == v.get("op").is_none() {
+                return v;
+            }
+            eprintln!("perf: ignoring out-of-band wmd line: {line}");
+        }
+    };
+
+    // Phase 1: every pair once, cold. Responses arrive in completion
+    // order; collect them all before the repeat phase so the repeats
+    // deterministically hit the now-populated cache.
+    for (i, (w, config, _)) in pairs.iter().enumerate() {
+        writeln!(stdin, "{}", wmd_request(&format!("{i}:0"), w, config, meta))
+            .expect("write to wmd");
+    }
+    let mut cold: Vec<Option<Value>> = (0..pairs.len()).map(|_| None).collect();
+    for _ in 0..pairs.len() {
+        let v = read_response(true);
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let i: usize = id
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("pair index id");
+        cold[i] = Some(v);
+    }
+
+    // Phase 2: `reps` repeats per pair, all answerable from the cache.
+    for rep in 1..=meta.reps {
+        for (i, (w, config, _)) in pairs.iter().enumerate() {
+            writeln!(
+                stdin,
+                "{}",
+                wmd_request(&format!("{i}:{rep}"), w, config, meta)
+            )
+            .expect("write to wmd");
+        }
+    }
+    let mut repeats: Vec<Vec<Value>> = (0..pairs.len()).map(|_| Vec::new()).collect();
+    for _ in 0..pairs.len() * meta.reps {
+        let v = read_response(true);
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let i: usize = id
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("pair index id");
+        repeats[i].push(v);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    writeln!(stdin, "{{\"op\": \"stats\"}}").expect("write to wmd");
+    let stats = read_response(false);
+    let counter = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+    meta.wmd = Some(WmdStats {
+        jobs_per_sec: (pairs.len() * (meta.reps + 1)) as f64 / elapsed.max(1e-9),
+        cache_hits: counter("cache_hits"),
+        cache_misses: counter("cache_misses"),
+    });
+    drop(stdin);
+    let status = child.wait().expect("wait for wmd");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    if !status.success() {
+        eprintln!("perf: wmd exited with {status}");
+        std::process::exit(2);
+    }
+
+    let mut records = Vec::with_capacity(pairs.len());
+    for (i, (w, config, _)) in pairs.iter().enumerate() {
+        let cold = cold[i].take().expect("one cold response per pair");
+        let record = match cold.get("status").and_then(Value::as_str) {
+            Some("ok") => {
+                let result = cold.get("result").expect("ok responses carry a result");
+                let cycles = result.get("cycles").and_then(Value::as_u64).unwrap();
+                let ret = result.get("ret_int").and_then(Value::as_i64).unwrap();
+                w.check(ret);
+                // Every repeat must be bit-identical to the cold run —
+                // same cycles, same counters, same everything. This is
+                // the daemon-cache analogue of run_pair's determinism
+                // assertion.
+                for rep in &repeats[i] {
+                    assert_eq!(
+                        rep.get("result"),
+                        Some(result),
+                        "{}/{config}: cached result differs from cold run",
+                        w.name
+                    );
+                }
+                let wall_ms = cold.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
+                eprintln!(
+                    "perf: {:<12} {:<10} {:>10} cycles  {:>8.1} ms (wmd, {} repeats ok)",
+                    w.name,
+                    config,
+                    cycles,
+                    wall_ms,
+                    repeats[i].len()
+                );
+                RunRecord {
+                    workload: w.name.to_string(),
+                    config,
+                    cycles,
+                    wall_ms,
+                    counters: String::new(),
+                    error: None,
+                }
+            }
+            _ => {
+                let msg = format!("wmd error response: {cold:?}");
+                eprintln!("perf: {:<12} {:<10} FAILED: {msg}", w.name, config);
+                RunRecord {
+                    workload: w.name.to_string(),
+                    config,
+                    cycles: 0,
+                    wall_ms: 0.0,
+                    counters: String::new(),
+                    error: Some(msg),
+                }
+            }
+        };
+        records.push(record);
+    }
+    records
 }
 
 fn results_json(
@@ -242,24 +492,49 @@ fn results_json(
             m.reps,
             m.jobs
         ));
-        let total: f64 = records.iter().map(|r| r.wall_ms).sum();
+        let total: f64 = records
+            .iter()
+            .filter(|r| r.error.is_none())
+            .map(|r| r.wall_ms)
+            .sum();
         out.push_str(&format!("  \"total_wall_ms\": {total:.3},\n"));
         if let Some(s) = speedup {
             out.push_str(&format!("  \"speedup_vs_compare\": {s:.3},\n"));
         }
+        if let Some(w) = &m.wmd {
+            let rate = if w.cache_hits + w.cache_misses > 0 {
+                w.cache_hits as f64 / (w.cache_hits + w.cache_misses) as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  \"wmd\": {{\"jobs_per_sec\": {:.1}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"cache_hit_rate\": {rate:.3}}},\n",
+                w.jobs_per_sec, w.cache_hits, w.cache_misses
+            ));
+        }
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}",
-            r.workload, r.config, r.cycles, r.wall_ms
-        ));
-        if with_counters {
-            // The counters are themselves a JSON document; inline them.
-            out.push_str(", \"counters\": ");
-            out.push_str(r.counters.trim_end());
+        if let Some(e) = &r.error {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"error\": \"{}\"}}",
+                r.workload,
+                r.config,
+                json::escape(e)
+            ));
+        } else {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}",
+                r.workload, r.config, r.cycles, r.wall_ms
+            ));
+            if with_counters {
+                // The counters are themselves a JSON document; inline them.
+                out.push_str(", \"counters\": ");
+                out.push_str(r.counters.trim_end());
+            }
+            out.push('}');
         }
-        out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -281,7 +556,7 @@ fn check(records: &[RunRecord], baseline_src: &str) -> Result<Vec<String>, Strin
         })
     };
     let mut failures = Vec::new();
-    for r in records {
+    for r in records.iter().filter(|r| r.error.is_none()) {
         match lookup(&r.workload, r.config) {
             None => eprintln!(
                 "perf: note: {}/{} not in baseline (new entry)",
@@ -323,7 +598,7 @@ fn compare(records: &[RunRecord], other_src: &str) -> Result<(Vec<String>, f64),
     };
     let mut mismatches = Vec::new();
     let (mut ours_ms, mut theirs_ms) = (0.0, 0.0);
-    for r in records {
+    for r in records.iter().filter(|r| r.error.is_none()) {
         match lookup(&r.workload, r.config) {
             None => mismatches.push(format!(
                 "{}/{}: missing from comparison",
@@ -355,12 +630,14 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
     let mut baseline_out: Option<String> = None;
+    let mut wmd_bin: Option<String> = None;
     let mut meta = Meta {
         engine: Engine::default(),
         hw: Hw::Default,
         mem: MemModel::default(),
         reps: 3,
         jobs: 1,
+        wmd: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -378,6 +655,7 @@ fn main() {
             "--check" => check_path = Some(need(&mut i)),
             "--compare" => compare_path = Some(need(&mut i)),
             "--write-baseline" => baseline_out = Some(need(&mut i)),
+            "--wmd" => wmd_bin = Some(need(&mut i)),
             "--engine" => {
                 meta.engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
                     eprintln!("perf: {e}");
@@ -419,7 +697,7 @@ fn main() {
                     "perf: unknown option {other}\n\
                      usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event|compiled]\n\
                      [--hw default|latency24] [--mem flat|cache[:k=v,..]|banked[:k=v,..]]\n\
-                     [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
+                     [--wmd BIN] [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
                      [--write-baseline FILE]"
                 );
                 std::process::exit(2);
@@ -440,7 +718,10 @@ fn main() {
         std::process::exit(2);
     }
 
-    let records = run_suite(fast, &meta);
+    let records = match &wmd_bin {
+        Some(bin) => run_suite_wmd(fast, &mut meta, bin),
+        None => run_suite(fast, &meta),
+    };
 
     // Resolve the engine-equivalence comparison before writing results so
     // the measured speedup lands in the output document.
@@ -457,7 +738,13 @@ fn main() {
     });
     let speedup = compared.as_ref().map(|(_, _, s)| *s);
 
-    if let Err(e) = std::fs::write(&out, results_json(&records, true, Some((&meta, speedup)))) {
+    // The daemon path records no per-run counters (the gate compares
+    // cycles, which both paths carry).
+    let with_counters = wmd_bin.is_none();
+    if let Err(e) = std::fs::write(
+        &out,
+        results_json(&records, with_counters, Some((&meta, speedup))),
+    ) {
         eprintln!("perf: cannot write {out}: {e}");
         std::process::exit(2);
     }
@@ -516,5 +803,23 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    let failed: Vec<&RunRecord> = records.iter().filter(|r| r.error.is_some()).collect();
+    if !failed.is_empty() {
+        for r in &failed {
+            eprintln!(
+                "perf: FAILED {}/{}: {}",
+                r.workload,
+                r.config,
+                r.error.as_deref().unwrap_or("")
+            );
+        }
+        eprintln!(
+            "perf: {} of {} pairs failed (results written to {out} with error rows)",
+            failed.len(),
+            records.len()
+        );
+        std::process::exit(1);
     }
 }

@@ -11,8 +11,9 @@
 //! * `cargo run --release -p wm-bench --bin table34` — the SPEC-tables
 //!   substitute (optimizer-quality ratio; see DESIGN.md).
 
-pub mod json;
 pub mod reps;
+
+pub use wm_stream::json;
 
 use wm_stream::{Compiler, MachineModel, OptOptions, Target, WmConfig};
 

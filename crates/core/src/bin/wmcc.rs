@@ -17,7 +17,9 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
+use wm_stream::driver::{deadline_token, JobSpec};
 use wm_stream::sim::{Engine, FaultPlan, SimError};
 use wm_stream::{Compiler, MachineModel, MemModel, OptOptions, Target, WmConfig};
 
@@ -34,6 +36,8 @@ struct Options {
     stats_json: Option<String>,
     trace_head: usize,
     trace_chrome: Option<String>,
+    deadline_ms: Option<u64>,
+    error_json: Option<String>,
 }
 
 const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
@@ -42,7 +46,8 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
-               [--engine cycle|event|compiled]
+               [--engine cycle|event|compiled] [--deadline-ms N]
+               [--error-json FILE]
 
   --stats                print per-unit performance counters (instructions
                          retired, active/idle/stall cycles with stall-reason
@@ -83,29 +88,46 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          #N's response by C cycles), drop:N (drop request
                          #N's response), scu:I:C (disable SCU I at cycle C)
                          and jitter:SEED:MAX (seeded latency jitter)
+  --deadline-ms N        cancel the simulation after N milliseconds of
+                         wall-clock time (cooperative; distinct from the
+                         simulated-cycle limit, which reports a timeout)
+  --error-json FILE      on simulation failure, additionally write the
+                         error in its stable JSON encoding (the same one
+                         the wmd daemon puts on the wire) to FILE ('-'
+                         for stderr)
 
 exit status: the program's return value (low 8 bits) on success, else
   1  input or compilation error (including bad programs)
   2  usage error
-  3  simulation fault, deadlock or cycle-limit timeout";
+  3  simulation fault, deadlock or cycle-limit timeout
+  4  wall-clock deadline exceeded (--deadline-ms)";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-/// Report a simulator failure with its machine-state dump and pick the
-/// documented exit code: 1 for unrunnable programs, 3 for runtime faults,
-/// deadlocks and timeouts.
-fn sim_failure(e: &SimError) -> ExitCode {
+/// Report a simulator failure with its machine-state dump (and, when
+/// requested, its stable JSON encoding) and pick the documented exit
+/// code: 1 for unrunnable programs, 4 for wall-clock deadline
+/// cancellations, 3 for runtime faults, deadlocks and timeouts.
+fn sim_failure(e: &SimError, error_json: Option<&str>) -> ExitCode {
     eprintln!("wmcc: simulation failed: {e}");
     if let Some(state) = e.state() {
         eprint!("{state}");
     }
-    if matches!(e, SimError::BadProgram(_)) {
-        ExitCode::from(1)
-    } else {
-        ExitCode::from(3)
+    if let Some(path) = error_json {
+        let doc = format!("{}\n", e.to_json());
+        if path == "-" {
+            eprint!("{doc}");
+        } else if let Err(io) = std::fs::write(path, doc) {
+            eprintln!("wmcc: cannot write error report {path}: {io}");
+        }
+    }
+    match e {
+        SimError::BadProgram(_) => ExitCode::from(1),
+        SimError::Cancelled { .. } => ExitCode::from(4),
+        _ => ExitCode::from(3),
     }
 }
 
@@ -123,6 +145,8 @@ fn parse_args() -> Options {
         stats_json: None,
         trace_head: 0,
         trace_chrome: None,
+        deadline_ms: None,
+        error_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -182,6 +206,10 @@ fn parse_args() -> Options {
                 }
             }
             "--emit" => o.emit = true,
+            "--deadline-ms" => {
+                o.deadline_ms = Some(need(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--error-json" => o.error_json = Some(need(&mut i)),
             "--stats" => o.stats = true,
             "--stats-json" => o.stats_json = Some(need(&mut i)),
             "--entry" => o.entry = need(&mut i),
@@ -257,20 +285,30 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let error_json = o.error_json.as_deref();
     match o.target {
         Target::Wm => {
-            let mut machine = match wm_stream::WmMachine::new(&compiled.module, &o.config) {
+            // The daemon and the CLI share this code path (JobSpec): one
+            // definition of how a job compiles, starts and cancels.
+            let spec = JobSpec {
+                source,
+                opts: o.opts.clone(),
+                config: o.config.clone(),
+                entry: o.entry.clone(),
+                args: o.args.clone(),
+            };
+            let cancel = o
+                .deadline_ms
+                .map(|ms| deadline_token(Duration::from_millis(ms)));
+            let mut machine = match spec.machine(&compiled, cancel.as_ref()) {
                 Ok(m) => m,
-                Err(e) => return sim_failure(&e),
+                Err(e) => return sim_failure(&e, error_json),
             };
             if o.trace_head > 0 || o.trace_chrome.is_some() {
                 machine.set_trace(true);
             }
             if o.trace_chrome.is_some() {
                 machine.set_timeline(true);
-            }
-            if let Err(e) = machine.start(&o.entry, &o.args) {
-                return sim_failure(&e);
             }
             let result = machine.run_to_completion();
             if o.trace_head > 0 {
@@ -315,7 +353,7 @@ fn main() -> ExitCode {
                     );
                     ExitCode::from((r.ret_int & 0xff) as u8)
                 }
-                Err(e) => sim_failure(&e),
+                Err(e) => sim_failure(&e, error_json),
             }
         }
         Target::Scalar => match compiled.run_scalar(&o.entry, &o.args, &o.machine) {

@@ -1,14 +1,18 @@
-//! A minimal hand-rolled JSON parser.
+//! A minimal hand-rolled JSON parser and string escaper.
 //!
-//! The workspace deliberately carries no external dependencies, so the
-//! perf binary cannot use `serde` to read `bench/baseline.json` or the
-//! counter documents that `wmcc --stats-json` and
-//! [`Stats::to_json`](wm_stream::sim::Stats::to_json) emit. This recursive-descent parser covers the JSON those writers
-//! produce (objects, arrays, strings with basic escapes, integers and
-//! floats, booleans, null) and is the round-trip partner the stats
-//! tests exercise.
+//! The workspace deliberately carries no external dependencies, so
+//! nothing here can use `serde`: the `perf` benchmark runner reads
+//! `bench/baseline.json` and the counter documents that
+//! `wmcc --stats-json` and [`Stats::to_json`](crate::sim::Stats::to_json)
+//! emit, and the `wmd` daemon parses its newline-delimited JSON wire
+//! protocol, all through this module. The recursive-descent parser
+//! covers the JSON those writers produce (objects, arrays, strings with
+//! basic escapes, integers and floats, booleans, null) and is the
+//! round-trip partner the stats tests exercise.
 
 use std::collections::BTreeMap;
+
+pub use wm_sim::json_escape as escape;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +61,22 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }

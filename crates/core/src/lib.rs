@@ -22,6 +22,8 @@
 //! assert_eq!(run.ret_int, 42);
 //! ```
 
+pub mod driver;
+pub mod json;
 pub mod trace;
 
 pub use wm_frontend as frontend;
@@ -32,6 +34,7 @@ pub use wm_sim as sim;
 pub use wm_target as target;
 pub use wm_workloads as workloads;
 
+pub use driver::{deadline_token, JobError, JobSpec};
 pub use wm_machines::{MachineModel, ScalarMachine, ScalarResult};
 pub use wm_opt::{OptOptions, OptStats};
 pub use wm_sim::{MemModel, RunResult, WmConfig, WmMachine};

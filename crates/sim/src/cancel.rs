@@ -1,0 +1,65 @@
+//! Cooperative cancellation of in-progress simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a running
+//! [`crate::WmMachine`] and whoever supervises it (a wall-clock watchdog
+//! thread, a service deadline enforcer, a user-facing `--deadline-ms`
+//! flag). The stepping loop polls the flag between steps and returns
+//! [`crate::SimError::Cancelled`] — carrying the usual machine-state
+//! snapshot — as soon as it observes the cancellation.
+//!
+//! Cancellation is *cooperative*: it never interrupts a cycle mid-flight,
+//! so a machine that is cancelled and then inspected is always in a
+//! consistent inter-cycle state, and a run that is never cancelled is
+//! bit-identical to one simulated without a token at all (the poll has no
+//! observable effect on timing or statistics).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag; cancelling
+/// is idempotent and irreversible.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Any simulation polling this token stops at
+    /// its next step boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        u.cancel(); // idempotent
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

@@ -23,6 +23,20 @@ pub enum FaultUnit {
     Scu(usize),
 }
 
+impl FaultUnit {
+    /// Stable machine-readable name (used by the JSON encoding). SCUs
+    /// render as `"scu"`; their index travels separately.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultUnit::Ieu => "ieu",
+            FaultUnit::Feu => "feu",
+            FaultUnit::Veu => "veu",
+            FaultUnit::Ifu => "ifu",
+            FaultUnit::Scu(_) => "scu",
+        }
+    }
+}
+
 impl std::fmt::Display for FaultUnit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -51,6 +65,21 @@ pub enum FaultKind {
     BadStreamCount(i64),
     /// A scalar store and a stream-out competed for one output FIFO.
     OutputConflict,
+}
+
+impl FaultKind {
+    /// Stable machine-readable class name (used by the JSON encoding).
+    /// The payload of [`FaultKind::BadStreamCount`] travels separately.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Unmapped => "unmapped",
+            FaultKind::ReadOnly => "read-only",
+            FaultKind::PoisonConsumed => "poison-consumed",
+            FaultKind::DivideByZero => "divide-by-zero",
+            FaultKind::BadStreamCount(_) => "bad-stream-count",
+            FaultKind::OutputConflict => "output-conflict",
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -86,6 +115,38 @@ pub struct FaultInfo {
     pub detail: String,
 }
 
+impl FaultInfo {
+    /// Render the provenance as a stable one-object JSON document:
+    /// `unit`/`scu`, `class` (plus `count` for bad stream counts), and —
+    /// when known — `addr`, `stream` and `inst`, with the human-readable
+    /// `detail` last. Shared by [`crate::SimError::to_json`] and the
+    /// `wmd` wire protocol.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"unit\": \"{}\"", self.unit.name());
+        if let FaultUnit::Scu(n) = self.unit {
+            out.push_str(&format!(", \"scu\": {n}"));
+        }
+        out.push_str(&format!(", \"class\": \"{}\"", self.kind.name()));
+        if let FaultKind::BadStreamCount(n) = self.kind {
+            out.push_str(&format!(", \"count\": {n}"));
+        }
+        if let Some(a) = self.addr {
+            out.push_str(&format!(", \"addr\": {a}"));
+        }
+        if let Some(s) = &self.stream {
+            out.push_str(&format!(", \"stream\": \"{s}\""));
+        }
+        if let Some(i) = &self.inst {
+            out.push_str(&format!(", \"inst\": \"{}\"", json_escape(i)));
+        }
+        out.push_str(&format!(
+            ", \"detail\": \"{}\"}}",
+            json_escape(&self.detail)
+        ));
+        out
+    }
+}
+
 impl std::fmt::Display for FaultInfo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}: {}", self.unit, self.detail)?;
@@ -97,6 +158,26 @@ impl std::fmt::Display for FaultInfo {
         }
         Ok(())
     }
+}
+
+impl std::error::Error for FaultInfo {}
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes and control characters; everything else passes through).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Occupancy of one input FIFO.

@@ -40,6 +40,7 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+mod cancel;
 mod compiled;
 mod config;
 mod decode;
@@ -50,10 +51,13 @@ mod machine;
 mod mem;
 mod stats;
 
+pub use cancel::CancelToken;
 pub use config::{FaultPlan, WmConfig};
 pub use decode::DecodedProgram;
 pub use fastforward::{Engine, FfSpan};
-pub use fault::{FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState};
+pub use fault::{
+    json_escape, FaultInfo, FaultKind, FaultUnit, FifoState, MachineState, ScuState, UnitState,
+};
 pub use loader::{AccessError, AccessKind, MapRegion, MemoryImage, DATA_BASE, GUARD_SIZE};
 pub use machine::{RunResult, SimError, SimStats, TraceEvent, WmMachine};
 pub use mem::{CacheParams, DramParams, MemModel, MemStats};

@@ -74,6 +74,8 @@ impl std::fmt::Display for AccessError {
     }
 }
 
+impl std::error::Error for AccessError {}
+
 /// A loaded memory image: global data placed at fixed addresses with guard
 /// red-zones between objects, the stack at the top, and everything else
 /// unmapped.

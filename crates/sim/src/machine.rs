@@ -7,6 +7,7 @@ use wm_ir::{
     Width,
 };
 
+use crate::cancel::CancelToken;
 use crate::config::WmConfig;
 use crate::decode::DecodedProgram;
 use crate::fastforward::{CycleOutcomes, Engine, FfSpan};
@@ -42,6 +43,13 @@ pub enum SimError {
         fault: FaultInfo,
         state: Box<MachineState>,
     },
+    /// The run was cancelled through its [`CancelToken`] (a wall-clock
+    /// deadline, a supervisor shutdown) before completing. Distinct from
+    /// [`SimError::Timeout`], which is the *simulated-cycle* limit.
+    Cancelled {
+        cycle: u64,
+        state: Box<MachineState>,
+    },
     /// The module cannot be executed (missing entry, virtual registers…).
     BadProgram(String),
 }
@@ -52,7 +60,8 @@ impl SimError {
         match self {
             SimError::Timeout { state, .. }
             | SimError::Deadlock { state, .. }
-            | SimError::Fault { state, .. } => Some(state),
+            | SimError::Fault { state, .. }
+            | SimError::Cancelled { state, .. } => Some(state),
             SimError::BadProgram(_) => None,
         }
     }
@@ -64,6 +73,58 @@ impl SimError {
             _ => None,
         }
     }
+
+    /// Stable machine-readable class name, used by [`SimError::to_json`]
+    /// and the `wmd` wire protocol.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SimError::Timeout { .. } => "timeout",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Fault { .. } => "fault",
+            SimError::Cancelled { .. } => "cancelled",
+            SimError::BadProgram(_) => "bad-program",
+        }
+    }
+
+    /// Render the error — class, cycle, human-readable message and, for
+    /// faults, the full [`FaultInfo`] provenance — as a stable one-object
+    /// JSON document. This is the encoding shared by `wmcc --error-json`
+    /// and the `wmd` wire protocol; the machine-state dump is deliberately
+    /// omitted (it is a debugging aid, not part of the wire contract).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"error\": \"{}\", \"message\": \"{}\"",
+            self.kind_name(),
+            crate::fault::json_escape(&self.to_string())
+        ));
+        match self {
+            SimError::Timeout { cycles, .. } => {
+                out.push_str(&format!(", \"cycles\": {cycles}"));
+            }
+            SimError::Deadlock { cycle, detail, .. } => {
+                out.push_str(&format!(
+                    ", \"cycle\": {cycle}, \"detail\": \"{}\"",
+                    crate::fault::json_escape(detail)
+                ));
+            }
+            SimError::Fault { cycle, fault, .. } => {
+                out.push_str(&format!(", \"cycle\": {cycle}, \"fault\": "));
+                out.push_str(&fault.to_json());
+            }
+            SimError::Cancelled { cycle, .. } => {
+                out.push_str(&format!(", \"cycle\": {cycle}"));
+            }
+            SimError::BadProgram(detail) => {
+                out.push_str(&format!(
+                    ", \"detail\": \"{}\"",
+                    crate::fault::json_escape(detail)
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -74,12 +135,20 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock at cycle {cycle}: {detail}")
             }
             SimError::Fault { cycle, fault, .. } => write!(f, "fault at cycle {cycle}: {fault}"),
+            SimError::Cancelled { cycle, .. } => write!(f, "cancelled at cycle {cycle}"),
             SimError::BadProgram(d) => write!(f, "bad program: {d}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fault { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
+}
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -401,6 +470,9 @@ pub struct WmMachine<'m> {
     /// Fast-forwarded spans (collected only when tracing/timeline is on;
     /// exported as coalesced stall spans in the Chrome trace).
     pub(crate) ff_spans: Vec<FfSpan>,
+    /// Cooperative cancellation flag, polled between steps (see
+    /// [`WmMachine::set_cancel_token`]). `None` costs nothing.
+    cancel: Option<CancelToken>,
 }
 
 impl<'m> WmMachine<'m> {
@@ -495,6 +567,7 @@ impl<'m> WmMachine<'m> {
             last_sb_occ: 0,
             last_outcomes: CycleOutcomes::new(config.num_scus),
             ff_spans: Vec::new(),
+            cancel: None,
         })
     }
 
@@ -595,11 +668,27 @@ impl<'m> WmMachine<'m> {
         Ok(())
     }
 
+    /// Attach a cooperative cancellation token: [`WmMachine::run_to_completion`]
+    /// polls it between steps and returns [`SimError::Cancelled`] once it
+    /// is cancelled. A run that is never cancelled is bit-identical to
+    /// one without a token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// Simulate until the entry function returns, stepping with the
     /// engine selected by [`WmConfig::engine`].
     pub fn run_to_completion(&mut self) -> Result<RunResult, SimError> {
         let engine = self.config.engine;
         while !self.halted() {
+            if let Some(t) = &self.cancel {
+                if t.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: self.cycle,
+                        state: Box::new(self.snapshot()),
+                    });
+                }
+            }
             match engine {
                 Engine::Cycle => self.step()?,
                 Engine::Event => self.step_event()?,

@@ -39,7 +39,9 @@ use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
 /// Kernels whose inner loops stream fully: the latency-tolerance gate
 /// applies to these. (`iir`, `dhrystone`, `sieve` keep scalar accesses
 /// or control flow in the loop and are informational only.)
-const STREAM_HEAVY: [&str; 2] = ["dot-product", "livermore5"];
+/// `sparse-matvec` is the indirect-stream kernel: its gathers miss by
+/// construction, so it is the sharpest probe of latency tolerance.
+const STREAM_HEAVY: [&str; 3] = ["dot-product", "livermore5", "sparse-matvec"];
 
 /// One measured (workload, model-point) pair.
 struct Point {
@@ -66,6 +68,7 @@ fn suite() -> Vec<Workload> {
             .into_iter()
             .filter(|w| keep.contains(&w.name)),
     );
+    v.extend(wm_stream::workloads::sparse());
     v
 }
 
@@ -187,6 +190,30 @@ fn check_monotone(latency: &[Point]) -> Vec<String> {
     failures
 }
 
+/// The decoupling-win gate on banked DRAM: at every swept bank count,
+/// the streaming build of each stream-heavy kernel must beat its scalar
+/// build outright — indirect streams included, so a regression that
+/// reverts the gather/scatter kernels to scalar loads fails here even
+/// if the affine kernels still pass.
+fn check_banked_wins(banks: &[Point]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for name in STREAM_HEAVY {
+        for p in banks.iter().filter(|p| p.workload == name) {
+            if p.speedup() <= 1.0 {
+                failures.push(format!(
+                    "{name}: streaming does not beat scalar under {} \
+                     ({} vs {} cycles, {:.3}x)",
+                    p.spec,
+                    p.streaming_cycles,
+                    p.scalar_cycles,
+                    p.speedup()
+                ));
+            }
+        }
+    }
+    failures
+}
+
 fn parse_list(s: &str, flag: &str) -> Vec<u64> {
     let v: Vec<u64> = s
         .split(',')
@@ -280,11 +307,12 @@ fn main() {
     );
 
     if gate {
-        let failures = check_monotone(&latency_points);
+        let mut failures = check_monotone(&latency_points);
+        failures.extend(check_banked_wins(&bank_points));
         if failures.is_empty() {
             eprintln!(
                 "memsweep: latency-tolerance gate passed (speedup non-decreasing in miss \
-                 latency on {})",
+                 latency, banked wins, on {})",
                 STREAM_HEAVY.join(", ")
             );
         } else {

@@ -10,6 +10,8 @@
 //! ```text
 //! perf                             run the full suite, write BENCH_sim.json
 //! perf --fast                      fast subset (the CI bench job's set)
+//! perf --sparse                    the sparse (gather/scatter) kernels only
+//!                                  (the CI sparse matrix job's set)
 //! perf --wmd BIN                   run the suite as a client of the `wmd`
 //!                                  daemon at BIN instead of in-process:
 //!                                  cold runs populate the daemon's artifact
@@ -30,7 +32,9 @@
 //!                                  holds flat-memory cycles
 //! perf --out FILE                  write results to FILE instead
 //! perf --check bench/baseline.json fail (exit 1) if any workload's cycles
-//!                                  regressed >2% against the baseline
+//!                                  regressed >2% against the baseline; a
+//!                                  failure prints every pair's cycle delta
+//!                                  (baseline/now/%) to localize the damage
 //! perf --compare FILE              fail (exit 1) unless every cycle count
 //!                                  matches FILE exactly (the engine-
 //!                                  equivalence gate); records the wall-
@@ -135,11 +139,25 @@ fn configs() -> [(&'static str, OptOptions); 3] {
     ]
 }
 
-fn suite(fast: bool) -> Vec<Workload> {
+/// Which workload set a run measures.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SuiteSel {
+    /// Livermore 5 plus all of Table II.
+    Full,
+    /// The CI subset: the Table I headline plus the quick Table II
+    /// programs; together they finish in seconds in release.
+    Fast,
+    /// The sparse (indirect-stream) kernels only: the CI `sparse`
+    /// matrix job's set, where gathers and scatters dominate.
+    Sparse,
+}
+
+fn suite(sel: SuiteSel) -> Vec<Workload> {
+    if sel == SuiteSel::Sparse {
+        return wm_stream::workloads::sparse();
+    }
     let mut v = vec![wm_stream::workloads::livermore5()];
-    if fast {
-        // The CI subset: the Table I headline plus the quick Table II
-        // programs; together they finish in seconds in release.
+    if sel == SuiteSel::Fast {
         let keep = ["dot-product", "sieve", "iir", "dhrystone"];
         v.extend(
             wm_stream::workloads::table2()
@@ -210,7 +228,7 @@ fn run_pair(
 /// claimed from a shared index; results and log lines are re-sorted into
 /// pair order afterwards so the output is deterministic regardless of
 /// which thread finished first.
-fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
+fn run_suite(sel: SuiteSel, meta: &Meta) -> Vec<RunRecord> {
     let plan = RepPlan::new(meta.reps).unwrap_or_else(|e| {
         eprintln!("perf: {e}");
         std::process::exit(2);
@@ -218,7 +236,7 @@ fn run_suite(fast: bool, meta: &Meta) -> Vec<RunRecord> {
     let mut cfg = meta.hw.config();
     cfg.engine = meta.engine;
     cfg.mem_model = meta.mem.clone();
-    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(fast)
+    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(sel)
         .into_iter()
         .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
         .collect();
@@ -306,8 +324,8 @@ fn wmd_request(id: &str, w: &Workload, config: &str, meta: &Meta) -> String {
 /// results bit-identical to the cold run. Cycle counts land in the same
 /// records as the in-process path, so `--compare` gates daemon-vs-direct
 /// agreement exactly like engine-vs-engine agreement.
-fn run_suite_wmd(fast: bool, meta: &mut Meta, wmd_bin: &str) -> Vec<RunRecord> {
-    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(fast)
+fn run_suite_wmd(sel: SuiteSel, meta: &mut Meta, wmd_bin: &str) -> Vec<RunRecord> {
+    let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(sel)
         .into_iter()
         .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
         .collect();
@@ -541,9 +559,18 @@ fn results_json(
     out
 }
 
-/// Compare against a baseline document; returns the regression report
-/// lines (empty means the gate passes).
-fn check(records: &[RunRecord], baseline_src: &str) -> Result<Vec<String>, String> {
+/// The baseline gate's verdict: the hard failures, plus a per-workload
+/// cycle-delta table covering *every* measured pair — printed on
+/// failure so the report shows where the cycles moved, not just the
+/// rows that crossed tolerance.
+struct CheckReport {
+    failures: Vec<String>,
+    delta_table: Vec<String>,
+}
+
+/// Compare against a baseline document; the gate passes when
+/// `failures` is empty.
+fn check(records: &[RunRecord], baseline_src: &str) -> Result<CheckReport, String> {
     let doc = json::parse(baseline_src)?;
     let base = doc
         .get("results")
@@ -556,29 +583,53 @@ fn check(records: &[RunRecord], baseline_src: &str) -> Result<Vec<String>, Strin
         })
     };
     let mut failures = Vec::new();
+    let mut delta_table = vec![format!(
+        "{:<14} {:<10} {:>12} {:>12} {:>9}",
+        "workload", "config", "baseline", "now", "delta"
+    )];
     for r in records.iter().filter(|r| r.error.is_none()) {
         match lookup(&r.workload, r.config) {
-            None => eprintln!(
-                "perf: note: {}/{} not in baseline (new entry)",
-                r.workload, r.config
-            ),
+            None => {
+                eprintln!(
+                    "perf: note: {}/{} not in baseline (new entry)",
+                    r.workload, r.config
+                );
+                delta_table.push(format!(
+                    "{:<14} {:<10} {:>12} {:>12} {:>9}",
+                    r.workload, r.config, "-", r.cycles, "new"
+                ));
+            }
             Some(base_cycles) => {
+                let pct = 100.0 * (r.cycles as f64 / base_cycles as f64 - 1.0);
                 let limit = (base_cycles as f64 * (1.0 + TOLERANCE)).floor() as u64;
-                if r.cycles > limit {
+                let over = r.cycles > limit;
+                delta_table.push(format!(
+                    "{:<14} {:<10} {:>12} {:>12} {:>+8.2}%{}",
+                    r.workload,
+                    r.config,
+                    base_cycles,
+                    r.cycles,
+                    pct,
+                    if over { "  <-- REGRESSION" } else { "" }
+                ));
+                if over {
                     failures.push(format!(
                         "{}/{}: {} cycles vs baseline {} (+{:.2}%, tolerance {:.0}%)",
                         r.workload,
                         r.config,
                         r.cycles,
                         base_cycles,
-                        100.0 * (r.cycles as f64 / base_cycles as f64 - 1.0),
+                        pct,
                         100.0 * TOLERANCE,
                     ));
                 }
             }
         }
     }
-    Ok(failures)
+    Ok(CheckReport {
+        failures,
+        delta_table,
+    })
 }
 
 /// Compare against another results document run by a different engine:
@@ -625,7 +676,7 @@ fn compare(records: &[RunRecord], other_src: &str) -> Result<(Vec<String>, f64),
 }
 
 fn main() {
-    let mut fast = false;
+    let mut sel = SuiteSel::Full;
     let mut out = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
@@ -650,7 +701,8 @@ fn main() {
             })
         };
         match argv[i].as_str() {
-            "--fast" => fast = true,
+            "--fast" => sel = SuiteSel::Fast,
+            "--sparse" => sel = SuiteSel::Sparse,
             "--out" => out = need(&mut i),
             "--check" => check_path = Some(need(&mut i)),
             "--compare" => compare_path = Some(need(&mut i)),
@@ -695,7 +747,7 @@ fn main() {
             other => {
                 eprintln!(
                     "perf: unknown option {other}\n\
-                     usage: perf [--fast] [--jobs N] [--reps N] [--engine cycle|event|compiled]\n\
+                     usage: perf [--fast|--sparse] [--jobs N] [--reps N] [--engine cycle|event|compiled]\n\
                      [--hw default|latency24] [--mem flat|cache[:k=v,..]|banked[:k=v,..]]\n\
                      [--wmd BIN] [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
                      [--write-baseline FILE]"
@@ -719,8 +771,8 @@ fn main() {
     }
 
     let records = match &wmd_bin {
-        Some(bin) => run_suite_wmd(fast, &mut meta, bin),
-        None => run_suite(fast, &meta),
+        Some(bin) => run_suite_wmd(sel, &mut meta, bin),
+        None => run_suite(sel, &meta),
     };
 
     // Resolve the engine-equivalence comparison before writing results so
@@ -775,14 +827,21 @@ fn main() {
                 eprintln!("perf: bad baseline {path}: {e}");
                 std::process::exit(2);
             }
-            Ok(failures) if !failures.is_empty() => {
-                for f in &failures {
+            Ok(report) if !report.failures.is_empty() => {
+                for f in &report.failures {
                     eprintln!("perf: REGRESSION {f}");
+                }
+                // The full delta table: which pairs moved and by how
+                // much, so a failure report localizes the regression
+                // without a manual re-run against the baseline.
+                eprintln!("perf: per-workload cycle deltas vs baseline:");
+                for line in &report.delta_table {
+                    eprintln!("perf:   {line}");
                 }
                 eprintln!(
                     "perf: {} regression(s); to accept intentionally, re-baseline with:\n\
                      perf:   cargo run --release -p wm-bench --bin perf -- --fast --write-baseline bench/baseline.json",
-                    failures.len()
+                    report.failures.len()
                 );
                 std::process::exit(1);
             }

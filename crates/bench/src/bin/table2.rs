@@ -1,8 +1,11 @@
 //! Regenerate Table II: execution performance improvements by streaming
-//! (percent reduction in cycles executed) on the WM simulator.
+//! (percent reduction in cycles executed) on the WM simulator, plus the
+//! sparse addendum (the gather/scatter kernels under the same model).
 //!
 //! With `--check`, also assert the paper-shape invariant the CI `tables`
-//! job gates on: streaming strictly wins on every Table II program.
+//! job gates on: streaming strictly wins on every Table II program *and*
+//! on every sparse workload — so a regression that silently stops fusing
+//! the indirect references back to scalar loads fails here too.
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -12,9 +15,16 @@ fn main() {
         "%",
         &rows,
     );
+    let sparse = wm_bench::sparse_rows();
+    wm_bench::print_rows(
+        "Sparse addendum: indirect (gather/scatter) streams",
+        "%",
+        &sparse,
+    );
     if check {
         let bad: Vec<&wm_bench::Row> = rows
             .iter()
+            .chain(sparse.iter())
             .filter(|r| r.opt_cycles >= r.base_cycles)
             .collect();
         for r in &bad {
@@ -27,8 +37,10 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "table2: shape check passed (streaming wins on all {} programs)",
-            rows.len()
+            "table2: shape check passed (streaming wins on all {} programs, \
+             {} sparse kernels included)",
+            rows.len() + sparse.len(),
+            sparse.len()
         );
     }
 }

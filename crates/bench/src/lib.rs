@@ -116,19 +116,14 @@ pub fn table1() -> Vec<Row> {
     rows
 }
 
-/// Compute Table II: percent reduction in cycles executed from streaming,
-/// for the nine benchmark programs, on the WM simulator.
-pub fn table2() -> Vec<Row> {
-    // The paper's results (e.g. dhrystone's 39% from streamed string copies
-    // through pointer parameters) are only reachable when distinct pointer
-    // bases are assumed disjoint, so Table II compiles — on both sides of
-    // the comparison — with the no-alias model the paper's compiler
-    // evidently used for these programs. See DESIGN.md.
+/// Streaming-vs-no-streaming rows for a set of workloads, compiled the
+/// Table II way: the no-alias model on both sides of the comparison.
+fn streaming_rows(workloads: Vec<wm_stream::workloads::Workload>) -> Vec<Row> {
     let with = OptOptions::all().assume_noalias();
     let without = OptOptions::all().without_streaming().assume_noalias();
     let cfg = WmConfig::default();
     let mut rows = Vec::new();
-    for w in wm_stream::workloads::table2() {
+    for w in workloads {
         let cb = Compiler::new().options(without.clone());
         let co = Compiler::new().options(with.clone());
         let base = cb
@@ -151,6 +146,25 @@ pub fn table2() -> Vec<Row> {
         });
     }
     rows
+}
+
+/// Compute Table II: percent reduction in cycles executed from streaming,
+/// for the nine benchmark programs, on the WM simulator.
+pub fn table2() -> Vec<Row> {
+    // The paper's results (e.g. dhrystone's 39% from streamed string copies
+    // through pointer parameters) are only reachable when distinct pointer
+    // bases are assumed disjoint, so Table II compiles — on both sides of
+    // the comparison — with the no-alias model the paper's compiler
+    // evidently used for these programs. See DESIGN.md.
+    streaming_rows(wm_stream::workloads::table2())
+}
+
+/// The indirect-stream addendum to Table II: the sparse workloads
+/// (gather and scatter kernels) under the same compilation model, so
+/// the delta is what streaming — indirect accesses fused into
+/// `Sga`/`Ssc` descriptors included — buys over the scalar pipeline.
+pub fn sparse_rows() -> Vec<Row> {
+    streaming_rows(wm_stream::workloads::sparse())
 }
 
 /// The Tables III/IV substitute: SPEC89 is unavailable, so reproduce the

@@ -69,6 +69,11 @@ fn stats_json_round_trips_through_the_hand_parser() {
             Some(s.elements_out)
         );
         assert_eq!(j.get("poisoned").unwrap().as_u64(), Some(s.poisoned));
+        assert_eq!(
+            j.get("index_fetches").unwrap().as_u64(),
+            Some(s.index_fetches)
+        );
+        assert_eq!(j.get("squashed").unwrap().as_u64(), Some(s.squashed));
     }
 
     // FIFO occupancy histograms sample every cycle.

@@ -46,8 +46,8 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
-               [--engine cycle|event|compiled] [--deadline-ms N]
-               [--error-json FILE]
+               [--squash-penalty N] [--engine cycle|event|compiled]
+               [--deadline-ms N] [--error-json FILE]
 
   --stats                print per-unit performance counters (instructions
                          retired, active/idle/stall cycles with stall-reason
@@ -60,7 +60,20 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          activity and FIFO depth to FILE (open in
                          chrome://tracing or ui.perfetto.dev)
   --speculative-streams  keep streams that may fetch past their array,
-                         relying on the WM's deferred (poison) faults
+                         relying on the WM's deferred (poison) faults.
+                         Extends to indirect streams: a gather whose
+                         index values cannot be bounded at compile time
+                         fetches speculatively and poisons out-of-range
+                         entries, which fault only if the program
+                         actually consumes them; control-speculative
+                         streams hoisted past a branch are squashed
+                         (in-flight entries killed, --squash-penalty
+                         recovery cycles charged) when the branch
+                         resolves against them, never changing
+                         architectural results
+  --squash-penalty N     recovery cycles charged when a misspeculated
+                         stream is squashed (default 0); shows up in
+                         --stats as SpecSquash stall cycles
   --engine NAME          simulation engine (default event): `event` fast-
                          forwards over spans where every unit is stalled or
                          idle, `cycle` steps every unit every cycle, and
@@ -230,6 +243,9 @@ fn parse_args() -> Options {
                 o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--mem-ports" => o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--squash-penalty" => {
+                o.config.squash_penalty = need(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--mem" => {
                 o.config.mem_model = MemModel::parse(&need(&mut i)).unwrap_or_else(|e| {
                     eprintln!("wmcc: {e}");
@@ -270,11 +286,14 @@ fn main() -> ExitCode {
     if o.stats {
         for (name, s) in &compiled.stats {
             eprintln!(
-                "{name}: recurrence loads eliminated {}, streams {} in / {} out ({} unbounded)",
+                "{name}: recurrence loads eliminated {}, streams {} in / {} out \
+                 ({} unbounded), {} gathers / {} scatters",
                 s.recurrence.loads_eliminated,
                 s.streaming.streams_in,
                 s.streaming.streams_out,
                 s.streaming.infinite,
+                s.streaming.gathers,
+                s.streaming.scatters,
             );
         }
     }

@@ -132,6 +132,8 @@ pub(crate) fn mnemonic(kind: &InstKind) -> String {
         }
         InstKind::StreamIn { width, .. } => format!("Sin{}", stream_suffix(*width)),
         InstKind::StreamOut { width, .. } => format!("Sout{}", stream_suffix(*width)),
+        InstKind::StreamGather { width, .. } => format!("Sga{}", stream_suffix(*width)),
+        InstKind::StreamScatter { width, .. } => format!("Ssc{}", stream_suffix(*width)),
         InstKind::StreamStop { .. } => "Sstop".into(),
         InstKind::VStreamIn { .. } => "SinV".into(),
         InstKind::VStreamOut { .. } => "SoutV".into(),
@@ -222,6 +224,24 @@ pub(crate) fn body(kind: &InstKind, module: Option<&Module>) -> String {
             };
             format!("{fifo},{base},{count},{stride}")
         }
+        InstKind::StreamGather {
+            fifo,
+            base,
+            shift,
+            ibase,
+            istride,
+            count,
+            ..
+        } => format!("{fifo},{base}+(idx<<{shift}) [{ibase},{count},{istride}]"),
+        InstKind::StreamScatter {
+            fifo,
+            base,
+            shift,
+            ibase,
+            istride,
+            count,
+            ..
+        } => format!("{fifo}out,{base}+(idx<<{shift}) [{ibase},{count},{istride}]"),
         InstKind::StreamStop { fifo } => format!("{fifo}"),
         InstKind::VStreamIn {
             port,

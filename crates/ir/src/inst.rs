@@ -160,6 +160,43 @@ pub enum InstKind {
         stride: Operand,
         width: Width,
     },
+    /// Configure a stream control unit in *gather* mode: fetch `count`
+    /// indices from `ibase` with byte stride `istride` (elements of width
+    /// `iwidth`), and for each index `k` deliver the element of width
+    /// `width` at `base + (k << shift)` into `fifo`. The index stream is
+    /// internal to the SCU — it occupies no architected FIFO.
+    StreamGather {
+        fifo: DataFifo,
+        base: Operand,
+        /// Log2 byte scale applied to each index (0 for byte arrays,
+        /// 2 for 32-bit elements, 3 for 64-bit elements).
+        shift: u8,
+        width: Width,
+        ibase: Operand,
+        istride: Operand,
+        iwidth: Width,
+        count: Operand,
+        /// Cf. [`InstKind::StreamIn::tested`].
+        tested: bool,
+    },
+    /// The scatter dual: pop `count` values from `fifo`'s unit output FIFO
+    /// and store each to `base + (k << shift)` where `k` is the next index
+    /// streamed from `ibase`.
+    StreamScatter {
+        fifo: DataFifo,
+        base: Operand,
+        shift: u8,
+        width: Width,
+        ibase: Operand,
+        istride: Operand,
+        iwidth: Width,
+        count: Operand,
+        /// Conservative byte extent of the scattered region starting at
+        /// `base`; younger reads overlapping `[base, base+span)` must wait
+        /// for the scatter (the individual store addresses are unknown
+        /// until their indices arrive).
+        span: i64,
+    },
     /// Stop the stream feeding/draining `fifo` (used at the exits of loops
     /// whose trip count was unknown at compile time).
     StreamStop { fifo: DataFifo },
@@ -281,6 +318,26 @@ impl InstKind {
                 .into_iter()
                 .chain(count.and_then(|c| c.reg()))
                 .chain(stride.reg())
+                .collect(),
+            InstKind::StreamGather {
+                base,
+                ibase,
+                istride,
+                count,
+                ..
+            }
+            | InstKind::StreamScatter {
+                base,
+                ibase,
+                istride,
+                count,
+                ..
+            } => base
+                .reg()
+                .into_iter()
+                .chain(ibase.reg())
+                .chain(istride.reg())
+                .chain(count.reg())
                 .collect(),
             InstKind::VStreamIn {
                 base,
@@ -405,6 +462,25 @@ impl InstKind {
                 if let Some(c) = count {
                     fix(c);
                 }
+            }
+            InstKind::StreamGather {
+                base,
+                ibase,
+                istride,
+                count,
+                ..
+            }
+            | InstKind::StreamScatter {
+                base,
+                ibase,
+                istride,
+                count,
+                ..
+            } => {
+                fix(base);
+                fix(ibase);
+                fix(istride);
+                fix(count);
             }
             InstKind::VStreamIn {
                 base,

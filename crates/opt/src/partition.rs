@@ -143,10 +143,26 @@ pub struct PartitionSet {
 
 /// Build the partitions for the loop under analysis (Steps 1–3).
 pub fn build_partitions(la: &LoopAnalysis<'_>, alias: AliasModel) -> PartitionSet {
+    build_partitions_excluding(la, alias, &[])
+}
+
+/// [`build_partitions`] with the references at `exclude` left out of the
+/// analysis entirely. The streaming pass detaches recognized indirect
+/// (index-fed) references this way: their data addresses are not affine,
+/// so keeping them in would mark every partition of the loop unsafe even
+/// though the pass has already proven them alias-safe by other means.
+pub fn build_partitions_excluding(
+    la: &LoopAnalysis<'_>,
+    alias: AliasModel,
+    exclude: &[(usize, usize)],
+) -> PartitionSet {
     // Step 1+2: collect references with their affine decompositions.
     let mut refs: Vec<(Region, RefInfo)> = Vec::new();
     for &bi in &la.lp.blocks {
         for (ii, inst) in la.func.blocks[bi].insts.iter().enumerate() {
+            if exclude.contains(&(bi, ii)) {
+                continue;
+            }
             let Some(acc) = inst.kind.mem_access() else {
                 continue;
             };

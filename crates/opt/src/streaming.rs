@@ -17,14 +17,14 @@
 use std::collections::HashMap;
 
 use wm_ir::{
-    BinOp, CmpOp, DataFifo, Function, GlobalKind, Inst, InstKind, Label, Module, Operand, RExpr,
-    Reg, RegClass, SymId,
+    BinOp, CmpOp, DataFifo, Function, GlobalKind, Inst, InstKind, Label, MemAccess, Module,
+    Operand, RExpr, Reg, RegClass, SymId, Width,
 };
 
 use crate::affine::{analyze_latch, LatchInfo, LoopAnalysis, Region};
 use crate::cfg::{ensure_preheader, natural_loops, split_edge, Dominators};
 use crate::liveness::Liveness;
-use crate::partition::{build_partitions, AliasModel};
+use crate::partition::{build_partitions_excluding, AliasModel};
 
 /// Byte extents of a module's data globals, for the over-fetch analysis.
 ///
@@ -86,6 +86,11 @@ pub struct StreamingReport {
     /// Over-fetching in-streams kept anyway under speculative streaming
     /// (the machine's deferred-fault semantics poison the extra entries).
     pub overfetch_speculated: usize,
+    /// Gather descriptors created (an affine index stream fused with the
+    /// data load it feeds).
+    pub gathers: usize,
+    /// Scatter descriptors created (the store-side dual).
+    pub scatters: usize,
 }
 
 /// A planned stream for one memory reference.
@@ -107,6 +112,263 @@ struct StreamPlan {
     sym_step: Option<Reg>,
     width: wm_ir::Width,
     iv: Reg,
+}
+
+/// An index-fed (indirect) reference recognized in the loop: a data access
+/// whose address is `base + (idx << shift)` where `idx` is the value an
+/// adjacent dequeue pulls out of an affine *index* load. The index load,
+/// its dequeue and the data access fuse into one `StreamGather` /
+/// `StreamScatter` descriptor; the SCU then fetches the index stream
+/// itself and issues the data references, so the loop body keeps only the
+/// data-side FIFO transfer.
+#[derive(Debug, Clone)]
+struct IndirectRef {
+    /// The data `WLoad`/`WStore`.
+    mem_pos: (usize, usize),
+    is_load: bool,
+    /// Register class of the gathered/scattered data.
+    class: RegClass,
+    /// Data access width.
+    width: Width,
+    /// Loop-invariant base of `base + (idx << shift)`.
+    base: Reg,
+    shift: u8,
+    /// The dequeue defining the index register.
+    idx_def: (usize, usize),
+    /// The affine index load feeding that dequeue.
+    idx_load: (usize, usize),
+    /// Scatter only: conservative byte extent of the scattered global from
+    /// `base` (the machine orders younger reads around `[base, base+span)`
+    /// because the store addresses are unknown until their indices arrive).
+    span: i64,
+}
+
+/// Decompose a WM address expression into candidate `(index, shift, base)`
+/// index-fed forms. The plain-add form is commutative, so both register
+/// assignments are returned; the caller keeps the one whose index register
+/// is actually a FIFO-dequeued value.
+fn indirect_addr_forms(addr: &RExpr) -> Vec<(Reg, u8, Reg)> {
+    match addr {
+        RExpr::Dual {
+            inner: BinOp::Shl,
+            a: Operand::Reg(x),
+            b: Operand::Imm(sh),
+            outer: BinOp::Add,
+            c: Operand::Reg(b),
+        } if (0..=3).contains(sh) => vec![(*x, *sh as u8, *b)],
+        RExpr::Bin(BinOp::Add, Operand::Reg(a), Operand::Reg(b)) => {
+            vec![(*a, 0, *b), (*b, 0, *a)]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The affine identity of an indirect reference's base register: the
+/// global (or root pointer) it addresses, traced through derived address
+/// arithmetic. `Region::Unknown` when the base cannot be resolved.
+fn base_region(la: &LoopAnalysis<'_>, base: Reg, at: (usize, usize)) -> Region {
+    la.eval_expr(&RExpr::Op(Operand::Reg(base)), at, 8)
+        .map_or(Region::Unknown, |a| a.region)
+}
+
+/// Structural recognition of index-fed references (no alias reasoning
+/// yet): for every `WLoad`/`WStore` with a `base + (idx << shift)`
+/// address, check that `idx` has exactly one definition — a dequeue paired
+/// with an integer `WLoad` inside the loop — and exactly one use (the data
+/// address), and that `base` is loop-invariant. A scatter additionally
+/// needs its base global's extent, which becomes the descriptor's
+/// conservative ordering span.
+fn find_indirect_refs(la: &LoopAnalysis<'_>, extents: &GlobalExtents) -> Vec<IndirectRef> {
+    let func = la.func;
+    let lp = la.lp;
+    let mut out: Vec<IndirectRef> = Vec::new();
+    for &bi in &lp.blocks {
+        for ii in 0..func.blocks[bi].insts.len() {
+            let (addr, width, class, is_load) = match &func.blocks[bi].insts[ii].kind {
+                InstKind::WLoad { fifo, addr, width } if fifo.index == 0 => {
+                    if paired_dequeue(func, (bi, ii), fifo.class).is_none() {
+                        continue;
+                    }
+                    (addr, *width, fifo.class, true)
+                }
+                InstKind::WStore { unit, addr, width } => {
+                    if paired_enqueue(func, (bi, ii), *unit).is_none() {
+                        continue;
+                    }
+                    (addr, *width, *unit, false)
+                }
+                _ => continue,
+            };
+            // Step 2c still applies: the data access must execute every
+            // iteration, or the fused stream's element count is wrong.
+            if !lp.latches.iter().all(|&l| la.dom.dominates(bi, l)) {
+                continue;
+            }
+            for (idx, shift, base) in indirect_addr_forms(addr) {
+                // the index register: one definition, inside the loop,
+                // and it is the dequeue paired with an integer index load
+                let Some(sites) = la.defs.get(&idx) else {
+                    continue;
+                };
+                if sites.len() != 1 {
+                    continue;
+                }
+                let (di, dj) = sites[0];
+                if !lp.contains(di) || dj == 0 {
+                    continue;
+                }
+                let fifo0 = Reg::phys(RegClass::Int, 0);
+                let is_deq = matches!(
+                    &func.blocks[di].insts[dj].kind,
+                    InstKind::Assign { dst, src }
+                        if *dst == idx && *src == RExpr::Op(Operand::Reg(fifo0))
+                );
+                let is_index_load = is_deq
+                    && matches!(
+                        &func.blocks[di].insts[dj - 1].kind,
+                        InstKind::WLoad { fifo, .. } if *fifo == DataFifo::new(RegClass::Int, 0)
+                    );
+                if !is_index_load || (di, dj - 1) == (bi, ii) {
+                    continue;
+                }
+                // the index value feeds the data address and nothing else
+                let uses: usize = func
+                    .insts()
+                    .map(|i| i.kind.uses().iter().filter(|r| **r == idx).count())
+                    .sum();
+                if uses != 1 {
+                    continue;
+                }
+                // base must be loop-invariant
+                if la
+                    .defs
+                    .get(&base)
+                    .is_some_and(|s| s.iter().any(|&(b2, _)| lp.contains(b2)))
+                {
+                    continue;
+                }
+                // a scatter's ordering span is its global's remaining extent
+                let span = match base_region(la, base, (bi, ii)) {
+                    Region::Global(sym) => {
+                        let off = la
+                            .eval_expr(&RExpr::Op(Operand::Reg(base)), (bi, ii), 8)
+                            .map_or(0, |a| a.off);
+                        extents.get(sym).map(|e| e - off).filter(|s| *s > 0)
+                    }
+                    _ => None,
+                };
+                if !is_load && span.is_none() {
+                    continue;
+                }
+                out.push(IndirectRef {
+                    mem_pos: (bi, ii),
+                    is_load,
+                    class,
+                    width,
+                    base,
+                    shift,
+                    idx_def: (di, dj),
+                    idx_load: (di, dj - 1),
+                    span: span.unwrap_or(0),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Keep only the indirect references that are alias-safe to detach from
+/// the loop's partitions.
+///
+/// A gather's SCU reads run *ahead* of the scalar program, so they must
+/// provably never observe a store of the same loop: under
+/// [`AliasModel::NoAlias`] distinct bases are disjoint, so only a store
+/// resolving to the gather's own base (or a store with an unresolvable
+/// address that is not itself a surviving scatter) rejects it; under
+/// [`AliasModel::Conservative`] only store-free loops qualify. A scatter's
+/// writes are unordered with respect to the rest of the loop, so it
+/// requires `NoAlias` and that no *other* reference touches its base —
+/// and, for output-FIFO exclusivity, that it is the only store of its
+/// register class in the loop.
+///
+/// Rejecting one reference can invalidate another (a rejected scatter
+/// becomes a plain opaque store), so the filter iterates to a fixed point.
+fn filter_indirect_safety(
+    la: &LoopAnalysis<'_>,
+    alias: AliasModel,
+    mut indirect: Vec<IndirectRef>,
+) -> Vec<IndirectRef> {
+    let func = la.func;
+    let lp = la.lp;
+    // census of every memory reference in the loop with its region
+    let mut refs: Vec<((usize, usize), bool, RegClass, Region)> = Vec::new();
+    for &bi in &lp.blocks {
+        for (ii, inst) in func.blocks[bi].insts.iter().enumerate() {
+            let Some(acc) = inst.kind.mem_access() else {
+                continue;
+            };
+            let class = match &inst.kind {
+                InstKind::WLoad { fifo, .. } => fifo.class,
+                InstKind::WStore { unit, .. } => *unit,
+                _ => RegClass::Int,
+            };
+            let region = match &acc {
+                MemAccess::Generic { mem, .. } => la.eval_memref(mem, (bi, ii), 8),
+                MemAccess::Wm { addr, .. } => la.eval_expr(addr, (bi, ii), 8),
+            }
+            .map_or(Region::Unknown, |a| a.region);
+            refs.push(((bi, ii), acc.is_load(), class, region));
+        }
+    }
+    loop {
+        let surviving = indirect.clone();
+        indirect.retain(|g| {
+            let own = base_region(la, g.base, g.mem_pos);
+            let my_identity = match own {
+                Region::Unknown => Region::Reg(g.base),
+                r => r,
+            };
+            if !g.is_load && alias != AliasModel::NoAlias {
+                return false;
+            }
+            for &(pos, is_load, class, region) in &refs {
+                if pos == g.mem_pos || pos == g.idx_load {
+                    continue;
+                }
+                // output-FIFO exclusivity: one store per class
+                if !g.is_load && !is_load && class == g.class {
+                    return false;
+                }
+                // loads never conflict with a gather's reads
+                if g.is_load && is_load {
+                    continue;
+                }
+                // for a scatter every other reference matters; for a
+                // gather only stores do (handled by the guard above)
+                let other = surviving
+                    .iter()
+                    .find(|o| o.mem_pos == pos)
+                    .map(|o| match base_region(la, o.base, o.mem_pos) {
+                        Region::Unknown => Region::Reg(o.base),
+                        r => r,
+                    });
+                let identity = other.unwrap_or(region);
+                match alias {
+                    AliasModel::Conservative => return false,
+                    AliasModel::NoAlias => {
+                        if identity == Region::Unknown || identity == my_identity {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        });
+        if indirect.len() == surviving.len() {
+            return indirect;
+        }
+    }
 }
 
 /// Run the streaming optimization on every innermost loop of `func`.
@@ -176,7 +438,7 @@ fn stream_one_loop(
         return;
     }
     // ---- analysis (immutable borrow scope) ----
-    let (plans, latch, static_count) = {
+    let (plans, indirect, latch, static_count) = {
         let la = LoopAnalysis::new(func, lp, dom);
         let latch = analyze_latch(&la);
         // Step 1: trip count. When it is statically known and small, do not
@@ -187,7 +449,18 @@ fn stream_one_loop(
                 return;
             }
         }
-        let parts = build_partitions(&la, alias);
+        // Recognize index-fed references *before* partitioning: a gather's
+        // data address is not affine, so left in place it would poison
+        // every partition of the loop. Detaching is only done when the
+        // alias rules prove the SCU's run-ahead accesses safe, and fusion
+        // needs a counted descriptor, so uncounted loops keep everything.
+        let mut indirect = if latch.is_some() || static_count.is_some() {
+            filter_indirect_safety(&la, alias, find_indirect_refs(&la, extents))
+        } else {
+            Vec::new()
+        };
+        let exclude: Vec<(usize, usize)> = indirect.iter().map(|g| g.mem_pos).collect();
+        let parts = build_partitions_excluding(&la, alias, &exclude);
         // Candidate references, per partition.
         let mut cands: Vec<StreamPlan> = Vec::new();
         for p in &parts.partitions {
@@ -292,11 +565,29 @@ fn stream_one_loop(
                 }
             },
         );
+        // An indirect reference fuses only when its index load survived as
+        // a stream candidate; otherwise its data access stays scalar (and
+        // must count as such in the FIFO accounting below).
+        indirect.retain(|g| cands.iter().any(|c| c.pos == g.idx_load && c.is_load));
+        let fused: Vec<(usize, usize)> = indirect
+            .iter()
+            .flat_map(|g| [g.mem_pos, g.idx_load])
+            .collect();
+        // A gather delivers *data* elements, so its FIFO belongs to the
+        // data class, not the (integer) index class.
+        for c in cands.iter_mut() {
+            if let Some(g) = indirect.iter().find(|g| g.idx_load == c.pos && g.is_load) {
+                c.fifo = DataFifo::new(g.class, 0);
+            }
+        }
         // Step 2e: FIFO allocation with resource accounting. Scalar
         // (non-streamed) loads of a class occupy input FIFO 0; scalar
         // stores occupy the output FIFO.
-        let chosen = allocate_fifos(func, lp, cands);
-        (chosen, latch, static_count)
+        let chosen = allocate_fifos(func, lp, cands, &indirect, &fused);
+        // a fused index plan can still lose allocation to the collapse
+        // rule; its data access then reverts to scalar alongside it
+        indirect.retain(|g| chosen.iter().any(|c| c.pos == g.idx_load));
+        (chosen, indirect, latch, static_count)
     };
     if plans.is_empty() {
         return;
@@ -322,11 +613,34 @@ fn stream_one_loop(
         report.infinite += plans.len();
     }
     // The stream the termination jump will test — only it may load the
-    // IFU's dispatch counter.
-    let jump_fifo = plans.iter().find(|p| p.is_load).map(|p| p.fifo);
+    // IFU's dispatch counter. A fused gather qualifies (it delivers
+    // exactly `count` data elements); a fused scatter does not (its plan's
+    // FIFO is the output side).
+    let scatter_pos: Vec<(usize, usize)> = indirect
+        .iter()
+        .filter(|g| !g.is_load)
+        .map(|g| g.idx_load)
+        .collect();
+    let jump_fifo = plans
+        .iter()
+        .find(|p| p.is_load && !scatter_pos.contains(&p.pos))
+        .map(|p| p.fifo);
 
     // Rewrite each reference (steps 2g/2h).
     for plan in &plans {
+        if let Some(g) = indirect.iter().find(|g| g.idx_load == plan.pos) {
+            rewrite_indirect(
+                func,
+                pre,
+                plan,
+                g,
+                count_operand,
+                countable,
+                jump_fifo,
+                report,
+            );
+            continue;
+        }
         // preheader: base address = region + off + cee*iv (the IV register
         // still holds its initial value in the preheader)
         let base = emit_base_address(func, pre, plan);
@@ -545,33 +859,117 @@ fn paired_enqueue(func: &Function, pos: (usize, usize), unit: RegClass) -> Optio
     }
 }
 
+/// Emit one fused indirect descriptor and rewrite the loop body: the index
+/// load, its dequeue and the data access all fold into the descriptor. For
+/// a gather the data-side dequeue survives (retargeted to the allocated
+/// FIFO); for a scatter the paired enqueue survives, feeding the SCU
+/// through the unit's output FIFO.
+#[allow(clippy::too_many_arguments)]
+fn rewrite_indirect(
+    func: &mut Function,
+    pre: Label,
+    plan: &StreamPlan,
+    g: &IndirectRef,
+    count_operand: Option<Operand>,
+    countable: bool,
+    jump_fifo: Option<DataFifo>,
+    report: &mut StreamingReport,
+) {
+    // `plan` is the *index* load's stream plan: its affine base/stride
+    // describe the index sequence the SCU fetches internally.
+    let ibase = emit_base_address(func, pre, plan);
+    let istride = emit_stride(func, pre, plan);
+    let count = count_operand.expect("indirect fusion requires a counted loop");
+    let kind = if g.is_load {
+        report.gathers += 1;
+        InstKind::StreamGather {
+            fifo: plan.fifo,
+            base: Operand::Reg(g.base),
+            shift: g.shift,
+            width: g.width,
+            ibase,
+            istride,
+            iwidth: plan.width,
+            count,
+            tested: countable && jump_fifo == Some(plan.fifo),
+        }
+    } else {
+        report.scatters += 1;
+        InstKind::StreamScatter {
+            fifo: plan.fifo,
+            base: Operand::Reg(g.base),
+            shift: g.shift,
+            width: g.width,
+            ibase,
+            istride,
+            iwidth: plan.width,
+            count,
+            span: g.span,
+        }
+    };
+    insert_before_jump(func, pre, kind);
+    func.blocks[plan.pos.0].insts[plan.pos.1].kind = InstKind::Nop;
+    func.blocks[g.idx_def.0].insts[g.idx_def.1].kind = InstKind::Nop;
+    if g.is_load {
+        let deq = paired_dequeue(func, g.mem_pos, g.class).expect("candidate validated");
+        func.blocks[g.mem_pos.0].insts[g.mem_pos.1].kind = InstKind::Nop;
+        if plan.fifo.index == 1 {
+            let old = Reg::phys(g.class, 0);
+            func.blocks[g.mem_pos.0].insts[deq]
+                .kind
+                .substitute_use(old, Operand::Reg(plan.fifo.reg()));
+        }
+    } else {
+        func.blocks[g.mem_pos.0].insts[g.mem_pos.1].kind = InstKind::Nop;
+    }
+}
+
 /// Step 2e: assign FIFO registers, accounting for the scalar references
 /// that remain in the loop. Input FIFO 0 of a class is only available when
 /// no scalar load of that class survives; the single output FIFO of a class
 /// is only available when no scalar store survives and at most one
 /// out-stream wants it.
+///
+/// Indirect fusion rides along: positions in `fused` will be `Nop`ped by
+/// the fusion rewrite and so do not count as scalar references, a
+/// gather-paired index plan is allocated first (fusion must not be
+/// stranded by a later plan taking its slot), and a scatter-paired index
+/// plan skips input allocation entirely — its descriptor drains the
+/// class's *output* FIFO, which the safety filter has already proven free.
 fn allocate_fifos(
     func: &Function,
     lp: &crate::cfg::Loop,
     cands: Vec<StreamPlan>,
+    indirect: &[IndirectRef],
+    fused: &[(usize, usize)],
 ) -> Vec<StreamPlan> {
+    let gather_pos: Vec<(usize, usize)> = indirect
+        .iter()
+        .filter(|g| g.is_load)
+        .map(|g| g.idx_load)
+        .collect();
+    let scatter: Vec<&IndirectRef> = indirect.iter().filter(|g| !g.is_load).collect();
     let mut chosen: Vec<StreamPlan> = Vec::new();
     for class in [RegClass::Int, RegClass::Flt] {
-        let loads: Vec<&StreamPlan> = cands
+        let mut loads: Vec<&StreamPlan> = cands
             .iter()
-            .filter(|c| c.is_load && c.fifo.class == class)
+            .filter(|c| {
+                c.is_load && c.fifo.class == class && !scatter.iter().any(|g| g.idx_load == c.pos)
+            })
             .collect();
+        loads.sort_by_key(|c| !gather_pos.contains(&c.pos));
         let stores: Vec<&StreamPlan> = cands
             .iter()
             .filter(|c| !c.is_load && c.fifo.class == class)
             .collect();
         // scalar refs of this class in the loop, besides the candidates
+        // and the references indirect fusion removes
         let cand_positions: Vec<(usize, usize)> = cands.iter().map(|c| c.pos).collect();
         let mut scalar_loads = 0usize;
         let mut scalar_stores = 0usize;
         for &bi in &lp.blocks {
             for (ii, inst) in func.blocks[bi].insts.iter().enumerate() {
-                if cand_positions.contains(&(bi, ii)) {
+                if cand_positions.contains(&(bi, ii)) || fused.contains(&(bi, ii)) {
                     continue;
                 }
                 match &inst.kind {
@@ -598,11 +996,19 @@ fn allocate_fifos(
             p.fifo = DataFifo::new(class, *idx);
             chosen.push(p);
         }
-        // output FIFO
+        // output FIFO: one affine out-stream, or one scatter (the safety
+        // filter rejects a scatter sharing its class with any other store)
         if scalar_stores == 0 && stores.len() == 1 {
             let mut p = stores[0].clone();
             p.fifo = DataFifo::new(class, 0);
             chosen.push(p);
+        }
+        for g in scatter.iter().filter(|g| g.class == class) {
+            if let Some(plan) = cands.iter().find(|c| c.pos == g.idx_load) {
+                let mut p = plan.clone();
+                p.fifo = DataFifo::new(class, 0);
+                chosen.push(p);
+            }
         }
     }
     chosen

@@ -290,6 +290,85 @@ fn in_bounds_counted_streams_are_untouched_by_the_analysis() {
 }
 
 #[test]
+fn csr_gather_fuses_index_and_data_loads() {
+    // s += val[j] * x[col[j]]: col[j] is an affine index load feeding the
+    // x gather; the loop has no stores, so even conservative aliasing
+    // admits the fusion. All three loads leave the body.
+    let (f, s) = wm_function_checked(
+        r"
+        int val[256]; int col[256]; int x[512]; int y[4];
+        void f(int n) {
+            int j; int acc;
+            acc = 0;
+            for (j = 0; j < n; j++) acc = acc + val[j] * x[col[j]];
+            y[0] = acc;
+        }",
+        "f",
+        &OptOptions::all(),
+    );
+    assert_eq!(s.gathers, 1, "{s:?}");
+    assert_eq!(s.streams_in, 1, "val[j] streams affinely: {s:?}");
+    assert_eq!(
+        count_kind(&f, |k| matches!(k, InstKind::WLoad { .. })),
+        0,
+        "no scalar loads remain"
+    );
+    let has_gather = f.insts().any(|i| {
+        matches!(
+            &i.kind,
+            InstKind::StreamGather { shift: 2, .. } // int elements: idx << 2
+        )
+    });
+    assert!(has_gather, "gather descriptor with shift 2");
+    assert_eq!(s.tests_replaced, 1, "jNI termination: {s:?}");
+}
+
+#[test]
+fn conservative_gather_requires_store_free_loop() {
+    // y[j] = x[col[j]]: the store makes the gather's run-ahead reads
+    // unprovable under conservative aliasing; -noalias admits it.
+    const SRC: &str = r"
+        int col[128]; int x[512]; int y[128];
+        void f(int n) {
+            int j;
+            for (j = 0; j < n; j++) y[j] = x[col[j]];
+        }";
+    let (_f, s) = wm_function_checked(SRC, "f", &OptOptions::all());
+    assert_eq!(s.gathers, 0, "a store blocks conservative gather: {s:?}");
+    let (_f, s) = wm_function_checked(SRC, "f", &OptOptions::all().assume_noalias());
+    assert_eq!(s.gathers, 1, "{s:?}");
+    assert_eq!(s.streams_out, 1, "y[j] streams out alongside: {s:?}");
+}
+
+#[test]
+fn scatter_fuses_store_side_under_noalias() {
+    const SRC: &str = r"
+        int idx[128]; int data[128]; int out[256];
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i++) out[idx[i]] = data[i];
+        }";
+    let (f, s) = wm_function_checked(SRC, "f", &OptOptions::all().assume_noalias());
+    assert_eq!(s.scatters, 1, "{s:?}");
+    assert_eq!(s.streams_in, 1, "data[i] streams: {s:?}");
+    let span_ok = f.insts().any(|i| {
+        matches!(
+            &i.kind,
+            InstKind::StreamScatter { span: 1024, .. } // int out[256]
+        )
+    });
+    assert!(span_ok, "ordering span covers the scattered global");
+    assert_eq!(
+        count_kind(&f, |k| matches!(k, InstKind::WStore { .. })),
+        0,
+        "the indexed store is gone"
+    );
+    // conservative aliasing cannot order the scatter's writes
+    let (_f, s) = wm_function_checked(SRC, "f", &OptOptions::all());
+    assert_eq!(s.scatters, 0, "{s:?}");
+}
+
+#[test]
 fn streamed_loop_body_sheds_address_arithmetic() {
     let (f, _s) = wm_function(
         r"

@@ -103,8 +103,13 @@ impl<'m> WmMachine<'m> {
                     return Ok(Outcome::Stall(Stall::Interlock)); // one-cycle bubble
                 }
             }
-            // FIFO data availability, as a precomputed demand pair
-            if (d.need[0] as usize) > u.ins[0].q.len() || (d.need[1] as usize) > u.ins[1].q.len() {
+            // FIFO data availability, as a precomputed demand pair. A
+            // latched load already performed its dequeues when its address
+            // was computed; its retry must not wait on the FIFO it drained.
+            if u.latched_load.is_none()
+                && ((d.need[0] as usize) > u.ins[0].q.len()
+                    || (d.need[1] as usize) > u.ins[1].q.len())
+            {
                 return Ok(Outcome::Stall(Stall::FifoEmpty));
             }
             d
@@ -553,41 +558,63 @@ pub(crate) fn exec_wload<'m>(m: &mut WmMachine<'m>, d: &DecodedInst<'m>) -> Resu
             return Ok(Exec::Stall(Stall::FifoFull));
         }
     }
-    let previewed = eval_dec_pure(m, d.class, &addr);
-    match previewed {
-        Some(a)
-            if m.conflicts_with_pending_writes(a, width)
-                || m.conflicts_with_out_streams(a, width) =>
-        {
-            // wait for the conflicting store
+    let a = if let Some(a) = m.unit(d.class).latched_load {
+        // Retry of a refused indirect load: the index was dequeued when
+        // the address was first computed. Only the ordering check
+        // re-runs (the other unit may have queued a conflicting store
+        // while we were latched).
+        if m.conflicts_with_pending_writes(a, width) || m.conflicts_with_out_streams(a, width) {
             return Ok(Exec::Stall(Stall::MemOrder));
         }
-        None if !m.store_q.is_empty() || m.writes_in_flight > 0 => {
-            // unanalyzable address: drain stores first
-            return Ok(Exec::Stall(Stall::MemOrder));
+        a
+    } else {
+        let previewed = eval_dec_pure(m, d.class, &addr);
+        match previewed {
+            Some(a)
+                if m.conflicts_with_pending_writes(a, width)
+                    || m.conflicts_with_out_streams(a, width) =>
+            {
+                // wait for the conflicting store
+                return Ok(Exec::Stall(Stall::MemOrder));
+            }
+            None if !m.store_q.is_empty() || m.writes_in_flight > 0 => {
+                // unanalyzable address: drain stores first
+                return Ok(Exec::Stall(Stall::MemOrder));
+            }
+            _ => {}
         }
-        _ => {}
-    }
-    // A successful integer-unit preview read no FIFO and every fold
-    // succeeded, so re-evaluating is side-effect-free, cannot fault and
-    // produces the same address: reuse it instead of running `eval_dec`
-    // again (the interpreter re-evaluates; the value is identical by
-    // construction). Float-unit address arithmetic is not previewable
-    // that way, so it always re-evaluates.
-    let a = match previewed {
-        Some(a) if d.class == RegClass::Int => a,
-        _ => eval_dec(m, d.class, &addr)?.as_i(),
+        // A successful integer-unit preview read no FIFO and every fold
+        // succeeded, so re-evaluating is side-effect-free, cannot fault and
+        // produces the same address: reuse it instead of running `eval_dec`
+        // again (the interpreter re-evaluates; the value is identical by
+        // construction). Float-unit address arithmetic is not previewable
+        // that way, so it always re-evaluates.
+        let a = match previewed {
+            Some(a) if d.class == RegClass::Int => a,
+            _ => eval_dec(m, d.class, &addr)?.as_i(),
+        };
+        // scalar loads fault eagerly, with precise attribution
+        if let Err(e) = m.mem.check(a, width.bytes(), false) {
+            return Err(m.access_fault(FaultUnit::Ieu, None, &e));
+        }
+        a
     };
-    // scalar loads fault eagerly, with precise attribution
-    if let Err(e) = m.mem.check(a, width.bytes(), false) {
-        return Err(m.access_fault(FaultUnit::Ieu, None, &e));
-    }
     // the memory hierarchy may refuse the reference (MSHRs exhausted,
     // target DRAM bank busy): retry next cycle
     let acc = Access::scalar(a, false);
     if let Err(refusal) = m.memsys.accepts(&acc, m.cycle) {
+        // If the address expression consumed a FIFO operand (d.need is
+        // the precomputed dequeue count), hold the computed address in
+        // the unit's latch so the retry does not re-dequeue. The dequeue
+        // is a state flip on a stall cycle, so pin progress
+        // (fast-forward soundness rule).
+        if d.need != [0, 0] {
+            m.unit_mut(d.class).latched_load = Some(a);
+            m.last_progress = m.cycle;
+        }
         return Ok(Exec::Stall(refusal.stall()));
     }
+    m.unit_mut(d.class).latched_load = None;
     let gen = m.unit(fifo.class).ins[fifo.index as usize].gen;
     m.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
     m.issue_mem(

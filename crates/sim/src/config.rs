@@ -105,6 +105,12 @@ pub struct WmConfig {
     pub io_latency: u64,
     /// Hard cycle limit (guards against runaway programs).
     pub max_cycles: u64,
+    /// Cycles an SCU is held busy after a speculative-stream squash —
+    /// a `Sstop` that discards fetched-ahead elements (queued or in
+    /// flight). `0` (the default) makes squashes free, which keeps the
+    /// timing of pre-existing workloads unchanged; nonzero values model
+    /// the recovery cost of mis-speculated streams.
+    pub squash_penalty: u64,
     /// Deterministic fault injection (empty by default).
     pub fault_plan: FaultPlan,
     /// Stepping engine: per-cycle, or event-driven fast-forward over
@@ -135,6 +141,7 @@ impl Default for WmConfig {
             memory_size: 16 << 20,
             io_latency: 20,
             max_cycles: 2_000_000_000,
+            squash_penalty: 0,
             fault_plan: FaultPlan::default(),
             engine: Engine::default(),
             mem_model: MemModel::default(),
@@ -188,6 +195,14 @@ impl WmConfig {
             "with_fifo_capacity: capacity must be >= 1, got 0"
         );
         self.fifo_capacity = capacity;
+        self
+    }
+
+    /// A configuration with a squash-recovery penalty for speculative
+    /// streams. Any value is valid; `0` (the default) makes squashes
+    /// free.
+    pub fn with_squash_penalty(mut self, cycles: u64) -> WmConfig {
+        self.squash_penalty = cycles;
         self
     }
 

@@ -250,6 +250,12 @@ impl<'m> WmMachine<'m> {
             if s.active && !self.scu_disabled(i) && s.ready_at > self.cycle {
                 next = next.min(s.ready_at);
             }
+            // A squashed slot leaving recovery flips `Stall::SpecSquash`
+            // to `Idle` — and lets a stalled stream configuration claim
+            // the slot — even if nothing else changes.
+            if !s.active && s.squash_until > self.cycle {
+                next = next.min(s.squash_until);
+            }
         }
         for &(i, c) in &self.config.fault_plan.disable_scus {
             // A pending SCU kill flips that SCU's attribution to

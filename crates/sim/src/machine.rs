@@ -283,6 +283,12 @@ pub(crate) struct Unit {
     pub(crate) prev_dst: Option<u8>,
     pub(crate) prev_cycle: u64,
     pub(crate) busy: u64,
+    /// Address latch for an indirect scalar load whose memory issue was
+    /// refused (MSHRs exhausted, DRAM bank busy). Evaluating the address
+    /// expression consumes its FIFO operand, so the computed address must
+    /// be held here across retry cycles — re-evaluating on the retry
+    /// would dequeue from a now-empty FIFO and wedge the machine.
+    pub(crate) latched_load: Option<i64>,
 }
 
 impl Unit {
@@ -300,6 +306,7 @@ impl Unit {
             prev_dst: None,
             prev_cycle: 0,
             busy: 0,
+            latched_load: None,
         }
     }
 }
@@ -339,10 +346,29 @@ pub(crate) enum StreamTarget {
     Veu(u8),
 }
 
+/// Addressing mode of a stream control unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScuKind {
+    /// `base + k*stride`: the classic affine stream.
+    Affine,
+    /// Index-fed load stream: the SCU fetches an affine index stream
+    /// itself and issues `base + (idx << shift)` data reads.
+    Gather,
+    /// Index-fed store stream: the scatter dual, writing the unit's
+    /// output FIFO to `base + (idx << shift)`.
+    Scatter,
+}
+
+/// Entries of an indirect SCU's internal index ring (fetched indices
+/// waiting to become data requests). Four is enough to cover the index
+/// stream's buffer-hit latency without letting one SCU hoard ports.
+pub(crate) const IDX_RING: usize = 4;
+
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Scu {
     pub(crate) active: bool,
     dir_in: bool,
+    kind: ScuKind,
     fifo: DataFifo,
     target: StreamTarget,
     addr: i64,
@@ -357,6 +383,63 @@ pub(crate) struct Scu {
     /// precede it in program order), but not for younger ones (a
     /// read-modify-write loop configures its in-stream first).
     seq: u64,
+    /// Log2 byte scale applied to index values (indirect kinds).
+    shift: u8,
+    /// Index-stream cursor (indirect kinds).
+    iaddr: i64,
+    istride: i64,
+    iwidth: Width,
+    /// Scatter only: conservative byte extent of the scattered region
+    /// `[addr, addr+span)`, used for memory-ordering checks (the exact
+    /// write set is data-dependent).
+    span: i64,
+    /// Fetched indices waiting to issue as data requests, in fetch
+    /// order. An entry is `(value, false)`, or `(index address, true)`
+    /// when the index fetch itself faulted (gather defers that fault
+    /// into the data entry's poison; scatter faults eagerly instead).
+    idx_ring: [(i64, bool); IDX_RING],
+    ring_head: u8,
+    ring_len: u8,
+    /// Index fetches in flight toward the ring.
+    idx_pending: u8,
+    /// Index fetches left to issue (mirrors `remaining`).
+    idx_remaining: Option<i64>,
+    /// An `Sstop` that discarded speculatively fetched elements holds
+    /// the slot busy until this cycle (squash recovery; see
+    /// [`crate::config::WmConfig::squash_penalty`]).
+    pub(crate) squash_until: u64,
+}
+
+impl Scu {
+    /// The reset state of an SCU slot — also the template every
+    /// configuration starts from, via functional update.
+    fn inert() -> Scu {
+        Scu {
+            active: false,
+            dir_in: true,
+            kind: ScuKind::Affine,
+            fifo: DataFifo::new(RegClass::Int, 0),
+            target: StreamTarget::Fifo(DataFifo::new(RegClass::Int, 0)),
+            addr: 0,
+            stride: 0,
+            remaining: None,
+            width: Width::W4,
+            gen: 0,
+            ready_at: 0,
+            seq: 0,
+            shift: 0,
+            iaddr: 0,
+            istride: 0,
+            iwidth: Width::W4,
+            span: 0,
+            idx_ring: [(0, false); IDX_RING],
+            ring_head: 0,
+            ring_len: 0,
+            idx_pending: 0,
+            idx_remaining: None,
+            squash_until: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -369,6 +452,19 @@ pub(crate) enum MemOp {
         /// A deferred stream fault travelling through the memory system:
         /// the delivered FIFO entry is poisoned instead of carrying data.
         poison: Option<Box<Poison>>,
+    },
+    /// An indirect SCU's index fetch, delivered into the SCU's internal
+    /// index ring rather than an architectural FIFO. Matched back to its
+    /// issuer by `(scu, seq)`; a stale response (the stream was stopped
+    /// or the slot reconfigured) is dropped.
+    ReadIndex {
+        scu: usize,
+        seq: u64,
+        addr: i64,
+        width: Width,
+        /// The index fetch itself faulted: deliver a poison marker
+        /// (carrying `addr`) instead of a value.
+        poison: bool,
     },
     Write {
         addr: i64,
@@ -525,22 +621,7 @@ impl<'m> WmMachine<'m> {
             ieu,
             feu: Unit::new(RegClass::Flt),
             veu: Veu::new(config.veu_length),
-            scus: vec![
-                Scu {
-                    active: false,
-                    dir_in: true,
-                    fifo: DataFifo::new(RegClass::Int, 0),
-                    target: StreamTarget::Fifo(DataFifo::new(RegClass::Int, 0)),
-                    addr: 0,
-                    stride: 0,
-                    remaining: None,
-                    width: Width::W4,
-                    gen: 0,
-                    ready_at: 0,
-                    seq: 0,
-                };
-                config.num_scus
-            ],
+            scus: vec![Scu::inert(); config.num_scus],
             store_q: VecDeque::new(),
             in_flight: VecDeque::new(),
             writes_in_flight: 0,
@@ -784,9 +865,16 @@ impl<'m> WmMachine<'m> {
                     index: i,
                     active: s.active,
                     dir_in: s.dir_in,
-                    target: match s.target {
-                        StreamTarget::Fifo(f) => f.to_string(),
-                        StreamTarget::Veu(p) => format!("VEU port {p}"),
+                    target: {
+                        let t = match s.target {
+                            StreamTarget::Fifo(f) => f.to_string(),
+                            StreamTarget::Veu(p) => format!("VEU port {p}"),
+                        };
+                        match s.kind {
+                            ScuKind::Affine => t,
+                            ScuKind::Gather => format!("{t} (gather)"),
+                            ScuKind::Scatter => format!("{t} (scatter)"),
+                        }
                     },
                     addr: s.addr,
                     remaining: s.remaining,
@@ -1091,6 +1179,33 @@ impl<'m> WmMachine<'m> {
                         }
                     }
                 }
+                MemOp::ReadIndex {
+                    scu,
+                    seq,
+                    addr,
+                    width,
+                    poison,
+                } => {
+                    // Matched to the issuing configuration: the stream may
+                    // have been stopped (squash) or the slot reused since
+                    // the fetch was issued — stale indices are dropped.
+                    if self.scus[scu].active && self.scus[scu].seq == seq {
+                        let entry = if poison {
+                            (addr, true)
+                        } else {
+                            let v = self
+                                .mem
+                                .read_int(addr, width)
+                                .map_err(|e| self.access_fault(FaultUnit::Scu(scu), None, &e))?;
+                            (v, false)
+                        };
+                        let s = &mut self.scus[scu];
+                        s.idx_pending = s.idx_pending.saturating_sub(1);
+                        let pos = (s.ring_head as usize + s.ring_len as usize) % IDX_RING;
+                        s.idx_ring[pos] = entry;
+                        s.ring_len += 1;
+                    }
+                }
                 MemOp::Write { addr, width, val } => {
                     let res = match val {
                         Val::F(v) if width == Width::D8 => self.mem.write_flt(addr, v),
@@ -1164,7 +1279,7 @@ impl<'m> WmMachine<'m> {
                 MemOp::Write {
                     addr: a, width: w, ..
                 } => overlap(*a, *w),
-                MemOp::ReadFifo { .. } => false,
+                MemOp::ReadFifo { .. } | MemOp::ReadIndex { .. } => false,
             })
     }
 
@@ -1175,6 +1290,11 @@ impl<'m> WmMachine<'m> {
         self.scus.iter().any(|s| {
             if !s.active || s.dir_in || s.seq >= seq {
                 return false;
+            }
+            // A scatter's write set is data-dependent; its declared span
+            // is the conservative unwritten range.
+            if s.kind == ScuKind::Scatter {
+                return s.addr < end && addr < s.addr + s.span;
             }
             match s.remaining {
                 Some(n) => {
@@ -1202,6 +1322,9 @@ impl<'m> WmMachine<'m> {
         self.scus.iter().any(|s| {
             if !s.active || s.dir_in {
                 return false;
+            }
+            if s.kind == ScuKind::Scatter {
+                return s.addr < end && addr < s.addr + s.span;
             }
             match s.remaining {
                 Some(n) => {
@@ -1372,32 +1495,55 @@ impl<'m> WmMachine<'m> {
                         return Ok(Exec::Stall(Stall::FifoFull));
                     }
                 }
-                let a = self.eval_expr_pure(class, addr);
-                match a {
-                    Some(a)
-                        if self.conflicts_with_pending_writes(a, *width)
-                            || self.conflicts_with_out_streams(a, *width) =>
+                let a = if let Some(a) = self.unit(class).latched_load {
+                    // Retry of a refused indirect load: the index was
+                    // dequeued when the address was first computed. Only
+                    // the ordering check re-runs (the other unit may have
+                    // queued a conflicting store while we were latched).
+                    if self.conflicts_with_pending_writes(a, *width)
+                        || self.conflicts_with_out_streams(a, *width)
                     {
-                        // wait for the conflicting store
                         return Ok(Exec::Stall(Stall::MemOrder));
                     }
-                    None if !self.store_q.is_empty() || self.writes_in_flight > 0 => {
-                        // unanalyzable address: drain stores first
-                        return Ok(Exec::Stall(Stall::MemOrder));
+                    a
+                } else {
+                    match self.eval_expr_pure(class, addr) {
+                        Some(a)
+                            if self.conflicts_with_pending_writes(a, *width)
+                                || self.conflicts_with_out_streams(a, *width) =>
+                        {
+                            // wait for the conflicting store
+                            return Ok(Exec::Stall(Stall::MemOrder));
+                        }
+                        None if !self.store_q.is_empty() || self.writes_in_flight > 0 => {
+                            // unanalyzable address: drain stores first
+                            return Ok(Exec::Stall(Stall::MemOrder));
+                        }
+                        _ => {}
                     }
-                    _ => {}
-                }
-                let a = self.eval_expr(class, addr)?.as_i();
-                // scalar loads fault eagerly, with precise attribution
-                if let Err(e) = self.mem.check(a, width.bytes(), false) {
-                    return Err(self.access_fault(FaultUnit::Ieu, None, &e));
-                }
+                    let a = self.eval_expr(class, addr)?.as_i();
+                    // scalar loads fault eagerly, with precise attribution
+                    if let Err(e) = self.mem.check(a, width.bytes(), false) {
+                        return Err(self.access_fault(FaultUnit::Ieu, None, &e));
+                    }
+                    a
+                };
                 // the memory hierarchy may refuse the reference (MSHRs
                 // exhausted, target DRAM bank busy): retry next cycle
                 let acc = Access::scalar(a, false);
                 if let Err(refusal) = self.memsys.accepts(&acc, self.cycle) {
+                    // If the address expression consumed a FIFO operand,
+                    // hold the computed address in the unit's latch so the
+                    // retry does not re-dequeue. The dequeue is a state
+                    // flip on a stall cycle, so pin progress (fast-forward
+                    // soundness rule).
+                    if addr.regs().any(|r| r.is_fifo()) {
+                        self.unit_mut(class).latched_load = Some(a);
+                        self.last_progress = self.cycle;
+                    }
                     return Ok(Exec::Stall(refusal.stall()));
                 }
+                self.unit_mut(class).latched_load = None;
                 let gen = self.unit(fifo.class).ins[fifo.index as usize].gen;
                 self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
                 self.issue_mem(
@@ -1451,6 +1597,42 @@ impl<'m> WmMachine<'m> {
                     return Ok(Exec::Stall(Stall::ScuBusy));
                 }
             }
+            InstKind::StreamGather {
+                fifo,
+                base,
+                shift,
+                width,
+                ibase,
+                istride,
+                iwidth,
+                count,
+                tested,
+            } => {
+                if !self.configure_indirect(
+                    true, *fifo, *base, *shift, *width, *ibase, *istride, *iwidth, *count, *tested,
+                    0,
+                )? {
+                    return Ok(Exec::Stall(Stall::ScuBusy));
+                }
+            }
+            InstKind::StreamScatter {
+                fifo,
+                base,
+                shift,
+                width,
+                ibase,
+                istride,
+                iwidth,
+                count,
+                span,
+            } => {
+                if !self.configure_indirect(
+                    false, *fifo, *base, *shift, *width, *ibase, *istride, *iwidth, *count, false,
+                    *span,
+                )? {
+                    return Ok(Exec::Stall(Stall::ScuBusy));
+                }
+            }
             InstKind::VStreamIn {
                 port,
                 base,
@@ -1458,7 +1640,7 @@ impl<'m> WmMachine<'m> {
                 stride,
                 vectors,
             } => {
-                let Some(slot) = self.scus.iter().position(|u| !u.active) else {
+                let Some(slot) = self.free_scu_slot() else {
                     return Ok(Exec::Stall(Stall::ScuBusy));
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
@@ -1493,9 +1675,9 @@ impl<'m> WmMachine<'m> {
                     stride: st,
                     remaining: Some(n),
                     width: Width::D8,
-                    gen: 0,
                     ready_at: self.cycle + self.config.scu_setup,
                     seq: self.scu_seq,
+                    ..Scu::inert()
                 };
                 // only the stream carrying a positive `vectors` operand
                 // loads the termination counter (one per vector loop);
@@ -1510,7 +1692,7 @@ impl<'m> WmMachine<'m> {
                 count,
                 stride,
             } => {
-                let Some(slot) = self.scus.iter().position(|u| !u.active) else {
+                let Some(slot) = self.free_scu_slot() else {
                     return Ok(Exec::Stall(Stall::ScuBusy));
                 };
                 let addr = self.read_operand(RegClass::Int, *base)?.as_i();
@@ -1533,9 +1715,9 @@ impl<'m> WmMachine<'m> {
                     stride: st,
                     remaining: Some(n),
                     width: Width::D8,
-                    gen: 0,
                     ready_at: self.cycle + self.config.scu_setup,
                     seq: self.scu_seq,
+                    ..Scu::inert()
                 };
             }
             InstKind::StreamStop { fifo } => {
@@ -1562,9 +1744,22 @@ impl<'m> WmMachine<'m> {
 
     /// Do the FIFO reads of `kind` have data available?
     pub(crate) fn fifo_ready(&self, class: RegClass, kind: &InstKind) -> bool {
-        let need = fifo_need(class, kind);
         let u = self.unit(class);
+        // A latched load already performed its dequeues when the address
+        // was computed; its retry must not wait on the (possibly empty)
+        // FIFO it consumed from.
+        if u.latched_load.is_some() {
+            return true;
+        }
+        let need = fifo_need(class, kind);
         need[0] <= u.ins[0].q.len() && need[1] <= u.ins[1].q.len()
+    }
+
+    /// First SCU slot that is both inactive and past any squash recovery.
+    fn free_scu_slot(&self) -> Option<usize> {
+        self.scus
+            .iter()
+            .position(|s| !s.active && self.cycle >= s.squash_until)
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the stream-instruction fields
@@ -1578,7 +1773,7 @@ impl<'m> WmMachine<'m> {
         width: Width,
         tested: bool,
     ) -> Result<bool, SimError> {
-        let Some(slot) = self.scus.iter().position(|s| !s.active) else {
+        let Some(slot) = self.free_scu_slot() else {
             return Ok(false);
         };
         let addr = self.read_operand(RegClass::Int, base)?.as_i();
@@ -1633,6 +1828,7 @@ impl<'m> WmMachine<'m> {
             gen,
             ready_at: self.cycle + self.config.scu_setup,
             seq: self.scu_seq,
+            ..Scu::inert()
         };
         // Register the dispatch counter for jNI jumps — but only for the
         // stream the compiler marked as tested. Registering any other
@@ -1646,22 +1842,126 @@ impl<'m> WmMachine<'m> {
         Ok(true)
     }
 
+    /// Configure an index-fed stream (gather in, scatter out): the SCU
+    /// fetches its own affine index stream `[ibase, ibase+istride, ..)`
+    /// and issues `base + (idx << shift)` data references. Returns
+    /// `Ok(false)` when no SCU slot (or the target FIFO) is free.
+    #[allow(clippy::too_many_arguments)] // mirrors the stream-instruction fields
+    fn configure_indirect(
+        &mut self,
+        dir_in: bool,
+        fifo: DataFifo,
+        base: Operand,
+        shift: u8,
+        width: Width,
+        ibase: Operand,
+        istride: Operand,
+        iwidth: Width,
+        count: Operand,
+        tested: bool,
+        span: i64,
+    ) -> Result<bool, SimError> {
+        let Some(slot) = self.free_scu_slot() else {
+            return Ok(false);
+        };
+        let addr = self.read_operand(RegClass::Int, base)?.as_i();
+        let iaddr = self.read_operand(RegClass::Int, ibase)?.as_i();
+        let istride = self.read_operand(RegClass::Int, istride)?.as_i();
+        let n = self.read_operand(RegClass::Int, count)?.as_i();
+        if n <= 0 {
+            return Err(self.fault(
+                FaultUnit::Ieu,
+                FaultKind::BadStreamCount(n),
+                None,
+                Some(fifo),
+                format!("indirect stream configured with count {n}"),
+            ));
+        }
+        let gen = if dir_in {
+            if self.unit(fifo.class).ins[fifo.index as usize].streamed {
+                return Ok(false);
+            }
+            let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+            f.streamed = true;
+            f.gen
+        } else {
+            if self
+                .scus
+                .iter()
+                .any(|u| u.active && !u.dir_in && u.target == StreamTarget::Fifo(fifo))
+            {
+                return Ok(false);
+            }
+            0
+        };
+        self.scu_seq += 1;
+        self.scus[slot] = Scu {
+            active: true,
+            dir_in,
+            kind: if dir_in {
+                ScuKind::Gather
+            } else {
+                ScuKind::Scatter
+            },
+            fifo,
+            target: StreamTarget::Fifo(fifo),
+            addr,
+            remaining: Some(n),
+            width,
+            gen,
+            ready_at: self.cycle + self.config.scu_setup,
+            seq: self.scu_seq,
+            shift,
+            iaddr,
+            istride,
+            iwidth,
+            span,
+            idx_remaining: Some(n),
+            ..Scu::inert()
+        };
+        if dir_in && tested {
+            self.dispatch.insert(fifo, n);
+        }
+        Ok(true)
+    }
+
+    /// Stop every stream on `fifo`, discarding data fetched ahead of the
+    /// consumer. For a speculative stream this is the squash: the
+    /// discarded elements (queued, in flight, and an indirect SCU's
+    /// buffered/pending indices) are counted per SCU, and a nonzero
+    /// [`WmConfig::squash_penalty`](crate::config::WmConfig) holds the
+    /// slot in recovery for that many cycles.
     fn stop_stream(&mut self, fifo: DataFifo) {
-        let mut flush_in = false;
-        for scu in self.scus.iter_mut() {
+        let penalty = self.config.squash_penalty;
+        let cycle = self.cycle;
+        let mut flush_in: Option<usize> = None;
+        for (k, scu) in self.scus.iter_mut().enumerate() {
             if scu.active && scu.fifo == fifo {
                 scu.active = false;
+                let leftover = scu.ring_len as u64 + scu.idx_pending as u64;
+                scu.ring_len = 0;
+                scu.ring_head = 0;
+                scu.idx_pending = 0;
+                self.perf.scus[k].squashed += leftover;
+                if penalty > 0 && leftover > 0 {
+                    scu.squash_until = cycle + penalty;
+                }
                 if scu.dir_in {
-                    flush_in = true;
+                    flush_in = Some(k);
                 }
             }
         }
-        if flush_in {
+        if let Some(k) = flush_in {
             let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+            let leftover = (f.q.len() + f.pending) as u64;
             f.q.clear();
             f.pending = 0;
             f.gen = f.gen.wrapping_add(1);
             f.streamed = false;
+            self.perf.scus[k].squashed += leftover;
+            if penalty > 0 && leftover > 0 {
+                self.scus[k].squash_until = cycle + penalty;
+            }
         }
         self.dispatch.remove(&fifo);
     }
@@ -1724,6 +2024,11 @@ impl<'m> WmMachine<'m> {
         // An inactive SCU is idle whether or not a port is free, so the
         // common case skips the arbitration checks (and the state copy).
         if !self.scus[i].active {
+            // ... unless it is recovering from a speculative-stream
+            // squash, which holds the slot busy.
+            if self.cycle < self.scus[i].squash_until {
+                return Ok(Outcome::Stall(Stall::SpecSquash));
+            }
             return Ok(Outcome::Idle);
         }
         let scu = self.scus[i];
@@ -1743,6 +2048,11 @@ impl<'m> WmMachine<'m> {
         }
         if self.cycle < scu.ready_at {
             return Ok(Outcome::Stall(Stall::Setup));
+        }
+        match scu.kind {
+            ScuKind::Affine => {}
+            ScuKind::Gather => return self.gather_step(i, &scu),
+            ScuKind::Scatter => return self.scatter_step(i, &scu),
         }
         if scu.dir_in {
             if scu.remaining == Some(0) {
@@ -1838,7 +2148,12 @@ impl<'m> WmMachine<'m> {
             Ok(Outcome::Active)
         } else {
             if scu.remaining == Some(0) {
+                // Deactivation can flip a younger stream's ordering check
+                // (`older_out_stream_overlaps`) next cycle, so this cycle
+                // must not be fast-forwarded over even though nothing
+                // retires.
                 self.scus[i].active = false;
+                self.last_progress = self.cycle;
                 return Ok(Outcome::Idle);
             }
             let popped = match scu.target {
@@ -1879,6 +2194,236 @@ impl<'m> WmMachine<'m> {
             }
             Ok(Outcome::Active)
         }
+    }
+
+    /// One cycle of an index-fed gather SCU. The data side has priority:
+    /// a buffered index becomes one `base + (idx << shift)` read into the
+    /// target FIFO (a poisoned index, or a data address that fails the
+    /// permission check, becomes a poisoned entry — FIFO order is
+    /// preserved either way). Otherwise the SCU fetches the next index
+    /// along its affine index stream into the internal ring; with fetches
+    /// outstanding but nothing buffered it reports `IndexFifoEmpty`.
+    fn gather_step(&mut self, i: usize, scu: &Scu) -> Result<Outcome, SimError> {
+        if scu.remaining == Some(0) {
+            // normally unreachable (the last data issue deactivates
+            // eagerly); kept as a belt, and marked as progress so the
+            // state flip is never fast-forwarded over
+            self.scus[i].active = false;
+            if let StreamTarget::Fifo(fifo) = scu.target {
+                self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
+            }
+            self.last_progress = self.cycle;
+            return Ok(Outcome::Idle);
+        }
+        let StreamTarget::Fifo(fifo) = scu.target else {
+            unreachable!("gather streams always target a scalar FIFO");
+        };
+        let mut data_stall: Option<Stall> = None;
+        if scu.ring_len > 0 {
+            let f = &self.unit(fifo.class).ins[fifo.index as usize];
+            if f.q.len() + f.pending >= self.config.fifo_capacity {
+                data_stall = Some(Stall::FifoFull);
+            } else {
+                let (iv, idx_poisoned) = scu.idx_ring[scu.ring_head as usize];
+                let daddr = scu.addr.wrapping_add(iv.wrapping_shl(scu.shift as u32));
+                if !idx_poisoned
+                    && (self.conflicts_with_pending_writes(daddr, scu.width)
+                        || self.older_out_stream_overlaps(scu.seq, daddr, scu.width))
+                {
+                    data_stall = Some(Stall::MemOrder); // hold until the store lands
+                } else {
+                    let poison = if idx_poisoned {
+                        // the index fetch itself faulted; the data entry
+                        // inherits the deferred fault (there is no valid
+                        // address to gather)
+                        Some(Box::new(Poison {
+                            addr: iv,
+                            scu: i,
+                            error: format!("gather index fetch at {iv:#x} faulted"),
+                        }))
+                    } else {
+                        match self.mem.check(daddr, scu.width.bytes(), false) {
+                            Ok(()) => None,
+                            Err(e) => Some(Box::new(Poison {
+                                addr: daddr,
+                                scu: i,
+                                error: e.to_string(),
+                            })),
+                        }
+                    };
+                    if poison.is_some() {
+                        self.perf.scus[i].poisoned += 1;
+                    }
+                    self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
+                    self.issue_mem(
+                        MemOp::ReadFifo {
+                            target: scu.target,
+                            addr: daddr,
+                            width: scu.width,
+                            gen: scu.gen,
+                            poison,
+                        },
+                        // data-dependent addresses defeat the stream
+                        // buffers' stride prediction: gathers go straight
+                        // to the backing store (and must not flush this
+                        // SCU's own index-stream buffer)
+                        &Access::gather(daddr, i),
+                    );
+                    self.stats.stream_reads += 1;
+                    self.perf.scus[i].elements_in += 1;
+                    self.perf.scus[i].unit.retired += 1;
+                    let s = &mut self.scus[i];
+                    s.ring_head = (s.ring_head + 1) % IDX_RING as u8;
+                    s.ring_len -= 1;
+                    if let Some(r) = s.remaining.as_mut() {
+                        *r -= 1;
+                        if *r == 0 {
+                            s.active = false;
+                            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
+                        }
+                    }
+                    return Ok(Outcome::Active);
+                }
+            }
+        }
+        // Index side: keep the ring primed while the data side is blocked
+        // or has nothing buffered.
+        if scu.idx_remaining != Some(0) && scu.ring_len + scu.idx_pending < IDX_RING as u8 {
+            if self.conflicts_with_pending_writes(scu.iaddr, scu.iwidth)
+                || self.older_out_stream_overlaps(scu.seq, scu.iaddr, scu.iwidth)
+            {
+                return Ok(Outcome::Stall(data_stall.unwrap_or(Stall::MemOrder)));
+            }
+            // an unmapped index address delivers a poison marker instead
+            // of a value (deferred like any other gather fault)
+            let poison = self
+                .mem
+                .check(scu.iaddr, scu.iwidth.bytes(), false)
+                .is_err();
+            self.issue_mem(
+                MemOp::ReadIndex {
+                    scu: i,
+                    seq: scu.seq,
+                    addr: scu.iaddr,
+                    width: scu.iwidth,
+                    poison,
+                },
+                // the index stream is affine: it prefetches through its
+                // stream buffer like any in-stream
+                &Access::stream(scu.iaddr, false, i, scu.istride),
+            );
+            self.stats.stream_reads += 1;
+            self.perf.scus[i].index_fetches += 1;
+            self.perf.scus[i].unit.retired += 1;
+            let s = &mut self.scus[i];
+            s.idx_pending += 1;
+            s.iaddr += s.istride;
+            if let Some(r) = s.idx_remaining.as_mut() {
+                *r -= 1;
+            }
+            return Ok(Outcome::Active);
+        }
+        if let Some(s) = data_stall {
+            return Ok(Outcome::Stall(s));
+        }
+        Ok(Outcome::Stall(Stall::IndexFifoEmpty))
+    }
+
+    /// One cycle of an index-fed scatter SCU: pop one value from the
+    /// unit's output FIFO and one buffered index, and write
+    /// `base + (idx << shift)`. Scatter stores are architectural, so
+    /// every fault (index fetch or data write) is raised eagerly; a
+    /// scatter is never speculative.
+    fn scatter_step(&mut self, i: usize, scu: &Scu) -> Result<Outcome, SimError> {
+        if scu.remaining == Some(0) {
+            // normally unreachable (the last store deactivates eagerly);
+            // kept as a belt, and marked as progress so the state flip
+            // is never fast-forwarded over
+            self.scus[i].active = false;
+            self.last_progress = self.cycle;
+            return Ok(Outcome::Idle);
+        }
+        let StreamTarget::Fifo(fifo) = scu.target else {
+            unreachable!("scatter streams always drain a scalar FIFO");
+        };
+        let mut data_stall: Option<Stall> = None;
+        if scu.ring_len > 0 {
+            if self.unit(fifo.class).out.is_empty() {
+                // the producing unit has not filled the output FIFO yet
+                data_stall = Some(Stall::FifoEmpty);
+            } else {
+                let (iv, _) = scu.idx_ring[scu.ring_head as usize];
+                let daddr = scu.addr.wrapping_add(iv.wrapping_shl(scu.shift as u32));
+                if let Err(e) = self.mem.check(daddr, scu.width.bytes(), true) {
+                    return Err(self.access_fault(FaultUnit::Scu(i), Some(fifo), &e));
+                }
+                let val = self
+                    .unit_mut(fifo.class)
+                    .out
+                    .pop_front()
+                    .expect("checked non-empty");
+                self.issue_mem(
+                    MemOp::Write {
+                        addr: daddr,
+                        width: scu.width,
+                        val,
+                    },
+                    &Access::stream(daddr, true, i, 0),
+                );
+                self.stats.stream_writes += 1;
+                self.stats.mem_writes += 1;
+                self.perf.scus[i].elements_out += 1;
+                self.perf.scus[i].unit.retired += 1;
+                let s = &mut self.scus[i];
+                s.ring_head = (s.ring_head + 1) % IDX_RING as u8;
+                s.ring_len -= 1;
+                if let Some(r) = s.remaining.as_mut() {
+                    *r -= 1;
+                    if *r == 0 {
+                        // the last store is out: the declared span no
+                        // longer blocks younger streams (the in-flight
+                        // writes still order through the pending-write
+                        // set until they land)
+                        s.active = false;
+                    }
+                }
+                return Ok(Outcome::Active);
+            }
+        }
+        if scu.idx_remaining != Some(0) && scu.ring_len + scu.idx_pending < IDX_RING as u8 {
+            if self.conflicts_with_pending_writes(scu.iaddr, scu.iwidth)
+                || self.older_out_stream_overlaps(scu.seq, scu.iaddr, scu.iwidth)
+            {
+                return Ok(Outcome::Stall(data_stall.unwrap_or(Stall::MemOrder)));
+            }
+            if let Err(e) = self.mem.check(scu.iaddr, scu.iwidth.bytes(), false) {
+                return Err(self.access_fault(FaultUnit::Scu(i), Some(fifo), &e));
+            }
+            self.issue_mem(
+                MemOp::ReadIndex {
+                    scu: i,
+                    seq: scu.seq,
+                    addr: scu.iaddr,
+                    width: scu.iwidth,
+                    poison: false,
+                },
+                &Access::stream(scu.iaddr, false, i, scu.istride),
+            );
+            self.stats.stream_reads += 1;
+            self.perf.scus[i].index_fetches += 1;
+            self.perf.scus[i].unit.retired += 1;
+            let s = &mut self.scus[i];
+            s.idx_pending += 1;
+            s.iaddr += s.istride;
+            if let Some(r) = s.idx_remaining.as_mut() {
+                *r -= 1;
+            }
+            return Ok(Outcome::Active);
+        }
+        if let Some(s) = data_stall {
+            return Ok(Outcome::Stall(s));
+        }
+        Ok(Outcome::Stall(Stall::IndexFifoEmpty))
     }
 
     // ---- vector execution unit ----
@@ -2542,6 +3087,8 @@ pub(crate) fn dispatch_class(kind: &InstKind) -> RegClass {
         | InstKind::WStore { .. }
         | InstKind::StreamIn { .. }
         | InstKind::StreamOut { .. }
+        | InstKind::StreamGather { .. }
+        | InstKind::StreamScatter { .. }
         | InstKind::VStreamIn { .. }
         | InstKind::VStreamOut { .. }
         | InstKind::StreamStop { .. } => RegClass::Int,

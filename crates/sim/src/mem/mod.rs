@@ -374,6 +374,11 @@ pub(crate) struct Access {
     /// `Some((scu, stride))` for SCU stream requests, which take the
     /// stream-buffer bypass path; `None` for scalar references.
     pub stream: Option<(usize, i64)>,
+    /// An index-fed gather data read: the address sequence has no stride,
+    /// so it must not go through a stream buffer (a strideless request
+    /// would flush the buffer the same SCU's *index* stream prefetches
+    /// into). Gathers go straight to the backing store.
+    pub gather: bool,
 }
 
 impl Access {
@@ -383,6 +388,7 @@ impl Access {
             addr,
             write,
             stream: None,
+            gather: false,
         }
     }
 
@@ -392,6 +398,18 @@ impl Access {
             addr,
             write,
             stream: Some((scu, stride)),
+            gather: false,
+        }
+    }
+
+    /// A gather data read from SCU `scu`: stream-class for acceptance
+    /// (never refused), but serviced by the backing store directly.
+    pub fn gather(addr: i64, scu: usize) -> Access {
+        Access {
+            addr,
+            write: false,
+            stream: Some((scu, 0)),
+            gather: true,
         }
     }
 }
@@ -527,6 +545,17 @@ impl MemSystem {
                 if h.l1.invalidate(line) {
                     st.invalidations += 1;
                 }
+                return Issued {
+                    latency: bk.fetch(line, now, st),
+                    dram: true,
+                    mshr: false,
+                };
+            }
+            if acc.gather {
+                // Index-fed gather: no stride to prefetch along, so the
+                // read is a demand fetch from the backing store (bank
+                // pressure and row locality apply; the L1 and the stream
+                // buffers are not consulted).
                 return Issued {
                     latency: bk.fetch(line, now, st),
                     dram: true,
@@ -757,6 +786,25 @@ mod tests {
         let next = sys.access(&Access::stream(0x1020, false, 0, 4), 41, Some(&mut st));
         assert!(next.latency < 20, "prefetched line cost {}", next.latency);
         assert!(st.sb_hits >= 2);
+    }
+
+    #[test]
+    fn gather_reads_bypass_stream_buffers() {
+        let model = MemModel::parse("cache:miss=20,depth=4,transfer=2").unwrap();
+        let mut sys = MemSystem::new(&model, 6);
+        let mut st = MemStats::new(sys.sb_capacity());
+        let g = sys.access(&Access::gather(0x1000, 0), 0, Some(&mut st));
+        assert_eq!(g.latency, 20, "gather pays the demand-fetch cost");
+        assert!(g.dram && !g.mshr);
+        assert_eq!(sys.occupancy(), 0, "no prefetch launched for a gather");
+        // The same SCU's *index* stream keeps its buffer intact across
+        // interleaved gathers (the point of the bypass).
+        sys.access(&Access::stream(0x4000, false, 0, 4), 1, Some(&mut st));
+        let occ = sys.occupancy();
+        assert!(occ > 0, "index stream prefetches ahead");
+        sys.access(&Access::gather(0x9000, 0), 2, Some(&mut st));
+        assert_eq!(sys.occupancy(), occ, "gather left the index buffer alone");
+        assert!(sys.accepts(&Access::gather(0x9000, 0), 3).is_ok());
     }
 
     #[test]

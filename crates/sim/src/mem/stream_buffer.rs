@@ -8,6 +8,20 @@
 //! buffered lines whose fills are already in flight or complete, so a
 //! stream's steady-state cost approaches the buffer lookup latency while
 //! scalar code pays the full miss latency on every cold line.
+//!
+//! Indirect (gather/scatter) streams interact with the buffers in two
+//! ways. The *index* stream is affine — the SCU walks `ibase + k*istride`
+//! — so it maps onto a buffer like any other stream and its prefetches
+//! run ahead normally. The *data* side is not: gather addresses
+//! `base + (idx << shift)` follow the index values, so stride-directed
+//! prefetch cannot anticipate them. Gather data requests therefore take
+//! the stream bypass path (they never allocate into the L1, and stream
+//! writes still invalidate matching L1 lines for coherence) but pay the
+//! backing store's latency per access; on `banked` memory their cost is
+//! whatever row locality the index pattern happens to have. This split —
+//! cheap, ahead-of-use index fetches feeding latency-exposed data
+//! fetches the SCU still issues ahead of consumption — is what the
+//! memsweep latency sweep measures on `sparse-matvec`.
 
 use std::collections::VecDeque;
 

@@ -64,11 +64,19 @@ pub enum Stall {
     /// The miss's DRAM bank is busy with a previous access (`banked`
     /// model only).
     BankBusy,
+    /// Gather/scatter SCU: the internal index FIFO is empty — every
+    /// buffered index has been consumed and the outstanding index fetches
+    /// have not returned yet.
+    IndexFifoEmpty,
+    /// SCU: recovering from a speculative-stream squash (a stream was
+    /// stopped with fetched-ahead elements still undelivered, and
+    /// `squash_penalty` cycles are charged before the slot frees).
+    SpecSquash,
 }
 
 impl Stall {
     /// Every stall reason, in rendering order.
-    pub const ALL: [Stall; 17] = [
+    pub const ALL: [Stall; 19] = [
         Stall::FifoEmpty,
         Stall::FifoFull,
         Stall::OutFull,
@@ -86,6 +94,8 @@ impl Stall {
         Stall::Disabled,
         Stall::MshrFull,
         Stall::BankBusy,
+        Stall::IndexFifoEmpty,
+        Stall::SpecSquash,
     ];
 
     /// Stable machine-readable name (used by the JSON rendering).
@@ -108,6 +118,8 @@ impl Stall {
             Stall::Disabled => "disabled",
             Stall::MshrFull => "mshr-full",
             Stall::BankBusy => "bank-busy",
+            Stall::IndexFifoEmpty => "index-fifo-empty",
+            Stall::SpecSquash => "spec-squash",
         }
     }
 }
@@ -186,6 +198,13 @@ pub struct ScuCounters {
     /// Poisoned FIFO entries delivered (over-fetch past a permission
     /// boundary under deferred-speculation semantics).
     pub poisoned: u64,
+    /// Index elements fetched by a gather/scatter stream (the internal
+    /// index FIFO's traffic; the dependent data accesses are counted in
+    /// `elements_in`/`elements_out`).
+    pub index_fetches: u64,
+    /// Fetched-ahead elements discarded when a speculative stream was
+    /// squashed (stopped with queued or in-flight data undelivered).
+    pub squashed: u64,
 }
 
 /// Occupancy histogram of one FIFO: `depth[d]` is the number of cycles the
@@ -382,8 +401,9 @@ impl Stats {
             out.push_str("    {\"unit\": ");
             push_unit_json(&mut out, &s.unit, "    ");
             out.push_str(&format!(
-                ", \"elements_in\": {}, \"elements_out\": {}, \"poisoned\": {}}}",
-                s.elements_in, s.elements_out, s.poisoned
+                ", \"elements_in\": {}, \"elements_out\": {}, \"poisoned\": {}, \
+                 \"index_fetches\": {}, \"squashed\": {}}}",
+                s.elements_in, s.elements_out, s.poisoned, s.index_fetches, s.squashed
             ));
             out.push_str(if i + 1 < self.scus.len() { ",\n" } else { "\n" });
         }
@@ -493,20 +513,26 @@ impl fmt::Display for Stats {
                 fmt_stalls(&s.unit)
             )?;
         }
-        let streaming: Vec<&ScuCounters> = self
-            .scus
-            .iter()
-            .filter(|s| s.elements_in + s.elements_out + s.poisoned > 0)
-            .collect();
+        let busy = |s: &ScuCounters| {
+            s.elements_in + s.elements_out + s.poisoned + s.index_fetches + s.squashed > 0
+        };
+        let streaming: Vec<&ScuCounters> = self.scus.iter().filter(|s| busy(s)).collect();
         if !streaming.is_empty() {
             writeln!(f, "streams:")?;
             for (i, s) in self.scus.iter().enumerate() {
-                if s.elements_in + s.elements_out + s.poisoned > 0 {
-                    writeln!(
+                if busy(s) {
+                    write!(
                         f,
                         "  SCU{i}: {} elements in, {} out, {} poisoned",
                         s.elements_in, s.elements_out, s.poisoned
                     )?;
+                    if s.index_fetches > 0 {
+                        write!(f, ", {} index fetches", s.index_fetches)?;
+                    }
+                    if s.squashed > 0 {
+                        write!(f, ", {} squashed", s.squashed)?;
+                    }
+                    writeln!(f)?;
                 }
             }
         }

@@ -712,6 +712,25 @@ fn map_inst_regs(kind: &mut InstKind, map: &impl Fn(Reg) -> Reg) {
             }
             map_op(stride);
         }
+        InstKind::StreamGather {
+            base,
+            ibase,
+            istride,
+            count,
+            ..
+        }
+        | InstKind::StreamScatter {
+            base,
+            ibase,
+            istride,
+            count,
+            ..
+        } => {
+            map_op(base);
+            map_op(ibase);
+            map_op(istride);
+            map_op(count);
+        }
         InstKind::VStreamIn {
             base,
             count,

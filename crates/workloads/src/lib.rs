@@ -173,12 +173,46 @@ pub fn utilities() -> Vec<Workload> {
     vec![text_kernels(), od_kernel(), compact_kernel()]
 }
 
+/// CSR sparse matrix-vector product: the canonical gather kernel
+/// (`s += val[j] * x[col[j]]`), self-verifying against a
+/// pure-arithmetic recomputation of every row.
+pub fn sparse_matvec() -> Workload {
+    Workload {
+        name: "sparse-matvec",
+        source: include_str!("programs/sparse_matvec.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
+/// Counting sort whose final permutation (`out[rank[i]] = data[i]`)
+/// is the scatter dual of the gather; verified by sortedness and a
+/// multiset checksum.
+pub fn histogram() -> Workload {
+    Workload {
+        name: "histogram",
+        source: include_str!("programs/histogram.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
+/// The sparse (indirect-stream) workloads: gather and scatter kernels
+/// whose inner loops the streaming pass fuses into `Sga`/`Ssc`
+/// descriptors. The paper's access/execute split covers these too —
+/// the SCU runs ahead through the index stream while the FEU consumes
+/// gathered values.
+pub fn sparse() -> Vec<Workload> {
+    vec![sparse_matvec(), histogram()]
+}
+
 /// Every workload in the crate.
 pub fn all() -> Vec<Workload> {
     let mut v = table2();
     v.push(livermore5());
     v.push(livermore5_init_only());
     v.extend(utilities());
+    v.extend(sparse());
     v
 }
 

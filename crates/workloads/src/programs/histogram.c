@@ -1,0 +1,52 @@
+/* histogram: counting sort in four passes — histogram, prefix sum,
+ * rank assignment, permutation. The first three passes are
+ * read-modify-write on indirect addresses and stay scalar; the final
+ * permutation `out[rank[i]] = data[i]` is the scatter dual of the
+ * gather: rank[i] streams affinely as the index stream and the SCU
+ * scatters data values through it. Verified by checking out is sorted
+ * and preserves the input multiset checksum; returns 1 on success.
+ */
+
+int data[8192];
+int rank[8192];
+int count[256];
+int start[256];
+int out[8192];
+
+int main() {
+    int i; int n; int b; int s; int t; int prev;
+    int sum_in; int sum_out; int ok;
+
+    n = 8192;
+    b = 256;
+    for (i = 0; i < n; i++) data[i] = (i * 193 + (i * i) % 89) % 256;
+    for (i = 0; i < b; i++) count[i] = 0;
+    for (i = 0; i < n; i++) count[data[i]] = count[data[i]] + 1;
+    s = 0;
+    for (i = 0; i < b; i++) {
+        start[i] = s;
+        s = s + count[i];
+    }
+    for (i = 0; i < n; i++) {
+        t = data[i];
+        rank[i] = start[t];
+        start[t] = start[t] + 1;
+    }
+
+    /* the permutation: the rank index stream feeds the scatter SCU */
+    for (i = 0; i < n; i++) out[rank[i]] = data[i];
+
+    /* verify: out is sorted and the multiset checksum is preserved */
+    ok = 1;
+    prev = 0 - 1;
+    sum_in = 0;
+    sum_out = 0;
+    for (i = 0; i < n; i++) {
+        if (out[i] < prev) ok = 0;
+        prev = out[i];
+        sum_in = sum_in + data[i] * 3 + 1;
+        sum_out = sum_out + out[i] * 3 + 1;
+    }
+    if (sum_in != sum_out) ok = 0;
+    return ok;
+}

@@ -49,6 +49,23 @@ fn arbitrary_program() -> impl Strategy<Value = String> {
         Just("if (s % 3 == 0) s = s + 7;".to_string()),
         // scalar churn
         (1i64..50).prop_map(|k| format!("t = t * 3 + {k}; s = s + t % 100;")),
+        // indirect read a[b[i]]: fuses into a gather stream under
+        // -noalias when the loop is otherwise eligible. Indexing through
+        // u stays in bounds (u[i] = i) until a prior statement mutates
+        // it; through v it goes out of bounds past i = 149 (v[i] = 2i),
+        // so these draws also exercise poisoned gather entries — every
+        // build must agree fault-or-value.
+        (0..2usize, 0..3usize).prop_map(|(idx, arr)| {
+            let b = ["u", "v"][idx];
+            let a = ["u", "v", "w"][arr];
+            format!("s = s + {a}[{b}[i]];")
+        }),
+        // indirect write a[u[i]]: the scatter dual, same in/out-of-bounds
+        // story with eager faults on both the scalar and streamed builds
+        (0..3usize).prop_map(|arr| {
+            let a = ["u", "v", "w"][arr];
+            format!("{a}[u[i]] = s % 50 + i;")
+        }),
     ];
     // 1..5 statements in the loop body; bound up to the exact array size
     (proptest::collection::vec(stmt, 1..5), 296i64..=300).prop_map(|(body, hi)| {
@@ -121,8 +138,8 @@ proptest! {
     #[test]
     fn random_programs_agree_across_opt_levels_and_machines(
         src in arbitrary_program(),
-        engines in proptest::collection::vec(0..Engine::ALL.len(), 5),
-        mems in proptest::collection::vec(0..MEM_SPECS.len(), 5),
+        engines in proptest::collection::vec(0..Engine::ALL.len(), 6),
+        mems in proptest::collection::vec(0..MEM_SPECS.len(), 6),
     ) {
         // The reference runs on the per-cycle stepper over flat memory;
         // each opt level draws its engine (cycle, event or compiled) and
@@ -138,6 +155,10 @@ proptest! {
             OptOptions::all(),
             OptOptions::all().with_speculative_streams(),
             OptOptions::all().with_vectorization(),
+            // sound here — the grammar's arrays are distinct globals —
+            // and required for scatter fusion, so this is the level that
+            // exercises indirect streams hardest
+            OptOptions::all().assume_noalias().with_speculative_streams(),
         ]
         .into_iter()
         .zip(engines)
@@ -173,17 +194,22 @@ proptest! {
     fn random_programs_get_identical_stats_from_all_engines(
         src in arbitrary_program(),
         mem_ix in 0..MEM_SPECS.len(),
+        squash_ix in 0..3usize,
     ) {
-        // Beyond fault-or-value agreement: on the fully optimized build,
-        // all three engines must be bit-identical in every observable —
-        // cycles, results, and the complete per-unit counter set —
-        // under whichever memory model the case draws.
+        // Beyond fault-or-value agreement: on the fully optimized build
+        // (noalias + speculative, so gathers, scatters and squashes all
+        // occur), all three engines must be bit-identical in every
+        // observable — cycles, results, and the complete per-unit
+        // counter set — under whichever memory model and squash-recovery
+        // penalty the case draws.
         let c = Compiler::new()
-            .options(OptOptions::all())
+            .options(OptOptions::all().assume_noalias().with_speculative_streams())
             .compile(&src)
             .expect("compiles");
         let mem = MemModel::parse(MEM_SPECS[mem_ix]).expect("valid spec");
-        let cfg = WmConfig::default().with_mem_model(mem);
+        let cfg = WmConfig::default()
+            .with_mem_model(mem)
+            .with_squash_penalty([0, 3, 17][squash_ix]);
         let cycle = c.run_wm_config("main", &[], &cfg.clone().with_engine(Engine::Cycle));
         for engine in [Engine::Event, Engine::Compiled] {
             let other = c.run_wm_config("main", &[], &cfg.clone().with_engine(engine));

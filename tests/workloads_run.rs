@@ -55,6 +55,41 @@ fn every_workload_is_correct_on_scalar_machines() {
 }
 
 #[test]
+fn sparse_workloads_verify_at_every_opt_level_and_stream_indirectly() {
+    for w in wm_stream::workloads::sparse() {
+        for (level, opts) in opt_levels() {
+            let c = Compiler::new()
+                .options(opts)
+                .compile(w.source)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, level));
+            let r = c
+                .run_wm("main", &[])
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, level));
+            w.check(r.ret_int);
+            // The point of these workloads: at full+noalias the indirect
+            // reference actually fuses (sparse-matvec's CSR gather,
+            // histogram's permutation scatter).
+            if level == "full+noalias" {
+                let indirect: usize = c
+                    .stats
+                    .iter()
+                    .map(|(_, s)| s.streaming.gathers + s.streaming.scatters)
+                    .sum();
+                assert!(indirect >= 1, "{}: no gather/scatter fused", w.name);
+            }
+        }
+        // and on a scalar machine
+        let r = Compiler::new()
+            .target(Target::Scalar)
+            .compile(w.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .run_scalar("main", &[], &MachineModel::m88100())
+            .unwrap_or_else(|e| panic!("{} scalar: {e}", w.name));
+        w.check(r.ret_int);
+    }
+}
+
+#[test]
 fn livermore5_matches_the_rust_reference() {
     let expected = wm_stream::workloads::livermore5_expected();
     let src = wm_stream::workloads::livermore5().source;

@@ -18,6 +18,10 @@
 //! memsweep                         sweep the suite, write MEMSWEEP.json
 //! memsweep --latencies 6,24,64     miss latencies for the cache sweep
 //! memsweep --banks 1,2,8           bank counts for the banked sweep
+//! memsweep --tiles 1,2,4           tile counts for the tiled scaling
+//!                                  sweep: the partitionable kernels,
+//!                                  compiled through the tile-partitioning
+//!                                  pass, across tiles × bank counts
 //! memsweep --out FILE              write results to FILE instead
 //! memsweep --engine NAME           simulation engine: cycle, event
 //!                                  (default) or compiled; cycle counts
@@ -31,7 +35,10 @@
 //! `--check` is the CI gate for the paper's qualitative result: on
 //! kernels the compiler streams well, decoupling must tolerate latency
 //! (speedup non-decreasing in `L`); compute-bound or poorly streamed
-//! programs are reported but not gated.
+//! programs are reported but not gated. When the tiles sweep covers more
+//! than one tile count, `--check` additionally requires the largest
+//! tiled build to beat its 1-tile build outright at the largest swept
+//! bank count on every partitionable kernel.
 
 use wm_stream::sim::Engine;
 use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
@@ -42,6 +49,11 @@ use wm_stream::{Compiler, MemModel, OptOptions, WmConfig, Workload};
 /// `sparse-matvec` is the indirect-stream kernel: its gathers miss by
 /// construction, so it is the sharpest probe of latency tolerance.
 const STREAM_HEAVY: [&str; 3] = ["dot-product", "livermore5", "sparse-matvec"];
+
+/// Kernels the tile-partitioning pass splits across cores (a qualifying
+/// loop nest with affine stores): the tiled scaling sweep and its gate
+/// run on these.
+const PARTITIONABLE: [&str; 2] = ["livermore5", "sparse-matvec"];
 
 /// One measured (workload, model-point) pair.
 struct Point {
@@ -88,6 +100,48 @@ fn run(w: &Workload, opts: &OptOptions, spec: &str, engine: Engine) -> u64 {
     r.cycles
 }
 
+/// One measured (workload, tiles, banks) point of the tiled scaling
+/// sweep: the streaming build compiled through the tile-partitioning
+/// pass and simulated on `tiles` cores.
+struct TilePoint {
+    workload: String,
+    tiles: u64,
+    banks: u64,
+    cycles: u64,
+    /// Cycles of the same workload's 1-tile build at the same bank
+    /// count (the scaling denominator).
+    one_tile_cycles: u64,
+}
+
+impl TilePoint {
+    fn speedup(&self) -> f64 {
+        self.one_tile_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Streaming cycles of `w` partitioned over `tiles` cores on `banks`
+/// DRAM banks. Tiled results are bit-identical for any host thread
+/// count, so the sweep just lets the scheduler pick.
+fn run_tiled(w: &Workload, tiles: u64, banks: u64, engine: Engine) -> u64 {
+    let opts = OptOptions::all()
+        .assume_noalias()
+        .with_tiles(tiles as usize);
+    let spec = format!("banked:banks={banks}");
+    let compiled = Compiler::new()
+        .options(opts)
+        .compile(w.source)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let mut cfg = WmConfig::default()
+        .with_mem_model(MemModel::parse(&spec).unwrap_or_else(|e| panic!("{spec}: {e}")))
+        .with_tiles(tiles as usize);
+    cfg.engine = engine;
+    let r = compiled
+        .run_wm_config("main", &[], &cfg)
+        .unwrap_or_else(|e| panic!("{} [tiles={tiles} {spec}]: {e}", w.name));
+    w.check(r.ret_int);
+    r.cycles
+}
+
 fn measure(w: &Workload, spec: &str, x: u64, engine: Engine) -> Point {
     let scalar = OptOptions::all()
         .without_recurrence()
@@ -121,7 +175,29 @@ fn print_table(title: &str, axis: &str, points: &[Point]) {
     }
 }
 
-fn results_json(latency: &[Point], banks: &[Point]) -> String {
+fn print_tile_table(points: &[TilePoint]) {
+    if points.is_empty() {
+        return;
+    }
+    eprintln!("memsweep: tiled scaling sweep (banked DRAM, partitioned kernels)");
+    eprintln!(
+        "  {:<12} {:>6} {:>6} {:>12} {:>12} {:>9}",
+        "workload", "tiles", "banks", "1-tile", "tiled", "speedup"
+    );
+    for p in points {
+        eprintln!(
+            "  {:<12} {:>6} {:>6} {:>12} {:>12} {:>8.2}x",
+            p.workload,
+            p.tiles,
+            p.banks,
+            p.one_tile_cycles,
+            p.cycles,
+            p.speedup()
+        );
+    }
+}
+
+fn results_json(latency: &[Point], banks: &[Point], tiles: &[TilePoint]) -> String {
     let table = |points: &[Point]| -> String {
         let rows: Vec<String> = points
             .iter()
@@ -140,16 +216,37 @@ fn results_json(latency: &[Point], banks: &[Point]) -> String {
             .collect();
         format!("[\n{}\n  ]", rows.join(",\n"))
     };
+    let tile_rows: Vec<String> = tiles
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workload\": \"{}\", \"tiles\": {}, \"banks\": {}, \
+                 \"cycles\": {}, \"one_tile_cycles\": {}, \"speedup\": {:.4}}}",
+                p.workload,
+                p.tiles,
+                p.banks,
+                p.cycles,
+                p.one_tile_cycles,
+                p.speedup()
+            )
+        })
+        .collect();
+    let tiles_table = if tile_rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", tile_rows.join(",\n"))
+    };
     format!(
         "{{\n  \"schema\": \"wm-bench-memsweep-v1\",\n  \"stream_heavy\": [{}],\n  \
-         \"latency_sweep\": {},\n  \"bandwidth_sweep\": {}\n}}\n",
+         \"latency_sweep\": {},\n  \"bandwidth_sweep\": {},\n  \"tiles_sweep\": {}\n}}\n",
         STREAM_HEAVY
             .iter()
             .map(|n| format!("\"{n}\""))
             .collect::<Vec<_>>()
             .join(", "),
         table(latency),
-        table(banks)
+        table(banks),
+        tiles_table
     )
 }
 
@@ -214,6 +311,44 @@ fn check_banked_wins(banks: &[Point]) -> Vec<String> {
     failures
 }
 
+/// The tiled scaling gate: at the largest swept bank count, the largest
+/// tiled build of every partitionable kernel must beat its 1-tile build
+/// outright — the CI teeth behind "partitioning pays on banked DRAM".
+/// Smaller bank counts are reported but not gated (with one bank the
+/// tiles fight over the same DRAM bank and may lose to the pipelined
+/// single core).
+fn check_tiled_wins(tiles: &[TilePoint]) -> Vec<String> {
+    let Some(max_tiles) = tiles.iter().map(|p| p.tiles).max() else {
+        return Vec::new();
+    };
+    let Some(max_banks) = tiles.iter().map(|p| p.banks).max() else {
+        return Vec::new();
+    };
+    if max_tiles <= 1 {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    for name in PARTITIONABLE {
+        for p in tiles
+            .iter()
+            .filter(|p| p.workload == name && p.tiles == max_tiles && p.banks == max_banks)
+        {
+            if p.speedup() <= 1.0 {
+                failures.push(format!(
+                    "{name}: {} tiles do not beat 1 tile on banked:banks={} \
+                     ({} vs {} cycles, {:.3}x)",
+                    p.tiles,
+                    p.banks,
+                    p.cycles,
+                    p.one_tile_cycles,
+                    p.speedup()
+                ));
+            }
+        }
+    }
+    failures
+}
+
 fn parse_list(s: &str, flag: &str) -> Vec<u64> {
     let v: Vec<u64> = s
         .split(',')
@@ -236,6 +371,7 @@ fn main() {
     let mut out = "MEMSWEEP.json".to_string();
     let mut latencies: Vec<u64> = vec![6, 24, 64];
     let mut bank_counts: Vec<u64> = vec![1, 2, 8];
+    let mut tile_counts: Vec<u64> = vec![1, 2, 4];
     let mut gate = false;
     let mut engine = Engine::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -252,6 +388,13 @@ fn main() {
             "--out" => out = need(&mut i),
             "--latencies" => latencies = parse_list(&need(&mut i), "--latencies"),
             "--banks" => bank_counts = parse_list(&need(&mut i), "--banks"),
+            "--tiles" => {
+                tile_counts = parse_list(&need(&mut i), "--tiles");
+                if tile_counts.iter().any(|&t| !(1..=8).contains(&t)) {
+                    eprintln!("memsweep: --tiles values must be in 1..=8");
+                    std::process::exit(2);
+                }
+            }
             "--check" => gate = true,
             "--engine" => {
                 engine = Engine::parse(&need(&mut i)).unwrap_or_else(|e| {
@@ -262,7 +405,7 @@ fn main() {
             other => {
                 eprintln!(
                     "memsweep: unknown option {other}\n\
-                     usage: memsweep [--latencies N,N,...] [--banks N,N,...]\n\
+                     usage: memsweep [--latencies N,N,...] [--banks N,N,...] [--tiles N,N,...]\n\
                      [--out FILE] [--check] [--engine cycle|event|compiled]"
                 );
                 std::process::exit(2);
@@ -284,6 +427,26 @@ fn main() {
             bank_points.push(measure(w, &format!("banked:banks={b}"), b, engine));
         }
     }
+    let mut tile_points = Vec::new();
+    for w in workloads.iter().filter(|w| PARTITIONABLE.contains(&w.name)) {
+        for &b in &bank_counts {
+            let one = run_tiled(w, 1, b, engine);
+            for &t in &tile_counts {
+                let cycles = if t == 1 {
+                    one
+                } else {
+                    run_tiled(w, t, b, engine)
+                };
+                tile_points.push(TilePoint {
+                    workload: w.name.to_string(),
+                    tiles: t,
+                    banks: b,
+                    cycles,
+                    one_tile_cycles: one,
+                });
+            }
+        }
+    }
 
     print_table(
         "latency sweep (cache, miss latency L)",
@@ -295,20 +458,26 @@ fn main() {
         "banks",
         &bank_points,
     );
+    print_tile_table(&tile_points);
 
-    if let Err(e) = std::fs::write(&out, results_json(&latency_points, &bank_points)) {
+    if let Err(e) = std::fs::write(
+        &out,
+        results_json(&latency_points, &bank_points, &tile_points),
+    ) {
         eprintln!("memsweep: cannot write {out}: {e}");
         std::process::exit(2);
     }
     eprintln!(
-        "memsweep: wrote {} latency and {} bandwidth points to {out}",
+        "memsweep: wrote {} latency, {} bandwidth and {} tiled points to {out}",
         latency_points.len(),
-        bank_points.len()
+        bank_points.len(),
+        tile_points.len()
     );
 
     if gate {
         let mut failures = check_monotone(&latency_points);
         failures.extend(check_banked_wins(&bank_points));
+        failures.extend(check_tiled_wins(&tile_points));
         if failures.is_empty() {
             eprintln!(
                 "memsweep: latency-tolerance gate passed (speedup non-decreasing in miss \

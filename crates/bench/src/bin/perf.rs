@@ -19,6 +19,12 @@
 //!                                  bit-identical results; throughput and
 //!                                  cache hit rate land in the output meta
 //! perf --jobs N                    run workload×config pairs on N threads
+//!                                  (default: one per available CPU; the
+//!                                  effective value lands in the output meta)
+//! perf --tiles N                   compile with the tile-partitioning pass
+//!                                  and simulate on N cores (default 1; the
+//!                                  single-tile path is byte-identical to
+//!                                  not passing the flag)
 //! perf --reps N                    median wall-time of N measured runs after
 //!                                  one untimed warmup (default 3)
 //! perf --engine NAME               simulation engine: cycle, event (default)
@@ -92,6 +98,7 @@ struct Meta {
     mem: MemModel,
     reps: usize,
     jobs: usize,
+    tiles: usize,
     wmd: Option<WmdStats>,
 }
 
@@ -236,9 +243,10 @@ fn run_suite(sel: SuiteSel, meta: &Meta) -> Vec<RunRecord> {
     let mut cfg = meta.hw.config();
     cfg.engine = meta.engine;
     cfg.mem_model = meta.mem.clone();
+    cfg.tiles = meta.tiles;
     let pairs: Vec<(Workload, &'static str, OptOptions)> = suite(sel)
         .into_iter()
-        .flat_map(|w| configs().map(|(name, opts)| (w, name, opts)))
+        .flat_map(|w| configs().map(|(name, opts)| (w, name, opts.with_tiles(meta.tiles))))
         .collect();
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, RunRecord, String)>> = Mutex::new(Vec::new());
@@ -313,6 +321,9 @@ fn wmd_request(id: &str, w: &Workload, config: &str, meta: &Meta) -> String {
     );
     if meta.hw == Hw::Latency24 {
         req.push_str(", \"mem_latency\": 24, \"mem_ports\": 1");
+    }
+    if meta.tiles > 1 {
+        req.push_str(&format!(", \"tiles\": {}", meta.tiles));
     }
     req.push('}');
     req
@@ -503,12 +514,13 @@ fn results_json(
     if let Some((m, speedup)) = meta {
         out.push_str(&format!(
             "  \"engine\": \"{}\",\n  \"hw\": \"{}\",\n  \"mem\": \"{}\",\n  \
-             \"reps\": {},\n  \"jobs\": {},\n",
+             \"reps\": {},\n  \"jobs\": {},\n  \"tiles\": {},\n",
             m.engine,
             m.hw.name(),
             m.mem,
             m.reps,
-            m.jobs
+            m.jobs,
+            m.tiles
         ));
         let total: f64 = records
             .iter()
@@ -687,7 +699,8 @@ fn main() {
         hw: Hw::Default,
         mem: MemModel::default(),
         reps: 3,
-        jobs: 1,
+        jobs: 0, // 0 = auto: resolved to one per available CPU below
+        tiles: 1,
         wmd: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -744,10 +757,20 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--tiles" => {
+                meta.tiles = need(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("perf: --tiles takes an integer in 1..=8");
+                    std::process::exit(2);
+                });
+                if !(1..=8).contains(&meta.tiles) {
+                    eprintln!("perf: --tiles takes an integer in 1..=8");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!(
                     "perf: unknown option {other}\n\
-                     usage: perf [--fast|--sparse] [--jobs N] [--reps N] [--engine cycle|event|compiled]\n\
+                     usage: perf [--fast|--sparse] [--jobs N] [--tiles N] [--reps N] [--engine cycle|event|compiled]\n\
                      [--hw default|latency24] [--mem flat|cache[:k=v,..]|banked[:k=v,..]]\n\
                      [--wmd BIN] [--out FILE] [--check BASELINE] [--compare RESULTS]\n\
                      [--write-baseline FILE]"
@@ -765,9 +788,18 @@ fn main() {
         eprintln!("perf: --check requires --mem flat (the baseline holds flat-memory cycles)");
         std::process::exit(2);
     }
-    if meta.reps == 0 || meta.jobs == 0 {
-        eprintln!("perf: --reps and --jobs must be at least 1");
+    if check_path.is_some() && meta.tiles > 1 {
+        eprintln!("perf: --check requires --tiles 1 (the baseline holds single-tile cycles)");
         std::process::exit(2);
+    }
+    if meta.reps == 0 {
+        eprintln!("perf: --reps must be at least 1");
+        std::process::exit(2);
+    }
+    // --jobs defaults to one worker per available CPU; an explicit flag
+    // overrides. The effective value is recorded in the output meta.
+    if meta.jobs == 0 {
+        meta.jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     }
 
     let records = match &wmd_bin {
@@ -801,12 +833,13 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!(
-        "perf: wrote {} results to {out} (engine {}, hw {}, {} reps, {} jobs)",
+        "perf: wrote {} results to {out} (engine {}, hw {}, {} reps, {} jobs, {} tile(s))",
         records.len(),
         meta.engine,
         meta.hw.name(),
         meta.reps,
-        meta.jobs
+        meta.jobs,
+        meta.tiles
     );
 
     if let Some(path) = baseline_out {

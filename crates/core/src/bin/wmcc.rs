@@ -14,6 +14,7 @@
 //! wmcc prog.c --entry kernel --args 100,7
 //! wmcc prog.c --inject drop:3,jitter:42:5
 //! wmcc prog.c --speculative-streams
+//! wmcc prog.c --tiles 4 --mem banked     partition across 4 cores
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +39,7 @@ struct Options {
     trace_chrome: Option<String>,
     deadline_ms: Option<u64>,
     error_json: Option<String>,
+    tile_threads: usize,
 }
 
 const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
@@ -47,6 +49,7 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                [--entry NAME] [--args N,N,...]
                [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
                [--squash-penalty N] [--engine cycle|event|compiled]
+               [--tiles N] [--tile-threads M] [--no-partition]
                [--deadline-ms N] [--error-json FILE]
 
   --stats                print per-unit performance counters (instructions
@@ -96,6 +99,21 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          access/execute decoupling). Timing-only: results
                          never change, --stats gains a memory-hierarchy
                          section
+  --tiles N              instantiate N WM cores (1..=8, default 1) coupled
+                         by point-to-point FIFO channels, and let the
+                         compiler partition the entry function's hottest
+                         qualifying loop across them (slices written back
+                         to tile 0 over channel streams). A loop that
+                         cannot be proven partitionable runs on tile 0
+                         alone — same result, no speedup. Cycle counts and
+                         statistics are bit-identical for any host thread
+                         count and all three engines
+  --tile-threads M       host worker threads stepping the tiles between
+                         synchronization epochs (default: one per
+                         available CPU). Affects wall-clock time only,
+                         never the simulated results
+  --no-partition         keep --tiles N cores but skip the partitioning
+                         pass (the extra tiles idle; for A/B comparisons)
   --inject SPEC          deterministic fault injection; SPEC is a comma-
                          separated list of delay:N:C (delay memory request
                          #N's response by C cycles), drop:N (drop request
@@ -160,6 +178,7 @@ fn parse_args() -> Options {
         trace_chrome: None,
         deadline_ms: None,
         error_json: None,
+        tile_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -199,6 +218,17 @@ fn parse_args() -> Options {
                 }
             }
             "--noalias" => o.opts = o.opts.clone().assume_noalias(),
+            "--tiles" => {
+                let n: usize = need(&mut i).parse().unwrap_or_else(|_| usage());
+                if !(1..=8).contains(&n) {
+                    eprintln!("wmcc: --tiles {n} out of range (1..=8)");
+                    std::process::exit(2);
+                }
+                o.config.tiles = n;
+                o.opts.tiles = n;
+            }
+            "--tile-threads" => o.tile_threads = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-partition" => o.opts = o.opts.clone().without_partition(),
             "--vectorize" => o.opts = o.opts.clone().with_vectorization(),
             "--speculative-streams" => o.opts = o.opts.clone().with_speculative_streams(),
             "--inject" => {
@@ -315,10 +345,54 @@ fn main() -> ExitCode {
                 config: o.config.clone(),
                 entry: o.entry.clone(),
                 args: o.args.clone(),
+                tile_threads: o.tile_threads,
             };
             let cancel = o
                 .deadline_ms
                 .map(|ms| deadline_token(Duration::from_millis(ms)));
+            if o.config.tiles > 1 {
+                // Tiled runs go through the shared driver path (no
+                // per-instruction tracing across tiles yet).
+                if let Some(t) = &compiled.tiling {
+                    eprintln!(
+                        "wmcc: partitioned loop {} over [{}, {}) across {} tiles \
+                         ({} writeback region(s), {} carried scalar(s))",
+                        t.header, t.lo, t.hi, t.tiles, t.writebacks, t.carried
+                    );
+                } else if o.opts.partition {
+                    eprintln!(
+                        "wmcc: no loop qualified for partitioning; \
+                         tiles 1..{} will idle",
+                        o.config.tiles
+                    );
+                }
+                return match spec.simulate(&compiled, cancel.as_ref()) {
+                    Ok(r) => {
+                        if !r.output.is_empty() {
+                            print!("{}", String::from_utf8_lossy(&r.output));
+                        }
+                        if o.stats {
+                            eprint!("{}", r.perf);
+                        }
+                        if let Some(path) = &o.stats_json {
+                            if path == "-" {
+                                print!("{}", r.perf.to_json());
+                            } else if let Err(e) = std::fs::write(path, r.perf.to_json()) {
+                                eprintln!("wmcc: cannot write stats {path}: {e}");
+                                return ExitCode::from(1);
+                            }
+                        }
+                        eprintln!(
+                            "wmcc: {} cycles, {} instructions, returned {}",
+                            r.cycles,
+                            r.stats.instructions(),
+                            r.ret_int
+                        );
+                        ExitCode::from((r.ret_int & 0xff) as u8)
+                    }
+                    Err(e) => sim_failure(&e, error_json),
+                };
+            }
             let mut machine = match spec.machine(&compiled, cancel.as_ref()) {
                 Ok(m) => m,
                 Err(e) => return sim_failure(&e, error_json),

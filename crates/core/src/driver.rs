@@ -32,6 +32,11 @@ pub struct JobSpec {
     pub entry: String,
     /// Integer arguments for the entry function.
     pub args: Vec<i64>,
+    /// Host worker threads for a tiled run's parallel phase (0 = one per
+    /// available CPU). Excluded from the cache key on purpose: tiled
+    /// results are bit-identical for any thread count, so two jobs that
+    /// differ only here *should* share a cache entry.
+    pub tile_threads: usize,
 }
 
 /// A failure from either stage of a job.
@@ -83,6 +88,7 @@ impl JobSpec {
             config: WmConfig::default(),
             entry: "main".to_string(),
             args: Vec::new(),
+            tile_threads: 0,
         }
     }
 
@@ -128,6 +134,15 @@ impl JobSpec {
         compiled: &Compiled,
         cancel: Option<&CancelToken>,
     ) -> Result<RunResult, SimError> {
+        if self.config.tiles > 1 {
+            let mut tm =
+                wm_sim::TiledMachine::new(&compiled.module, &self.config, self.tile_threads)?;
+            if let Some(t) = cancel {
+                tm.set_cancel_token(t.clone());
+            }
+            tm.start(&self.entry, &self.args)?;
+            return Ok(tm.run_to_completion()?.into_primary());
+        }
         self.machine(compiled, cancel)?.run_to_completion()
     }
 

@@ -151,16 +151,38 @@ impl Compiler {
         // Global extents feed the streaming pass's over-fetch analysis
         // (computed up front: the per-function loop borrows mutably).
         let extents = wm_opt::GlobalExtents::of_module(&module);
+        // Stage 1: generic (pre-expansion) optimization of every
+        // function — the recurrence pass in particular must run before
+        // partitioning so a converted recurrence is a carried *scalar*
+        // the partitioner can chain tile-to-tile.
         let mut stats = Vec::new();
         for f in module.functions.iter_mut() {
-            let mut s = wm_opt::optimize_generic(f, &self.options);
+            let s = wm_opt::optimize_generic(f, &self.options);
+            stats.push((f.name.clone(), s));
+        }
+        // Stage 2: the module-level tile-partitioning pass, which may
+        // add `__tileK_main` clones that stage 3 then lowers like any
+        // other function.
+        let tiling =
+            if self.target == Target::Wm && self.options.partition && self.options.tiles > 1 {
+                wm_opt::partition_tiles(&mut module, "main", self.options.tiles)
+            } else {
+                None
+            };
+        // Stage 3: per-function target expansion, target optimization
+        // and register allocation.
+        for f in module.functions.iter_mut() {
             match self.target {
                 Target::Wm => {
                     wm_target::expand_wm(f);
                     let s2 = wm_opt::optimize_wm_with(f, &self.options, &extents);
-                    s.streaming = s2.streaming;
-                    s.vector = s2.vector;
-                    s.iterations += s2.iterations;
+                    if let Some((_, s)) = stats.iter_mut().find(|(n, _)| *n == f.name) {
+                        s.streaming = s2.streaming;
+                        s.vector = s2.vector;
+                        s.iterations += s2.iterations;
+                    } else {
+                        stats.push((f.name.clone(), s2));
+                    }
                     if allocate {
                         wm_target::allocate_registers(f, wm_target::TargetKind::Wm)?;
                     }
@@ -175,12 +197,12 @@ impl Compiler {
                     }
                 }
             }
-            stats.push((f.name.clone(), s));
         }
         Ok(Compiled {
             module,
             target: self.target,
             stats,
+            tiling,
         })
     }
 }
@@ -192,6 +214,8 @@ pub struct Compiled {
     pub module: Module,
     /// The target it was compiled for.
     pub target: Target,
+    /// What the tile-partitioning pass did, when it ran and succeeded.
+    pub tiling: Option<wm_opt::TileReport>,
     /// Per-function optimizer statistics `(name, stats)`.
     pub stats: Vec<(String, OptStats)>,
 }
@@ -208,6 +232,11 @@ impl Compiled {
 
     /// Run on the WM cycle simulator with an explicit configuration.
     ///
+    /// A config with `tiles > 1` runs on a [`wm_sim::TiledMachine`]
+    /// (one host thread per available CPU) and reports tile 0's
+    /// architectural results with the global cycle count; `tiles == 1`
+    /// takes the plain single-core path, byte for byte.
+    ///
     /// # Errors
     ///
     /// Propagates simulator faults/deadlocks/timeouts.
@@ -217,6 +246,10 @@ impl Compiled {
         args: &[i64],
         config: &WmConfig,
     ) -> Result<RunResult, wm_sim::SimError> {
+        if config.tiles > 1 {
+            return wm_sim::TiledMachine::run(&self.module, entry, args, config, 0)
+                .map(wm_sim::TiledRunResult::into_primary);
+        }
         WmMachine::run(&self.module, entry, args, config)
     }
 

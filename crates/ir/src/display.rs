@@ -135,6 +135,10 @@ pub(crate) fn mnemonic(kind: &InstKind) -> String {
         InstKind::StreamGather { width, .. } => format!("Sga{}", stream_suffix(*width)),
         InstKind::StreamScatter { width, .. } => format!("Ssc{}", stream_suffix(*width)),
         InstKind::StreamStop { .. } => "Sstop".into(),
+        InstKind::ChanSend { .. } => "Csend".into(),
+        InstKind::ChanRecv { .. } => "Crecv".into(),
+        InstKind::StreamSend { .. } => "Ssend".into(),
+        InstKind::StreamRecv { .. } => "Srecv".into(),
         InstKind::VStreamIn { .. } => "SinV".into(),
         InstKind::VStreamOut { .. } => "SoutV".into(),
         InstKind::VLoad { .. } => "vld".into(),
@@ -243,6 +247,12 @@ pub(crate) fn body(kind: &InstKind, module: Option<&Module>) -> String {
             ..
         } => format!("{fifo}out,{base}+(idx<<{shift}) [{ibase},{count},{istride}]"),
         InstKind::StreamStop { fifo } => format!("{fifo}"),
+        InstKind::ChanSend { peer, src, .. } => format!("t{peer},{src}"),
+        InstKind::ChanRecv { peer, dst } => format!("{dst} := t{peer}"),
+        InstKind::StreamSend { peer, fifo, count } => format!("t{peer},{fifo},{count}"),
+        InstKind::StreamRecv {
+            peer, fifo, count, ..
+        } => format!("{fifo},t{peer},{count}"),
         InstKind::VStreamIn {
             port,
             base,

@@ -201,6 +201,44 @@ pub enum InstKind {
     /// whose trip count was unknown at compile time).
     StreamStop { fifo: DataFifo },
 
+    // ---- inter-core channels (tiled machines) ----
+    //
+    // A tiled WM couples cores with point-to-point FIFO channels: a
+    // core's out-stream feeds another core's in-stream, turning the
+    // paper's access/execute FIFO mechanism into a communication
+    // fabric. The scalar forms move one value; the stream forms
+    // configure an SCU to pump a whole stream core-to-core without
+    // occupying the execution units.
+    /// Push the value of `src` into the channel toward tile `peer`
+    /// (fire-and-forget: ignores channel credits, so a runaway sender
+    /// can overrun the receiver — the overrun poisons the entry).
+    ChanSend {
+        peer: u8,
+        src: Operand,
+        class: RegClass,
+    },
+    /// Pop the next value sent by tile `peer` into `dst`; stalls until
+    /// one is available.
+    ChanRecv { peer: u8, dst: Reg },
+    /// Configure an SCU to pop `count` elements from `fifo`'s input
+    /// side and send each to tile `peer` (respecting channel credits).
+    /// Paired with a concurrent `StreamIn` on the same FIFO this is a
+    /// zero-instruction core-to-core DMA.
+    StreamSend {
+        peer: u8,
+        fifo: DataFifo,
+        count: Operand,
+    },
+    /// Configure an SCU to receive `count` elements from tile `peer`
+    /// into `fifo`'s input side (no memory traffic).
+    StreamRecv {
+        peer: u8,
+        fifo: DataFifo,
+        count: Operand,
+        /// Cf. [`InstKind::StreamIn::tested`].
+        tested: bool,
+    },
+
     // ---- vector execution unit ----
     //
     // "The architecture also supports vector operations … Each vector
@@ -289,6 +327,7 @@ impl InstKind {
             }
             InstKind::GStore { mem, .. } => mem.auto_def().into_iter().collect(),
             InstKind::Call { ret, .. } => ret.iter().copied().collect(),
+            InstKind::ChanRecv { dst, .. } => vec![*dst],
             _ => Vec::new(),
         }
     }
@@ -363,6 +402,10 @@ impl InstKind {
                 .chain(stride.reg())
                 .collect(),
             InstKind::Call { args, .. } => args.clone(),
+            InstKind::ChanSend { src, .. } => src.reg().into_iter().collect(),
+            InstKind::StreamSend { count, .. } | InstKind::StreamRecv { count, .. } => {
+                count.reg().into_iter().collect()
+            }
             _ => Vec::new(),
         }
     }
@@ -503,6 +546,8 @@ impl InstKind {
                 fix(count);
                 fix(stride);
             }
+            InstKind::ChanSend { src, .. } => fix(src),
+            InstKind::StreamSend { count, .. } | InstKind::StreamRecv { count, .. } => fix(count),
             // GLoad/GStore address registers and call arguments must remain
             // registers; substitution there is only legal reg-for-reg.
             InstKind::GLoad { mem, .. } => {

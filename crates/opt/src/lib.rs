@@ -32,10 +32,12 @@ pub mod phases;
 pub mod pipeline;
 pub mod recurrence;
 pub mod streaming;
+pub mod tile;
 pub mod vectorize;
 
 pub use partition::{AliasModel, MemPartition, PartitionSet, RefInfo};
 pub use pipeline::{optimize_generic, optimize_wm, optimize_wm_with, OptOptions, OptStats};
 pub use recurrence::RecurrenceReport;
 pub use streaming::{GlobalExtents, StreamingReport};
+pub use tile::{partition_tiles, TileReport};
 pub use vectorize::VectorReport;

@@ -54,6 +54,12 @@ pub struct OptOptions {
     /// (poison) semantics; off by default, which degrades them to scalar
     /// references.
     pub speculative_streams: bool,
+    /// Run the tile-partitioning pass ([`crate::tile::partition_tiles`])
+    /// when compiling for a multi-tile machine. A no-op at `tiles == 1`.
+    pub partition: bool,
+    /// Number of tiles the partitioning pass splits the entry function's
+    /// hottest qualifying loop across (1 = single-core, no partitioning).
+    pub tiles: usize,
 }
 
 impl Default for OptOptions {
@@ -75,6 +81,8 @@ impl Default for OptOptions {
             max_recurrence_degree: 4,
             stream_min_count: 3,
             speculative_streams: false,
+            partition: true,
+            tiles: 1,
         }
     }
 }
@@ -130,6 +138,19 @@ impl OptOptions {
     /// Keep over-fetching streams, relying on deferred-fault semantics.
     pub fn with_speculative_streams(mut self) -> OptOptions {
         self.speculative_streams = true;
+        self
+    }
+
+    /// Partition the entry function across `tiles` cores.
+    pub fn with_tiles(mut self, tiles: usize) -> OptOptions {
+        self.tiles = tiles;
+        self
+    }
+
+    /// Disable the tile-partitioning pass (tiles still replicate the
+    /// whole program and run it redundantly).
+    pub fn without_partition(mut self) -> OptOptions {
+        self.partition = false;
         self
     }
 }

@@ -141,6 +141,13 @@ fn parse_request_value(v: &Value) -> Result<Request, String> {
     if let Some(n) = field_u64(v, "max_cycles")? {
         spec.config = spec.config.with_max_cycles(n);
     }
+    if let Some(n) = field_u64(v, "tiles")? {
+        if !(1..=8).contains(&n) {
+            return Err("`tiles` must be in 1..=8".to_string());
+        }
+        spec.config = spec.config.with_tiles(n as usize);
+        spec.opts = spec.opts.with_tiles(n as usize);
+    }
     if let Some(i) = v.get("inject") {
         let s = i.as_str().ok_or("`inject` must be a string")?;
         spec.config = spec.config.with_fault_plan(FaultPlan::parse(s)?);

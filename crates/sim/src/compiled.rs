@@ -616,7 +616,11 @@ pub(crate) fn exec_wload<'m>(m: &mut WmMachine<'m>, d: &DecodedInst<'m>) -> Resu
     }
     m.unit_mut(d.class).latched_load = None;
     let gen = m.unit(fifo.class).ins[fifo.index as usize].gen;
-    m.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
+    {
+        let f = &mut m.unit_mut(fifo.class).ins[fifo.index as usize];
+        f.pending += 1;
+        f.owed += 1;
+    }
     m.issue_mem(
         MemOp::ReadFifo {
             target: StreamTarget::Fifo(fifo),

@@ -123,6 +123,27 @@ pub struct WmConfig {
     /// hierarchical model `mem_latency` is ignored; the model's own
     /// timing parameters apply.
     pub mem_model: MemModel,
+    /// Number of WM cores in the tiled machine. `1` (the default) is the
+    /// plain single-core machine on its existing code path; values above
+    /// 1 instantiate a [`TiledMachine`](crate::TiledMachine) with
+    /// point-to-point inter-core channels.
+    pub tiles: usize,
+    /// Cycles for a value to cross the inter-core channel fabric (from a
+    /// send being staged to the entry becoming poppable at the receiver).
+    pub chan_latency: u64,
+    /// Cycles between cross-core synchronization epochs. Messages staged
+    /// during an epoch are routed at the barrier that ends it, due
+    /// `chan_latency` cycles later — deterministic for any epoch length
+    /// and any host thread count.
+    pub chan_epoch: u64,
+    /// Per-sender receive-queue capacity. A scalar `Csend` ignores
+    /// credits, so flooding past this poisons the overflowing entries;
+    /// SCU stream sends respect credits and stall instead. Credits are
+    /// returned only at epoch barriers, so the capacity bounds a
+    /// channel's throughput at `chan_capacity / chan_epoch` elements per
+    /// cycle — keep it a few times the epoch length or the channels, not
+    /// the cores, become the bottleneck.
+    pub chan_capacity: usize,
 }
 
 impl Default for WmConfig {
@@ -145,6 +166,10 @@ impl Default for WmConfig {
             fault_plan: FaultPlan::default(),
             engine: Engine::default(),
             mem_model: MemModel::default(),
+            tiles: 1,
+            chan_latency: 16,
+            chan_epoch: 1024,
+            chan_capacity: 4096,
         }
     }
 }
@@ -225,6 +250,60 @@ impl WmConfig {
     /// is valid.
     pub fn with_mem_model(mut self, model: MemModel) -> WmConfig {
         self.mem_model = model;
+        self
+    }
+
+    /// A configuration with `n` tiles.
+    ///
+    /// Valid range: `1..=8` (the channel fabric addresses peers with a
+    /// 3-bit tile id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or above 8.
+    pub fn with_tiles(mut self, n: usize) -> WmConfig {
+        assert!(
+            (1..=8).contains(&n),
+            "with_tiles: tiles must be 1..=8, got {n}"
+        );
+        self.tiles = n;
+        self
+    }
+
+    /// A configuration with a different channel crossing latency. Any
+    /// value is valid; `0` delivers at the routing barrier itself.
+    pub fn with_chan_latency(mut self, cycles: u64) -> WmConfig {
+        self.chan_latency = cycles;
+        self
+    }
+
+    /// A configuration with a different synchronization-epoch length.
+    ///
+    /// Valid range: `epoch >= 1` (a zero-length epoch could never make
+    /// progress between barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn with_chan_epoch(mut self, cycles: u64) -> WmConfig {
+        assert!(cycles >= 1, "with_chan_epoch: epoch must be >= 1, got 0");
+        self.chan_epoch = cycles;
+        self
+    }
+
+    /// A configuration with a different per-sender channel capacity.
+    ///
+    /// Valid range: `capacity >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_chan_capacity(mut self, capacity: usize) -> WmConfig {
+        assert!(
+            capacity >= 1,
+            "with_chan_capacity: capacity must be >= 1, got 0"
+        );
+        self.chan_capacity = capacity;
         self
     }
 }

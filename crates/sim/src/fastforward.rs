@@ -264,15 +264,30 @@ impl<'m> WmMachine<'m> {
                 next = next.min(c);
             }
         }
+        // A channel entry coming due lets a stalled receive — SCU or
+        // scalar `Crecv` — pop it (untiled machines have no queues).
+        for q in &self.chan_rx {
+            if let Some(e) = q.front() {
+                if e.due > self.cycle {
+                    next = next.min(e.due);
+                }
+            }
+        }
         // The step *at* the event cycle must be simulated normally; only
         // the strictly-identical cycles before it are skipped.
-        let target = next
-            .saturating_sub(1)
+        let mut target = next.saturating_sub(1).min(self.config.max_cycles);
+        if self.ff_horizon == u64::MAX {
             // the per-cycle run reports Deadlock at last_progress +
             // DEADLOCK_WINDOW + 1 and Timeout at max_cycles; never jump
             // past either, so terminal errors carry identical cycles
-            .min(self.last_progress + DEADLOCK_WINDOW + 1)
-            .min(self.config.max_cycles);
+            target = target.min(self.last_progress + DEADLOCK_WINDOW + 1);
+        } else {
+            // Tiled: deadlock is a *global* property judged at epoch
+            // barriers, so the per-tile clamp would only degrade long
+            // channel waits to per-cycle stepping. Bound the jump to the
+            // end of the current epoch instead.
+            target = target.min(self.ff_horizon);
+        }
         (target > self.cycle).then_some(target)
     }
 

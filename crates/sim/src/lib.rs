@@ -50,6 +50,7 @@ mod loader;
 mod machine;
 mod mem;
 mod stats;
+mod tiled;
 
 pub use cancel::CancelToken;
 pub use config::{FaultPlan, WmConfig};
@@ -64,3 +65,4 @@ pub use mem::{CacheParams, DramParams, MemModel, MemStats};
 pub use stats::{
     DepthSample, FifoHist, Outcome, ScuCounters, Stall, Stats, UnitCounters, FIFO_NAMES, SBUF_TRACK,
 };
+pub use tiled::{TiledMachine, TiledRunResult};

@@ -246,9 +246,9 @@ pub(crate) enum Exec {
 /// faulted. The fault is deferred — raised only if the entry is consumed.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Poison {
-    addr: i64,
-    scu: usize,
-    error: String,
+    pub(crate) addr: i64,
+    pub(crate) scu: usize,
+    pub(crate) error: String,
 }
 
 /// One FIFO entry: a value, possibly carrying a deferred stream fault.
@@ -256,6 +256,27 @@ pub(crate) struct Poison {
 pub(crate) struct Slot {
     val: Val,
     poison: Option<Box<Poison>>,
+}
+
+/// One value staged toward another tile's receive queue. Staged sends
+/// accumulate during an epoch and are routed by the tile scheduler at
+/// the barrier that ends the epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChanMsg {
+    pub(crate) dst: usize,
+    pub(crate) val: Val,
+    /// Poison travels through the channel unchanged: a poisoned datum
+    /// forwarded core-to-core keeps its provenance and faults only at
+    /// consumption, wherever in the tiled machine that happens.
+    pub(crate) poison: Option<Box<Poison>>,
+}
+
+/// One delivered channel entry, poppable once `due` is reached.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RxEntry {
+    pub(crate) due: u64,
+    pub(crate) val: Val,
+    pub(crate) poison: Option<Box<Poison>>,
 }
 
 #[derive(Debug, Default)]
@@ -267,6 +288,12 @@ pub(crate) struct InFifo {
     pub(crate) gen: u32,
     /// Is an SCU currently feeding this FIFO?
     pub(crate) streamed: bool,
+    /// Scalar-load elements the owning unit has yet to dequeue. jNI
+    /// early branch resolution lets the IEU configure a channel-send
+    /// SCU on this FIFO while the FEU still owes pops of loop-body
+    /// load data; the send must not steal those elements, so it
+    /// drains only while this is zero.
+    pub(crate) owed: usize,
 }
 
 /// A scalar execution unit (IEU/FEU). The instruction queue holds `u32`
@@ -357,6 +384,12 @@ pub(crate) enum ScuKind {
     /// Index-fed store stream: the scatter dual, writing the unit's
     /// output FIFO to `base + (idx << shift)`.
     Scatter,
+    /// Channel send: pop the target FIFO's *input* side and push each
+    /// element toward a peer tile (no memory traffic, no port use).
+    Send,
+    /// Channel receive: pop due entries from a peer tile's channel into
+    /// the target FIFO's input side (no memory traffic, no port use).
+    Recv,
 }
 
 /// Entries of an indirect SCU's internal index ring (fetched indices
@@ -408,6 +441,8 @@ pub(crate) struct Scu {
     /// the slot busy until this cycle (squash recovery; see
     /// [`crate::config::WmConfig::squash_penalty`]).
     pub(crate) squash_until: u64,
+    /// Peer tile of a channel stream (`Send`/`Recv` kinds only).
+    peer: u8,
 }
 
 impl Scu {
@@ -438,6 +473,7 @@ impl Scu {
             idx_pending: 0,
             idx_remaining: None,
             squash_until: 0,
+            peer: 0,
         }
     }
 }
@@ -569,6 +605,22 @@ pub struct WmMachine<'m> {
     /// Cooperative cancellation flag, polled between steps (see
     /// [`WmMachine::set_cancel_token`]). `None` costs nothing.
     cancel: Option<CancelToken>,
+    /// This core's index in a tiled machine (0 when untiled).
+    pub(crate) tile_id: usize,
+    /// Staged outbound channel messages, drained by the tile scheduler
+    /// at each epoch barrier. Always empty on an untiled machine.
+    pub(crate) chan_tx: Vec<ChanMsg>,
+    /// Inbound channel queues, indexed by sender tile. Empty — no
+    /// allocation at all — on an untiled machine.
+    pub(crate) chan_rx: Vec<VecDeque<RxEntry>>,
+    /// Send credits toward each destination tile: channel capacity minus
+    /// the receiver's backlog, recomputed at every barrier. Stream sends
+    /// stall on zero; scalar `Csend` ignores credits (and can overrun).
+    pub(crate) chan_credits: Vec<u32>,
+    /// Fast-forward horizon: the tile scheduler bounds event jumps to
+    /// the end of the current epoch. `u64::MAX` (untiled) leaves every
+    /// engine bit-identical to the pre-tiling simulator.
+    pub(crate) ff_horizon: u64,
 }
 
 impl<'m> WmMachine<'m> {
@@ -649,6 +701,11 @@ impl<'m> WmMachine<'m> {
             last_outcomes: CycleOutcomes::new(config.num_scus),
             ff_spans: Vec::new(),
             cancel: None,
+            tile_id: 0,
+            chan_tx: Vec::new(),
+            chan_rx: Vec::new(),
+            chan_credits: Vec::new(),
+            ff_horizon: u64::MAX,
         })
     }
 
@@ -802,16 +859,83 @@ impl<'m> WmMachine<'m> {
         })
     }
 
-    fn halted(&mut self) -> bool {
+    /// Wire this core into a tiled machine as tile `tile_id` of `tiles`:
+    /// allocate the channel queues and the per-destination credits. An
+    /// untiled machine never calls this, so `--tiles 1` allocates no
+    /// tile structures at all (asserted by the stats tests).
+    pub(crate) fn init_tile(&mut self, tile_id: usize, tiles: usize) {
+        self.tile_id = tile_id;
+        self.chan_rx = vec![VecDeque::new(); tiles];
+        self.chan_credits = vec![self.config.chan_capacity as u32; tiles];
+    }
+
+    /// Has any inter-core channel state been allocated or armed? Untiled
+    /// runs must answer `false`: the `--tiles 1` path is byte-for-byte
+    /// the pre-tiling code path.
+    pub fn channel_state_allocated(&self) -> bool {
+        !self.chan_rx.is_empty()
+            || !self.chan_tx.is_empty()
+            || !self.chan_credits.is_empty()
+            || self.ff_horizon != u64::MAX
+            || self.tile_id != 0
+    }
+
+    /// Step this tile up to (at most) cycle `target`, returning early if
+    /// it halts or faults. The tile scheduler calls this between epoch
+    /// barriers; the fast-forward horizon keeps the event and compiled
+    /// engines from jumping past the epoch's end. Deadlock and timeout
+    /// are *global* properties of a tiled machine (a tile stalled on a
+    /// channel is not wedged if its peer is still computing), so the
+    /// scheduler checks them at the barrier — not here.
+    pub(crate) fn run_epoch(&mut self, target: u64) -> Result<(), SimError> {
+        self.ff_horizon = target;
+        let engine = self.config.engine;
+        while self.cycle < target && !self.halted() {
+            match engine {
+                Engine::Cycle => self.step()?,
+                Engine::Event => self.step_event()?,
+                Engine::Compiled => self.step_compiled()?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Package the current state as a completed run — the tile
+    /// scheduler's per-tile equivalent of `run_to_completion`'s tail.
+    pub(crate) fn take_result(&mut self) -> RunResult {
+        self.stats.cycles = self.cycle;
+        self.perf.cycles = self.cycle;
+        RunResult {
+            cycles: self.cycle,
+            ret_int: self.ieu.regs[2].as_i(),
+            ret_flt: self.feu.regs[2].as_f(),
+            output: self.output.clone(),
+            stats: self.stats,
+            perf: self.perf.clone(),
+            engine: self.config.engine,
+        }
+    }
+
+    pub(crate) fn halted(&mut self) -> bool {
         if self.pc.is_some() {
             return false;
         }
         // Stop prefetching once the program has returned *and* the units
         // have drained (queued instructions may still consume stream data).
+        // An in-stream whose FIFO feeds a still-active channel send is a
+        // producer for that send's remaining elements, not a stale
+        // prefetch — it must keep running until the send drains it.
         if self.ieu.iq.is_empty() && self.feu.iq.is_empty() {
-            for scu in self.scus.iter_mut() {
+            for i in 0..self.scus.len() {
+                let scu = self.scus[i];
                 if scu.active && scu.dir_in {
-                    scu.active = false;
+                    let feeds_send = self
+                        .scus
+                        .iter()
+                        .any(|s| s.active && matches!(s.kind, ScuKind::Send) && s.fifo == scu.fifo);
+                    if !feeds_send {
+                        self.scus[i].active = false;
+                    }
                 }
             }
         }
@@ -874,6 +998,8 @@ impl<'m> WmMachine<'m> {
                             ScuKind::Affine => t,
                             ScuKind::Gather => format!("{t} (gather)"),
                             ScuKind::Scatter => format!("{t} (scatter)"),
+                            ScuKind::Send => format!("{t} -> tile {}", s.peer),
+                            ScuKind::Recv => format!("{t} <- tile {}", s.peer),
                         }
                     },
                     addr: s.addr,
@@ -945,13 +1071,18 @@ impl<'m> WmMachine<'m> {
                 return Some(format!("head `{head}` waits on empty FIFO {fifo} ({why})"));
             }
         }
+        if let InstKind::ChanRecv { peer, .. } = head {
+            return Some(format!(
+                "head `{head}` waits on the channel from tile {peer} (no message due)"
+            ));
+        }
         Some(format!(
             "head `{head}` cannot issue (ports, capacity or memory ordering)"
         ))
     }
 
     /// Attribute a wedge: name the stalled units and what starves them.
-    fn diagnose(&self) -> String {
+    pub(crate) fn diagnose(&self) -> String {
         let mut parts: Vec<String> = Vec::new();
         for (class, name) in [(RegClass::Int, "IEU"), (RegClass::Flt, "FEU")] {
             if let Some(s) = self.stall_reason(class) {
@@ -995,6 +1126,34 @@ impl<'m> WmMachine<'m> {
                 parts.push(format!(
                     "SCU {i} was disabled by fault injection with its stream unfinished"
                 ));
+            }
+        }
+        for (i, s) in self.scus.iter().enumerate() {
+            if !s.active || self.scu_disabled(i) {
+                continue;
+            }
+            let p = s.peer as usize;
+            match s.kind {
+                ScuKind::Recv => {
+                    let due = self
+                        .chan_rx
+                        .get(p)
+                        .and_then(|q| q.front())
+                        .is_some_and(|e| e.due <= self.cycle);
+                    if !due {
+                        parts.push(format!(
+                            "SCU {i} waits on the channel from tile {p} \
+                             (no message due; the sender tile may be wedged or killed)"
+                        ));
+                    }
+                }
+                ScuKind::Send if self.chan_credits.get(p) == Some(&0) => {
+                    parts.push(format!(
+                        "SCU {i} is out of channel credits toward tile {p} \
+                         (receiver backlog at capacity)"
+                    ));
+                }
+                _ => {}
             }
         }
         if parts.is_empty() {
@@ -1545,7 +1704,11 @@ impl<'m> WmMachine<'m> {
                 }
                 self.unit_mut(class).latched_load = None;
                 let gen = self.unit(fifo.class).ins[fifo.index as usize].gen;
-                self.unit_mut(fifo.class).ins[fifo.index as usize].pending += 1;
+                {
+                    let f = &mut self.unit_mut(fifo.class).ins[fifo.index as usize];
+                    f.pending += 1;
+                    f.owed += 1;
+                }
                 self.issue_mem(
                     MemOp::ReadFifo {
                         target: StreamTarget::Fifo(*fifo),
@@ -1733,6 +1896,67 @@ impl<'m> WmMachine<'m> {
                 }
                 self.stop_stream(*fifo);
             }
+            InstKind::ChanSend { peer, src, .. } => {
+                let dst = self.chan_peer(*peer)?;
+                let v = self.read_operand(class, *src)?;
+                // Fire-and-forget: a scalar send never checks credits, so
+                // a runaway sender can overrun the receiver. The routing
+                // barrier poisons the overflowing entry, and the fault
+                // surfaces — with provenance — at the *consuming* tile.
+                self.chan_tx.push(ChanMsg {
+                    dst,
+                    val: v,
+                    poison: None,
+                });
+            }
+            InstKind::ChanRecv { peer, dst } => {
+                if dst.phys_num() == Some(0)
+                    && self.unit(class).out.len() >= self.config.fifo_capacity
+                {
+                    return Ok(Exec::Stall(Stall::OutFull)); // output FIFO full
+                }
+                let p = self.chan_peer(*peer)?;
+                let due = self.chan_rx[p].front().is_some_and(|e| e.due <= self.cycle);
+                if !due {
+                    return Ok(Exec::Stall(Stall::ChanEmpty));
+                }
+                let e = self.chan_rx[p].pop_front().expect("checked non-empty");
+                if let Some(poison) = e.poison {
+                    let unit = match class {
+                        RegClass::Int => FaultUnit::Ieu,
+                        RegClass::Flt => FaultUnit::Feu,
+                    };
+                    return Err(self.fault(
+                        unit,
+                        FaultKind::PoisonConsumed,
+                        Some(poison.addr),
+                        None,
+                        format!(
+                            "consumed a poisoned channel datum from tile {p}: {}",
+                            poison.error
+                        ),
+                    ));
+                }
+                self.write_reg(class, *dst, e.val)?;
+                if !dst.is_fifo() && !dst.is_zero() {
+                    executed_dst = dst.phys_num();
+                }
+            }
+            InstKind::StreamSend { peer, fifo, count } => {
+                if !self.configure_chan_scu(false, *peer, *fifo, *count, false)? {
+                    return Ok(Exec::Stall(Stall::ScuBusy));
+                }
+            }
+            InstKind::StreamRecv {
+                peer,
+                fifo,
+                count,
+                tested,
+            } => {
+                if !self.configure_chan_scu(true, *peer, *fifo, *count, *tested)? {
+                    return Ok(Exec::Stall(Stall::ScuBusy));
+                }
+            }
             other => {
                 return Err(SimError::BadProgram(format!(
                     "instruction reached an execution unit: {other}"
@@ -1838,6 +2062,86 @@ impl<'m> WmMachine<'m> {
             if let Some(n) = remaining {
                 self.dispatch.insert(fifo, n);
             }
+        }
+        Ok(true)
+    }
+
+    /// Validate a channel peer operand: channel instructions are only
+    /// legal on a tiled machine, and only toward *another* live tile.
+    fn chan_peer(&self, peer: u8) -> Result<usize, SimError> {
+        let p = peer as usize;
+        if self.chan_rx.is_empty() {
+            return Err(SimError::BadProgram(
+                "channel instruction on a single-tile machine".into(),
+            ));
+        }
+        if p >= self.chan_rx.len() || p == self.tile_id {
+            return Err(SimError::BadProgram(format!(
+                "channel peer t{peer} is out of range for a {}-tile machine (this is tile {})",
+                self.chan_rx.len(),
+                self.tile_id
+            )));
+        }
+        Ok(p)
+    }
+
+    /// Configure a channel-stream SCU (`Ssend`/`Srecv`): the port-free
+    /// dual of [`WmMachine::configure_scu`], moving FIFO elements
+    /// core-to-core instead of to or from memory.
+    fn configure_chan_scu(
+        &mut self,
+        dir_in: bool,
+        peer: u8,
+        fifo: DataFifo,
+        count: Operand,
+        tested: bool,
+    ) -> Result<bool, SimError> {
+        let p = self.chan_peer(peer)?;
+        let Some(slot) = self.free_scu_slot() else {
+            return Ok(false);
+        };
+        let n = self.read_operand(RegClass::Int, count)?.as_i();
+        if n <= 0 {
+            return Err(self.fault(
+                FaultUnit::Ieu,
+                FaultKind::BadStreamCount(n),
+                None,
+                Some(fifo),
+                format!("channel stream configured with count {n}"),
+            ));
+        }
+        if dir_in {
+            // A receive delivers into the FIFO's input side, so it takes
+            // the same exclusive-feeder slot as an affine in-stream.
+            if self.unit(fifo.class).ins[fifo.index as usize].streamed {
+                return Ok(false);
+            }
+            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = true;
+        } else {
+            // A send *drains* the FIFO's input side: one drain at a time.
+            if self
+                .scus
+                .iter()
+                .any(|u| u.active && u.kind == ScuKind::Send && u.fifo == fifo)
+            {
+                return Ok(false);
+            }
+        }
+        self.scu_seq += 1;
+        self.scus[slot] = Scu {
+            active: true,
+            dir_in,
+            kind: if dir_in { ScuKind::Recv } else { ScuKind::Send },
+            fifo,
+            target: StreamTarget::Fifo(fifo),
+            remaining: Some(n),
+            peer: p as u8,
+            ready_at: self.cycle + self.config.scu_setup,
+            seq: self.scu_seq,
+            ..Scu::inert()
+        };
+        if dir_in && tested {
+            self.dispatch.insert(fifo, n);
         }
         Ok(true)
     }
@@ -1956,6 +2260,7 @@ impl<'m> WmMachine<'m> {
             let leftover = (f.q.len() + f.pending) as u64;
             f.q.clear();
             f.pending = 0;
+            f.owed = 0;
             f.gen = f.gen.wrapping_add(1);
             f.streamed = false;
             self.perf.scus[k].squashed += leftover;
@@ -1971,25 +2276,25 @@ impl<'m> WmMachine<'m> {
             let Some(&PendingStore { addr, width, class }) = self.store_q.front() else {
                 break;
             };
-            // an active out-stream on the same unit would compete for the
-            // data: that is a miscompilation
-            if self
-                .scus
-                .iter()
-                .any(|s| s.active && !s.dir_in && s.fifo.class == class)
-                && !self.unit(class).out.is_empty()
-            {
-                let unit = match class {
-                    RegClass::Int => FaultUnit::Ieu,
-                    RegClass::Flt => FaultUnit::Feu,
-                };
-                return Err(self.fault(
-                    unit,
-                    FaultKind::OutputConflict,
-                    Some(addr),
-                    None,
-                    "scalar store and stream-out compete for output FIFO".into(),
-                ));
+            // An active out-stream on the same unit owns the output
+            // FIFO: the next `remaining` pushes are its data, in push
+            // order, so a scalar store must hold until the stream
+            // retires (jNI early branch resolution lets the IEU queue a
+            // post-loop store's address while the FEU is still feeding
+            // the stream — the tiled write-back drain does exactly
+            // this). A store that can never be satisfied surfaces as an
+            // attributed deadlock rather than an eager fault. A channel
+            // send is `dir_in == false` but drains the *input* side, so
+            // it never owns the output FIFO — and must not block the
+            // store (its feeding in-stream may be waiting on us).
+            if self.scus.iter().any(|s| {
+                s.active
+                    && !s.dir_in
+                    && s.kind != ScuKind::Send
+                    && s.fifo.class == class
+                    && s.remaining != Some(0)
+            }) {
+                break;
             }
             // the hierarchy may refuse the store (write-allocate miss
             // with no MSHR / busy bank): leave it queued and retry
@@ -2032,6 +2337,22 @@ impl<'m> WmMachine<'m> {
             return Ok(Outcome::Idle);
         }
         let scu = self.scus[i];
+        // Channel SCUs move data tile-to-tile without touching memory, so
+        // they never contend for a port: dispatch them before arbitration
+        // (a `PortBusy` charge here would be spurious). The disable and
+        // setup checks keep their usual precedence.
+        if matches!(scu.kind, ScuKind::Send | ScuKind::Recv) {
+            if self.scu_disabled(i) {
+                return Ok(Outcome::Stall(Stall::Disabled));
+            }
+            if self.cycle < scu.ready_at {
+                return Ok(Outcome::Stall(Stall::Setup));
+            }
+            return match scu.kind {
+                ScuKind::Send => self.send_step(i, &scu),
+                _ => self.recv_step(i, &scu),
+            };
+        }
         if !self.ports_free() {
             // No port: even stream termination waits (as the original
             // arbitration loop broke out before deactivating).
@@ -2053,6 +2374,8 @@ impl<'m> WmMachine<'m> {
             ScuKind::Affine => {}
             ScuKind::Gather => return self.gather_step(i, &scu),
             ScuKind::Scatter => return self.scatter_step(i, &scu),
+            // dispatched above, before port arbitration
+            ScuKind::Send | ScuKind::Recv => unreachable!(),
         }
         if scu.dir_in {
             if scu.remaining == Some(0) {
@@ -2194,6 +2517,126 @@ impl<'m> WmMachine<'m> {
             }
             Ok(Outcome::Active)
         }
+    }
+
+    /// One cycle of a channel-send SCU: pop one element from the target
+    /// FIFO's input side and stage it toward the peer tile. No memory
+    /// port is used; back-pressure is the channel credit count.
+    fn send_step(&mut self, i: usize, scu: &Scu) -> Result<Outcome, SimError> {
+        if scu.remaining == Some(0) {
+            // Deactivation is what lets the machine halt (a send SCU
+            // drains like an out-stream), so the state flip must never
+            // be fast-forwarded over.
+            self.scus[i].active = false;
+            self.last_progress = self.cycle;
+            return Ok(Outcome::Idle);
+        }
+        let dst = scu.peer as usize;
+        if self.chan_credits[dst] == 0 {
+            // receiver backlog at capacity: wait for the barrier to
+            // return credits
+            return Ok(Outcome::Stall(Stall::ChanFull));
+        }
+        let fifo = scu.fifo;
+        if self.unit(fifo.class).ins[fifo.index as usize].owed > 0 {
+            // Program-order-earlier scalar loads still feed this FIFO
+            // and their data belongs to the execution unit, not the
+            // channel — jNI early branch resolution configured this
+            // send while the FEU is still consuming the loop body.
+            // Draining now would steal the unit's operands.
+            return Ok(Outcome::Stall(Stall::MemOrder));
+        }
+        let Some(slot) = self.unit_mut(fifo.class).ins[fifo.index as usize]
+            .q
+            .pop_front()
+        else {
+            // the feeding stream (or unit) has not produced yet
+            return Ok(Outcome::Stall(Stall::FifoEmpty));
+        };
+        // Poison forwards through the channel with its provenance intact:
+        // it faults only if some tile eventually consumes it.
+        self.chan_tx.push(ChanMsg {
+            dst,
+            val: slot.val,
+            poison: slot.poison,
+        });
+        self.chan_credits[dst] -= 1;
+        self.perf.scus[i].elements_out += 1;
+        self.perf.scus[i].unit.retired += 1;
+        self.last_progress = self.cycle;
+        let s = &mut self.scus[i];
+        if let Some(r) = s.remaining.as_mut() {
+            *r -= 1;
+            if *r == 0 {
+                s.active = false;
+            }
+        }
+        Ok(Outcome::Active)
+    }
+
+    /// One cycle of a channel-receive SCU: pop the earliest due entry
+    /// from the peer tile's channel queue into the target FIFO's input
+    /// side. No memory traffic — the element was read (or computed) on
+    /// the sending tile.
+    fn recv_step(&mut self, i: usize, scu: &Scu) -> Result<Outcome, SimError> {
+        let fifo = scu.fifo;
+        if scu.remaining == Some(0) {
+            // normally unreachable (the last delivery deactivates
+            // eagerly); kept as a belt, and marked as progress so the
+            // state flip is never fast-forwarded over
+            self.scus[i].active = false;
+            self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
+            self.last_progress = self.cycle;
+            return Ok(Outcome::Idle);
+        }
+        {
+            let f = &self.unit(fifo.class).ins[fifo.index as usize];
+            // Ordering: scalar loads issued before this receive was
+            // configured are still in flight through the memory
+            // system. Their data reaches the FIFO in issue order only
+            // because the memory path is FIFO-ordered — the channel
+            // path is not, so a push now would jump the queue and the
+            // unit would pop channel data as load results. Hold until
+            // every outstanding load has landed.
+            if f.pending > 0 {
+                return Ok(Outcome::Stall(Stall::MemOrder));
+            }
+            // back-pressure: respect the destination FIFO's capacity
+            if f.q.len() >= self.config.fifo_capacity {
+                return Ok(Outcome::Stall(Stall::FifoFull));
+            }
+        }
+        let p = scu.peer as usize;
+        let due = self.chan_rx[p].front().is_some_and(|e| e.due <= self.cycle);
+        if !due {
+            // nothing due from the peer: it may still be computing, may
+            // be wedged, or (fault injection) may have been killed — the
+            // global deadlock check at the epoch barrier attributes that
+            return Ok(Outcome::Stall(Stall::ChanEmpty));
+        }
+        let e = self.chan_rx[p].pop_front().expect("checked non-empty");
+        if e.poison.is_some() {
+            self.perf.scus[i].poisoned += 1;
+        }
+        self.unit_mut(fifo.class).ins[fifo.index as usize]
+            .q
+            .push_back(Slot {
+                val: e.val,
+                poison: e.poison,
+            });
+        self.perf.scus[i].elements_in += 1;
+        self.perf.scus[i].unit.retired += 1;
+        self.last_progress = self.cycle;
+        let s = &mut self.scus[i];
+        if let Some(r) = s.remaining.as_mut() {
+            *r -= 1;
+            if *r == 0 {
+                // last element delivered: release the FIFO immediately
+                s.active = false;
+                self.unit_mut(fifo.class).ins[fifo.index as usize].streamed = false;
+            }
+        }
+        Ok(Outcome::Active)
     }
 
     /// One cycle of an index-fed gather SCU. The data side has priority:
@@ -2551,6 +2994,7 @@ impl<'m> WmMachine<'m> {
     /// travelling in the slot surfaces here, at consumption.
     #[inline]
     pub(crate) fn pop_fifo(&mut self, class: RegClass, n: usize) -> Result<Val, SimError> {
+        self.unit_mut(class).ins[n].owed = self.unit(class).ins[n].owed.saturating_sub(1);
         let Some(slot) = self.unit_mut(class).ins[n].q.pop_front() else {
             return Err(SimError::Deadlock {
                 cycle: self.cycle,
@@ -3048,6 +3492,16 @@ pub(crate) fn fifo_need(class: RegClass, kind: &InstKind) -> [usize; 2] {
             }
         }
     }
+    // a scalar channel send may drain a FIFO operand
+    if let InstKind::ChanSend {
+        src: Operand::Reg(r),
+        ..
+    } = kind
+    {
+        if r.class == class && r.is_fifo() {
+            need[r.phys_num().unwrap() as usize] += 1;
+        }
+    }
     need
 }
 
@@ -3091,7 +3545,11 @@ pub(crate) fn dispatch_class(kind: &InstKind) -> RegClass {
         | InstKind::StreamScatter { .. }
         | InstKind::VStreamIn { .. }
         | InstKind::VStreamOut { .. }
-        | InstKind::StreamStop { .. } => RegClass::Int,
+        | InstKind::StreamStop { .. }
+        | InstKind::StreamSend { .. }
+        | InstKind::StreamRecv { .. } => RegClass::Int,
+        InstKind::ChanSend { class, .. } => *class,
+        InstKind::ChanRecv { dst, .. } => dst.class,
         other => unreachable!("not a unit instruction: {other}"),
     }
 }

@@ -72,11 +72,17 @@ pub enum Stall {
     /// stopped with fetched-ahead elements still undelivered, and
     /// `squash_penalty` cycles are charged before the slot frees).
     SpecSquash,
+    /// Tiled machine: a channel receive waits on a peer tile that has
+    /// not sent (or whose message is still crossing the fabric).
+    ChanEmpty,
+    /// Tiled machine: a channel stream send is out of credits (the
+    /// receiver's queue for this sender is at capacity).
+    ChanFull,
 }
 
 impl Stall {
     /// Every stall reason, in rendering order.
-    pub const ALL: [Stall; 19] = [
+    pub const ALL: [Stall; 21] = [
         Stall::FifoEmpty,
         Stall::FifoFull,
         Stall::OutFull,
@@ -96,6 +102,8 @@ impl Stall {
         Stall::BankBusy,
         Stall::IndexFifoEmpty,
         Stall::SpecSquash,
+        Stall::ChanEmpty,
+        Stall::ChanFull,
     ];
 
     /// Stable machine-readable name (used by the JSON rendering).
@@ -120,6 +128,8 @@ impl Stall {
             Stall::BankBusy => "bank-busy",
             Stall::IndexFifoEmpty => "index-fifo-empty",
             Stall::SpecSquash => "spec-squash",
+            Stall::ChanEmpty => "chan-empty",
+            Stall::ChanFull => "chan-full",
         }
     }
 }

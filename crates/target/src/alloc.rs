@@ -752,6 +752,9 @@ fn map_inst_regs(kind: &mut InstKind, map: &impl Fn(Reg) -> Reg) {
             map_op(count);
             map_op(stride);
         }
+        InstKind::ChanSend { src, .. } => map_op(src),
+        InstKind::ChanRecv { dst, .. } => *dst = map(*dst),
+        InstKind::StreamSend { count, .. } | InstKind::StreamRecv { count, .. } => map_op(count),
         InstKind::Jump { .. }
         | InstKind::Branch { .. }
         | InstKind::BranchStream { .. }

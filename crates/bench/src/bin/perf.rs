@@ -1,8 +1,10 @@
 //! `perf` — simulator benchmark runner and regression gate.
 //!
-//! Runs the workload suite on the WM simulator under three optimizer
+//! Runs the workload suite on the WM simulator under four optimizer
 //! configurations (scalar = classical optimizations only, recurrence,
-//! streaming) and writes `BENCH_sim.json`: per run, the simulated cycle
+//! streaming, and modulo = streaming + the solver-based software
+//! pipeliner, whose greedy-vs-optimal cycle delta is the streaming−modulo
+//! row difference) and writes `BENCH_sim.json`: per run, the simulated cycle
 //! count, the simulator's own wall-clock time (median of `--reps`
 //! measured runs after one warmup), and the full performance counters
 //! from the [`wm_stream::sim::Stats`] layer.
@@ -47,6 +49,11 @@
 //!                                  time speedup vs FILE in the output
 //! perf --write-baseline FILE       write the cycle baseline for --check
 //! ```
+//!
+//! Every run that measures both the streaming and modulo configs also
+//! gates the scheduler's never-worse contract: `-O modulo` falls back to
+//! the greedy schedule loop-by-loop, so a modulo row with more cycles
+//! than its streaming row on any workload fails the run (exit 1).
 //!
 //! Cycle counts are engine-independent by design, so `--check` works
 //! under either engine; it is refused under `--hw latency24` because the
@@ -127,9 +134,11 @@ impl Hw {
     }
 }
 
-fn configs() -> [(&'static str, OptOptions); 3] {
+fn configs() -> [(&'static str, OptOptions); 4] {
     // Match Table II's compilation model (no-alias on both sides) so the
-    // streaming config actually streams the pointer-based programs.
+    // streaming config actually streams the pointer-based programs. The
+    // modulo config is streaming plus the solver-based software
+    // pipeliner; the greedy-vs-optimal delta is their row difference.
     [
         (
             "scalar",
@@ -143,6 +152,7 @@ fn configs() -> [(&'static str, OptOptions); 3] {
             OptOptions::all().without_streaming().assume_noalias(),
         ),
         ("streaming", OptOptions::all().assume_noalias()),
+        ("modulo", OptOptions::all().assume_noalias().with_modulo()),
     ]
 }
 
@@ -174,6 +184,12 @@ fn suite(sel: SuiteSel) -> Vec<Workload> {
     } else {
         v.extend(wm_stream::workloads::table2());
     }
+    // The ordering-limited integer kernels, where the modulo config's
+    // greedy-vs-optimal delta is visible; in the fast set too so the CI
+    // gates cover the scheduler's strict wins.
+    v.push(wm_stream::workloads::od_kernel());
+    v.push(wm_stream::workloads::uuencode());
+    v.push(wm_stream::workloads::smooth());
     v
 }
 
@@ -310,6 +326,7 @@ fn wmd_request(id: &str, w: &Workload, config: &str, meta: &Meta) -> String {
         "scalar" => "classical",
         "recurrence" => "recurrence",
         "streaming" => "full",
+        "modulo" => "modulo",
         other => panic!("unknown config {other}"),
     };
     let mut req = format!(
@@ -644,6 +661,36 @@ fn check(records: &[RunRecord], baseline_src: &str) -> Result<CheckReport, Strin
     })
 }
 
+/// The modulo-scheduling invariant, gated on every run that measures
+/// both configs: `-O modulo` falls back to the greedy schedule
+/// loop-by-loop on UNSAT or budget exhaustion, so its cycle count can
+/// never exceed the streaming (greedy) config's on any workload.
+/// Violations are returned as failure lines.
+fn modulo_gate(records: &[RunRecord]) -> Vec<String> {
+    let cycles = |workload: &str, config: &str| -> Option<u64> {
+        records
+            .iter()
+            .find(|r| r.workload == workload && r.config == config && r.error.is_none())
+            .map(|r| r.cycles)
+    };
+    let mut failures = Vec::new();
+    for r in records
+        .iter()
+        .filter(|r| r.config == "modulo" && r.error.is_none())
+    {
+        let Some(greedy) = cycles(&r.workload, "streaming") else {
+            continue;
+        };
+        if r.cycles > greedy {
+            failures.push(format!(
+                "{}: modulo {} cycles vs greedy {} (the fallback guarantees never-worse)",
+                r.workload, r.cycles, greedy
+            ));
+        }
+    }
+    failures
+}
+
 /// Compare against another results document run by a different engine:
 /// every pair must exist there with the exact same cycle count. Returns
 /// the mismatch report and the wall-time speedup (their total / ours).
@@ -895,6 +942,20 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    // Modulo scheduling's never-worse contract, gated unconditionally
+    // whenever the run measured both the streaming and modulo configs.
+    let modulo_failures = modulo_gate(&records);
+    if !modulo_failures.is_empty() {
+        for f in &modulo_failures {
+            eprintln!("perf: MODULO REGRESSION {f}");
+        }
+        eprintln!(
+            "perf: {} workload(s) where -O modulo is slower than greedy",
+            modulo_failures.len()
+        );
+        std::process::exit(1);
     }
 
     let failed: Vec<&RunRecord> = records.iter().filter(|r| r.error.is_some()).collect();

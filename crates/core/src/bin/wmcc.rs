@@ -3,7 +3,7 @@
 //! ```text
 //! wmcc prog.c                         compile for the WM, run main, print cycles
 //! wmcc prog.c --emit                  print the optimized listing instead of running
-//! wmcc prog.c --opt recurrence        optimization level: none|classical|recurrence|full
+//! wmcc prog.c --opt modulo            optimization level (see --help for the full set)
 //! wmcc prog.c --noalias               assume distinct pointer bases are disjoint
 //! wmcc prog.c --target scalar --machine vax8600
 //! wmcc prog.c --mem-latency 24 --mem-ports 1
@@ -43,19 +43,38 @@ struct Options {
 }
 
 const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp345|vax8600|m88100]
-               [--opt none|classical|recurrence|full] [--noalias] [--vectorize]
+               [--opt LEVEL] [--noalias] [--vectorize]
                [--speculative-streams] [--emit] [--stats] [--stats-json FILE]
                [--trace N | --trace chrome:FILE]
                [--entry NAME] [--args N,N,...]
-               [--mem-latency N] [--mem-ports N] [--mem MODEL] [--inject SPEC]
+               [--mem-latency N] [--mem-ports N] [--fifo N] [--mem MODEL]
+               [--inject SPEC]
                [--squash-penalty N] [--engine cycle|event|compiled]
                [--tiles N] [--tile-threads M] [--no-partition]
                [--deadline-ms N] [--error-json FILE]
 
+  --opt LEVEL            optimization level (default full). The complete
+                         set, documented only here:
+                           none        the front end's naive code unchanged
+                           classical   classical phases only (no recurrence
+                                       detection, no streaming)
+                           recurrence  classical + the paper's recurrence
+                                       detection and optimization
+                           full        recurrence + streaming + dual-issue
+                                       combining (the default)
+                           modulo      full + solver-based optimal software
+                                       pipelining of streamed inner loops
+                                       (achieved II and MII appear under
+                                       --stats; falls back to the greedy
+                                       schedule loop-by-loop on UNSAT or
+                                       solver-budget exhaustion, so it is
+                                       never slower)
   --stats                print per-unit performance counters (instructions
                          retired, active/idle/stall cycles with stall-reason
                          attribution, FIFO occupancy, memory-port usage) on
-                         stderr after the run
+                         stderr after the run; with --opt modulo, also one
+                         line per candidate loop with its MII, the greedy
+                         interval and the achieved II
   --stats-json FILE      write the same counters as JSON to FILE ('-' for
                          stdout)
   --trace N              print the first N executed instructions on stderr
@@ -99,6 +118,16 @@ const USAGE: &str = "usage: wmcc FILE.c [--target wm|scalar] [--machine sun3|hp3
                          access/execute decoupling). Timing-only: results
                          never change, --stats gains a memory-hierarchy
                          section
+  --fifo N               architectural data-FIFO capacity in entries
+                         (default 8, minimum 1). Unlike --mem/--mem-latency
+                         this is a hardware parameter, not a timing knob:
+                         the compiler schedules against the default depth,
+                         so code that completes always computes the same
+                         results, but a schedule that needs more run-ahead
+                         than a shallower FIFO can hold is reported as a
+                         deadlock (exit 3) rather than silently throttled.
+                         Sweeping --fifo shows where each schedule becomes
+                         capacity-bound (see EXPERIMENTS.md)
   --tiles N              instantiate N WM cores (1..=8, default 1) coupled
                          by point-to-point FIFO channels, and let the
                          compiler partition the entry function's hottest
@@ -214,6 +243,7 @@ fn parse_args() -> Options {
                     "classical" => OptOptions::all().without_recurrence().without_streaming(),
                     "recurrence" => OptOptions::all().without_streaming(),
                     "full" => OptOptions::all(),
+                    "modulo" => OptOptions::all().with_modulo(),
                     _ => usage(),
                 }
             }
@@ -273,6 +303,13 @@ fn parse_args() -> Options {
                 o.config.mem_latency = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--mem-ports" => o.config.mem_ports = need(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fifo" => {
+                let n = need(&mut i).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                o.config.fifo_capacity = n;
+            }
             "--squash-penalty" => {
                 o.config.squash_penalty = need(&mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -325,6 +362,21 @@ fn main() -> ExitCode {
                 s.streaming.gathers,
                 s.streaming.scatters,
             );
+            for l in s.modulo.loops() {
+                eprintln!(
+                    "{name}: L{}: modulo {} insts, MII {}, greedy interval {} -> II {} ({})",
+                    l.label,
+                    l.insts,
+                    l.mii,
+                    l.greedy,
+                    l.ii,
+                    if l.pipelined {
+                        "pipelined"
+                    } else {
+                        "greedy fallback"
+                    },
+                );
+            }
         }
     }
     if o.emit {

@@ -179,6 +179,7 @@ impl Compiler {
                     if let Some((_, s)) = stats.iter_mut().find(|(n, _)| *n == f.name) {
                         s.streaming = s2.streaming;
                         s.vector = s2.vector;
+                        s.modulo = s2.modulo;
                         s.iterations += s2.iterations;
                     } else {
                         stats.push((f.name.clone(), s2));

@@ -19,6 +19,12 @@
 //!   stream instructions serviced by the stream control units
 //!   (Figure 5 → Figure 7).
 //!
+//! A third phase rides on top of those two: [`modulo::modulo_schedule`]
+//! (`-O modulo`) software-pipelines the streamed inner loops at a provably
+//! minimal initiation interval, using the in-tree `wm-solver`
+//! difference-logic SMT solver to decide feasibility of each candidate
+//! interval.
+//!
 //! Supporting analyses: dominators and natural loops ([`mod@cfg`]), live
 //! registers ([`liveness`]), induction variables and affine address forms
 //! ([`affine`]), and the memory-reference partitions of the paper
@@ -27,6 +33,7 @@
 pub mod affine;
 pub mod cfg;
 pub mod liveness;
+pub mod modulo;
 pub mod partition;
 pub mod phases;
 pub mod pipeline;
@@ -35,6 +42,7 @@ pub mod streaming;
 pub mod tile;
 pub mod vectorize;
 
+pub use modulo::{LoopReport, ModuloReport};
 pub use partition::{AliasModel, MemPartition, PartitionSet, RefInfo};
 pub use pipeline::{optimize_generic, optimize_wm, optimize_wm_with, OptOptions, OptStats};
 pub use recurrence::RecurrenceReport;

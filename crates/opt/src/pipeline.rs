@@ -60,6 +60,17 @@ pub struct OptOptions {
     /// Number of tiles the partitioning pass splits the entry function's
     /// hottest qualifying loop across (1 = single-core, no partitioning).
     pub tiles: usize,
+    /// Optimal software pipelining of streamed inner loops via the
+    /// difference-logic solver (`-O modulo`; off by default — it is a
+    /// code-motion trade the paper's tables do not include).
+    pub modulo: bool,
+    /// Solver conflict budget per candidate initiation interval. The
+    /// budget is deterministic (no wall-clock component), so compilations
+    /// are reproducible on any host.
+    pub modulo_budget: u64,
+    /// Load-to-pop latency in cycles modelled by the modulo scheduler
+    /// (matches the simulator's default memory latency).
+    pub modulo_mem_latency: i64,
 }
 
 impl Default for OptOptions {
@@ -83,6 +94,9 @@ impl Default for OptOptions {
             speculative_streams: false,
             partition: true,
             tiles: 1,
+            modulo: false,
+            modulo_budget: 20_000,
+            modulo_mem_latency: 6,
         }
     }
 }
@@ -153,6 +167,12 @@ impl OptOptions {
         self.partition = false;
         self
     }
+
+    /// Enable solver-based optimal software pipelining of inner loops.
+    pub fn with_modulo(mut self) -> OptOptions {
+        self.modulo = true;
+        self
+    }
 }
 
 /// What the pipeline did.
@@ -164,6 +184,8 @@ pub struct OptStats {
     pub streaming: StreamingReport,
     /// Vectorizer report.
     pub vector: crate::vectorize::VectorReport,
+    /// Modulo-scheduling report.
+    pub modulo: crate::modulo::ModuloReport,
     /// Cleanup fixpoint iterations used.
     pub iterations: usize,
 }
@@ -268,6 +290,12 @@ pub fn optimize_wm_with(
         }
         stats.iterations += cleanup(func, opts);
     }
+    // Modulo scheduling runs last: it must see the final body shape
+    // (post-combining), and no later phase may reorder its kernels.
+    if opts.modulo {
+        stats.modulo =
+            crate::modulo::modulo_schedule(func, opts.modulo_budget, opts.modulo_mem_latency);
+    }
     stats
 }
 
@@ -320,5 +348,9 @@ mod tests {
         assert_eq!(o.alias, AliasModel::NoAlias);
         let o = OptOptions::all().without_streaming();
         assert!(!o.streaming);
+        assert!(!o.modulo, "modulo scheduling is opt-in");
+        let o = OptOptions::all().with_modulo();
+        assert!(o.modulo);
+        assert!(o.modulo_budget > 0);
     }
 }

@@ -196,7 +196,12 @@ fn parse_opts(v: &Value) -> Result<OptOptions, String> {
             Some("classical") => OptOptions::all().without_recurrence().without_streaming(),
             Some("recurrence") => OptOptions::all().without_streaming(),
             Some("full") => OptOptions::all(),
-            _ => return Err("`opt` must be one of none, classical, recurrence, full".to_string()),
+            Some("modulo") => OptOptions::all().with_modulo(),
+            _ => {
+                return Err(
+                    "`opt` must be one of none, classical, recurrence, full, modulo".to_string(),
+                )
+            }
         },
     };
     if field_bool(v, "noalias")? {
@@ -375,6 +380,30 @@ mod tests {
         assert_eq!(j.spec.config.engine.name(), "compiled");
         assert_eq!(j.spec.config.mem_model.name(), "banked");
         assert!(!j.spec.config.fault_plan.is_empty());
+    }
+
+    #[test]
+    fn parses_the_modulo_opt_level() {
+        let r =
+            parse_request(r#"{"id": "j3", "source": "int main() { return 1; }", "opt": "modulo"}"#)
+                .unwrap();
+        let Request::Job(j) = r else {
+            panic!("expected a job")
+        };
+        assert!(j.spec.opts.modulo, "opt=modulo enables the scheduler");
+        assert!(j.spec.opts.streaming, "modulo rides on the full pipeline");
+        // The flag participates in the cache key (distinct artifacts).
+        let mut plain = j.spec.clone();
+        plain.opts.modulo = false;
+        assert_ne!(
+            j.spec.cache_key_material(),
+            plain.cache_key_material(),
+            "modulo jobs must not alias full-opt cache entries"
+        );
+        let (_, msg) =
+            parse_request(r#"{"id": "j4", "source": "int main(){return 1;}", "opt": "maximal"}"#)
+                .unwrap_err();
+        assert!(msg.contains("modulo"), "error message lists modulo: {msg}");
     }
 
     #[test]

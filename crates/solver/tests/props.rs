@@ -1,0 +1,215 @@
+//! Property tests for `wm-solver` (ISSUE 10 satellite).
+//!
+//! Two independent oracles keep the solver honest:
+//!
+//! * every `Sat` model is replayed here — outside the solver's own
+//!   self-check — against every clause and every asserted difference
+//!   constraint of the generated instance;
+//! * every `Unsat` verdict on a small random instance is cross-checked by
+//!   brute force: enumerate all boolean assignments, and for each one
+//!   that satisfies the clauses run Bellman–Ford over the implied
+//!   difference-constraint graph to look for a feasible solution.
+//!
+//! Instances deliberately include self-loop atoms (`a - a <= c`), which
+//! exercise the unit theory-conflict path, and pure boolean variables
+//! mixed with theory atoms.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use wm_solver::{Budget, Lit, Outcome, Solver, TVar};
+
+/// Number of time variables per generated instance.
+const NT: u32 = 4;
+/// Number of pure (non-atom) boolean variables per instance.
+const NPURE: usize = 2;
+
+/// A generated instance, in solver-independent form.
+#[derive(Debug, Clone)]
+struct Instance {
+    /// Theory atoms `a - b <= c` (indices into the `NT` time variables).
+    atoms: Vec<(u32, u32, i64)>,
+    /// Clauses over the variable pool (atom vars first, then pure vars);
+    /// each literal is (pool index, negated).
+    clauses: Vec<Vec<(u32, bool)>>,
+    /// Unconditional `a - b <= c` assertions.
+    asserts: Vec<(u32, u32, i64)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        vec((0u32..NT, 0u32..NT, -3i64..4), 1..=4usize),
+        vec(vec((0u32..64, any::<bool>()), 1..=3usize), 1..=6usize),
+        vec((0u32..NT, 0u32..NT, -2i64..4), 0..=3usize),
+    )
+        .prop_map(|(atoms, clauses, asserts)| Instance {
+            atoms,
+            clauses,
+            asserts,
+        })
+}
+
+/// Build a solver for `inst`; returns the solver, the literal pool
+/// (one positive literal per atom, then per pure boolean), and the time
+/// variables.
+fn build(inst: &Instance) -> (Solver, Vec<Lit>, Vec<TVar>) {
+    let mut s = Solver::new();
+    let ts: Vec<_> = (0..NT).map(|_| s.new_tvar()).collect();
+    let mut pool = Vec::new();
+    for &(a, b, c) in &inst.atoms {
+        pool.push(s.diff_leq(ts[a as usize], ts[b as usize], c));
+    }
+    for _ in 0..NPURE {
+        pool.push(Lit::pos(s.new_bool()));
+    }
+    for clause in &inst.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(i, neg)| {
+                let l = pool[i as usize % pool.len()];
+                if neg {
+                    !l
+                } else {
+                    l
+                }
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+    for &(a, b, c) in &inst.asserts {
+        s.assert_diff(ts[a as usize], ts[b as usize], c);
+    }
+    (s, pool, ts)
+}
+
+/// The edges implied by a full boolean assignment over the pool: a true
+/// atom contributes `a - b <= c`, a false one the integer negation
+/// `b - a <= -c - 1`; unconditional asserts always apply.
+fn implied_edges(inst: &Instance, assignment: u32) -> Vec<(u32, u32, i64)> {
+    let mut edges = Vec::new();
+    for (i, &(a, b, c)) in inst.atoms.iter().enumerate() {
+        if assignment >> i & 1 == 1 {
+            edges.push((a, b, c));
+        } else {
+            edges.push((b, a, -c - 1));
+        }
+    }
+    edges.extend_from_slice(&inst.asserts);
+    edges
+}
+
+/// Bellman–Ford feasibility of a conjunction of `a - b <= c` constraints
+/// (virtual-source trick: all distances start at 0).
+fn diff_feasible(edges: &[(u32, u32, i64)]) -> bool {
+    let mut dist = [0i64; NT as usize];
+    for _ in 0..NT {
+        let mut changed = false;
+        for &(a, b, c) in edges {
+            // a - b <= c: dist[a] <= dist[b] + c
+            if dist[b as usize] + c < dist[a as usize] {
+                dist[a as usize] = dist[b as usize] + c;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+    // One more round: any further relaxation proves a negative cycle.
+    for &(a, b, c) in edges {
+        if dist[b as usize] + c < dist[a as usize] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Brute-force satisfiability of the whole instance.
+fn brute_force_sat(inst: &Instance) -> bool {
+    let nvars = inst.atoms.len() + NPURE;
+    'outer: for assignment in 0..1u32 << nvars {
+        for clause in &inst.clauses {
+            let sat = clause.iter().any(|&(i, neg)| {
+                let v = i as usize % nvars;
+                (assignment >> v & 1 == 1) != neg
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        if diff_feasible(&implied_edges(inst, assignment)) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    /// Every `Sat` model, replayed externally, satisfies every clause and
+    /// every asserted difference constraint.
+    #[test]
+    fn sat_models_replay_against_all_constraints(inst in instance()) {
+        let (mut s, pool, ts) = build(&inst);
+        let out = s.solve(Budget::default());
+        prop_assert!(!matches!(out, Outcome::Unknown), "tiny instance exhausted budget");
+        if let Outcome::Sat(m) = out {
+            // Atom semantics: the model's boolean value of each atom must
+            // agree with the times it reports.
+            for (i, &(a, b, c)) in inst.atoms.iter().enumerate() {
+                let (ta, tb) = (m.time(ts[a as usize]), m.time(ts[b as usize]));
+                if m.lit(pool[i]) {
+                    prop_assert!(ta - tb <= c, "true atom {i} violated: {ta} - {tb} > {c}");
+                } else {
+                    prop_assert!(tb - ta < -c, "false atom {i} violated");
+                }
+            }
+            // Clause replay.
+            for (ci, clause) in inst.clauses.iter().enumerate() {
+                let ok = clause.iter().any(|&(i, neg)| {
+                    let l = pool[i as usize % pool.len()];
+                    m.lit(if neg { !l } else { l })
+                });
+                prop_assert!(ok, "clause {ci} not satisfied by model");
+            }
+            // Unconditional asserts.
+            for &(a, b, c) in &inst.asserts {
+                let (ta, tb) = (m.time(ts[a as usize]), m.time(ts[b as usize]));
+                prop_assert!(ta - tb <= c, "asserted diff violated: {ta} - {tb} > {c}");
+            }
+        }
+    }
+
+    /// The solver's verdict matches brute-force enumeration exactly.
+    #[test]
+    fn verdicts_cross_checked_by_enumeration(inst in instance()) {
+        let (mut s, _, _) = build(&inst);
+        let out = s.solve(Budget::default());
+        let expect = brute_force_sat(&inst);
+        match out {
+            Outcome::Sat(_) => prop_assert!(expect, "solver Sat, brute force Unsat"),
+            Outcome::Unsat => prop_assert!(!expect, "solver Unsat, brute force Sat"),
+            Outcome::Unknown => prop_assert!(false, "tiny instance exhausted budget"),
+        }
+    }
+
+    /// Runs are pure functions of the instance: outcome, model, and
+    /// search statistics all repeat exactly.
+    #[test]
+    fn runs_are_deterministic(inst in instance()) {
+        let (mut s1, _, ts) = build(&inst);
+        let (mut s2, _, _) = build(&inst);
+        let o1 = s1.solve(Budget::default());
+        let o2 = s2.solve(Budget::default());
+        prop_assert_eq!(s1.stats.decisions, s2.stats.decisions);
+        prop_assert_eq!(s1.stats.conflicts, s2.stats.conflicts);
+        prop_assert_eq!(s1.stats.propagations, s2.stats.propagations);
+        match (o1, o2) {
+            (Outcome::Sat(m1), Outcome::Sat(m2)) => {
+                for &t in &ts {
+                    prop_assert_eq!(m1.time(t), m2.time(t));
+                }
+            }
+            (Outcome::Unsat, Outcome::Unsat) | (Outcome::Unknown, Outcome::Unknown) => {}
+            _ => prop_assert!(false, "outcomes diverged between identical runs"),
+        }
+    }
+}

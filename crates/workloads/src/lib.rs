@@ -166,11 +166,23 @@ pub fn compact_kernel() -> Workload {
     }
 }
 
+/// The uuencode kernel: 3 streamed bytes become 4 stored sextets, all
+/// integer shift/mask work. Like [`od_kernel`] it saturates the IEU, so
+/// its interval is ordering-limited — the modulo-scheduling showcase.
+pub fn uuencode() -> Workload {
+    Workload {
+        name: "uuencode",
+        source: include_str!("programs/uuencode.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
 /// The Unix-utility kernels as a suite (the paper: "the optimizer
 /// generates stream instructions for the following Unix utilities: cal,
 /// compact, od, sort, diff, nroff, and yacc").
 pub fn utilities() -> Vec<Workload> {
-    vec![text_kernels(), od_kernel(), compact_kernel()]
+    vec![text_kernels(), od_kernel(), compact_kernel(), uuencode()]
 }
 
 /// CSR sparse matrix-vector product: the canonical gather kernel
@@ -197,6 +209,19 @@ pub fn histogram() -> Workload {
     }
 }
 
+/// A 4-point integer boxcar smoother: [`iir`](table2)'s feed-forward
+/// fixed-point cousin. No feedback chain, so the initiation interval is
+/// limited only by instruction ordering — the loop modulo scheduling
+/// improves the most.
+pub fn smooth() -> Workload {
+    Workload {
+        name: "smooth",
+        source: include_str!("programs/smooth.c"),
+        expected_ret: Expected::Ret(1),
+        paper_table2_percent: None,
+    }
+}
+
 /// The sparse (indirect-stream) workloads: gather and scatter kernels
 /// whose inner loops the streaming pass fuses into `Sga`/`Ssc`
 /// descriptors. The paper's access/execute split covers these too —
@@ -213,6 +238,7 @@ pub fn all() -> Vec<Workload> {
     v.push(livermore5_init_only());
     v.extend(utilities());
     v.extend(sparse());
+    v.push(smooth());
     v
 }
 

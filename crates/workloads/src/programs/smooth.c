@@ -1,0 +1,33 @@
+/* smooth: a 4-point integer boxcar (moving-average) smoother, the
+ * fixed-point cousin of the iir filter. The taps are feed-forward —
+ * x[i-1..3] carried in registers by the recurrence pass, x streamed in,
+ * y streamed out — so unlike iir there is no feedback chain limiting the
+ * initiation interval; the limit in the greedy schedule is purely the
+ * adjacent-issue interlocks of the serial add chain, which modulo
+ * scheduling spreads apart. Self-verifying: a scalar re-computation
+ * checks every output; returns 1.
+ */
+
+int x[8000];
+int y[8000];
+
+int main() {
+    int i; int n;
+    int ok; int t;
+
+    n = 8000;
+    for (i = 0; i < n; i++) x[i] = ((i * 29) & 63) + ((i >> 3) & 15);
+    y[0] = x[0]; y[1] = x[1]; y[2] = x[2];
+
+    /* the smoothing kernel */
+    for (i = 3; i < n; i++)
+        y[i] = (x[i] + x[i-1] + x[i-2] + x[i-3]) >> 2;
+
+    /* re-compute with explicit loads and compare */
+    ok = 1;
+    for (i = 3; i < n; i++) {
+        t = (x[i] + x[i-1] + x[i-2] + x[i-3]) >> 2;
+        if (y[i] != t) ok = 0;
+    }
+    return ok;
+}

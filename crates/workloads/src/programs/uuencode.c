@@ -1,0 +1,46 @@
+/* uuencode: the historic Unix binary-to-text encoder's inner kernel.
+ * Every 3 input bytes become 4 printable sextets (value + 32). Like od,
+ * the loop is pure integer work — shifts, masks and adds all on the IEU,
+ * with the input streamed in and the sextets stored out — so the one
+ * dispatch-per-cycle unit is saturated and the *order* of the body
+ * decides the steady-state interval: the greedy schedule leaks issue
+ * interlocks and store adjacency that modulo scheduling removes.
+ * Self-verifying: a decode pass reconstructs every byte; returns 1.
+ */
+
+int src[4098];
+int enc[5464];
+
+int main() {
+    int i; int j; int n;
+    int b0; int b1; int b2;
+    int ok;
+
+    n = 4095; /* a multiple of 3: the kernel consumes whole triples */
+    for (i = 0; i < n; i++) src[i] = (i * 37 + 11) & 255;
+
+    /* the encode kernel: 3 bytes in, 4 sextets out */
+    j = 0;
+    for (i = 0; i < n; i = i + 3) {
+        b0 = src[i]; b1 = src[i+1]; b2 = src[i+2];
+        enc[j]   = (b0 >> 2) + 32;
+        enc[j+1] = (((b0 & 3) << 4) | (b1 >> 4)) + 32;
+        enc[j+2] = (((b1 & 15) << 2) | (b2 >> 6)) + 32;
+        enc[j+3] = (b2 & 63) + 32;
+        j = j + 4;
+    }
+
+    /* decode every group back and compare against the source */
+    ok = 1;
+    j = 0;
+    for (i = 0; i + 2 < n; i = i + 3) {
+        b0 = ((enc[j] - 32) << 2) | ((enc[j+1] - 32) >> 4);
+        b1 = (((enc[j+1] - 32) & 15) << 4) | ((enc[j+2] - 32) >> 2);
+        b2 = (((enc[j+2] - 32) & 3) << 6) | (enc[j+3] - 32);
+        if (b0 != src[i]) ok = 0;
+        if (b1 != src[i+1]) ok = 0;
+        if (b2 != src[i+2]) ok = 0;
+        j = j + 4;
+    }
+    return ok;
+}

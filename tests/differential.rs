@@ -131,15 +131,15 @@ fn run_scalar(src: &str) -> Result<i64, String> {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: cases(), // each case compiles 6 ways and simulates; keep it bounded
+        cases: cases(), // each case compiles 7 ways and simulates; keep it bounded
         .. ProptestConfig::default()
     })]
 
     #[test]
     fn random_programs_agree_across_opt_levels_and_machines(
         src in arbitrary_program(),
-        engines in proptest::collection::vec(0..Engine::ALL.len(), 6),
-        mems in proptest::collection::vec(0..MEM_SPECS.len(), 6),
+        engines in proptest::collection::vec(0..Engine::ALL.len(), 7),
+        mems in proptest::collection::vec(0..MEM_SPECS.len(), 7),
     ) {
         // The reference runs on the per-cycle stepper over flat memory;
         // each opt level draws its engine (cycle, event or compiled) and
@@ -159,6 +159,9 @@ proptest! {
             // and required for scatter fusion, so this is the level that
             // exercises indirect streams hardest
             OptOptions::all().assume_noalias().with_speculative_streams(),
+            // the solver-scheduled kernels must be architecturally
+            // invisible too (fallback or not, results never change)
+            OptOptions::all().assume_noalias().with_modulo(),
         ]
         .into_iter()
         .zip(engines)

@@ -14,6 +14,7 @@ fn opt_levels() -> Vec<(&'static str, OptOptions)> {
         ("recurrence", OptOptions::all().without_streaming()),
         ("full", OptOptions::all()),
         ("full+noalias", OptOptions::all().assume_noalias()),
+        ("modulo", OptOptions::all().assume_noalias().with_modulo()),
     ]
 }
 
